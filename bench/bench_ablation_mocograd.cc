@@ -1,0 +1,104 @@
+// Ablation study of MoCoGrad's design choices (beyond the paper's own
+// λ study in Fig. 9), as called out in DESIGN.md:
+//
+//   1. momentum calibration (the paper) vs raw-gradient calibration (a
+//      GradVac-like variant) — isolates the paper's de-noising claim;
+//   2. single random conflicting partner (Algorithm 1 / Theorem 1) vs
+//      accumulating one term per conflicting partner;
+//   3. the momentum decay rate β₁;
+//   4. the two extension baselines (GradNorm, Uncertainty Weighting) under
+//      the same workload, for context.
+//
+// Workload: the MovieLens simulator (9 genres) — the configuration where
+// this reproduction matches the paper's Table II shape most closely.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/mocograd.h"
+#include "data/movielens.h"
+
+namespace mocograd {
+namespace {
+
+void Run() {
+  data::MovieLensConfig dc;
+  dc.train_per_task = 1200;
+  dc.test_per_task = 500;
+  data::MovieLensSim ds(dc);
+  auto factory = harness::MlpHpsFactory(ds.input_dim(), {64, 32});
+  const auto tasks = bench::AllTasks(ds);
+
+  harness::TrainConfig cfg;
+  cfg.steps = 250;
+  cfg.batch_size = 32;
+  cfg.lr = 3e-3f;
+
+  harness::RunResult stl = bench::StlAveraged(ds, tasks, factory, cfg);
+  auto delta = [&](const harness::RunResult& r) {
+    return TextTable::Percent(
+        harness::ComputeDeltaM(r.task_metrics, stl.task_metrics));
+  };
+
+  TextTable table;
+  table.SetHeader({"Variant", "DeltaM vs STL"});
+
+  // Reference points.
+  table.AddRow({"EW (no surgery)",
+                delta(bench::RunAveraged(ds, tasks, "ew", factory, cfg))});
+  table.AddRow({"MoCoGrad (paper: momentum, single partner)",
+                delta(bench::RunAveraged(ds, tasks, "mocograd", factory,
+                                         cfg))});
+
+  // 1. Raw-gradient calibration.
+  {
+    core::AggregatorOptions opts;
+    opts.mocograd.use_raw_gradient = true;
+    table.AddRow({"MoCoGrad w/ raw-gradient calibration",
+                  delta(bench::RunAveraged(ds, tasks, "mocograd", factory,
+                                           cfg, opts))});
+  }
+
+  // 2. Accumulate over all conflicting partners.
+  {
+    core::AggregatorOptions opts;
+    opts.mocograd.accumulate_all_conflicts = true;
+    table.AddRow({"MoCoGrad w/ accumulate-all-conflicts",
+                  delta(bench::RunAveraged(ds, tasks, "mocograd", factory,
+                                           cfg, opts))});
+  }
+
+  // 3. Momentum horizon.
+  for (float beta1 : {0.0f, 0.5f, 0.9f, 0.98f}) {
+    core::AggregatorOptions opts;
+    opts.mocograd.beta1 = beta1;
+    char label[64];
+    std::snprintf(label, sizeof(label), "MoCoGrad beta1 = %.2f", beta1);
+    table.AddRow({label, delta(bench::RunAveraged(ds, tasks, "mocograd",
+                                                  factory, cfg, opts))});
+  }
+
+  // 4. Extension baselines for context.
+  for (const std::string& m : core::ExtensionMethodNames()) {
+    table.AddRow({bench::PaperName(m),
+                  delta(bench::RunAveraged(ds, tasks, m, factory, cfg))});
+  }
+
+  std::printf("Ablation — MoCoGrad design choices (MovieLens), %d seeds\n",
+              bench::NumSeeds());
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Claims under test: momentum calibration beats the raw-gradient\n"
+      "variant (the de-noising argument of §IV-B); beta1 = 0 (no history)\n"
+      "degrades toward the raw variant; the single-partner rule of\n"
+      "Algorithm 1 is competitive with accumulating all conflicts while\n"
+      "keeping the Theorem 1 bound.\n");
+}
+
+}  // namespace
+}  // namespace mocograd
+
+int main() {
+  mocograd::Run();
+  return 0;
+}

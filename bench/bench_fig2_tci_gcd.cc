@@ -1,0 +1,89 @@
+// Reproduces Fig. 2 of the paper: the correlation between Task Conflict
+// Intensity (TCI, Definition 2) and Gradient Conflict Degree (GCD,
+// Definition 3) on MovieLens genre pairs.
+//
+// Paper claim under test: TCI and GCD are strongly positively correlated —
+// the more the task gradients conflict during joint training, the more a
+// task's test risk degrades relative to its single-task baseline. This is
+// the empirical justification for attacking task conflicts at the gradient
+// level.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "data/movielens.h"
+
+namespace mocograd {
+namespace {
+
+void Run() {
+  harness::TrainConfig cfg;
+  cfg.steps = 250;
+  cfg.batch_size = 32;
+  cfg.lr = 3e-3f;
+
+  // Sweep the genre relatedness: less related genres → stronger gradient
+  // conflicts → larger TCI. Each dataset instance contributes one
+  // (mean GCD, TCI of task A) point, mirroring Fig. 2(b-d).
+  TextTable table;
+  table.SetHeader({"relatedness", "mean GCD", "TCI(A) vs STL", "MTL RMSE(A)",
+                   "STL RMSE(A)"});
+  std::vector<double> gcds, tcis;
+  for (float rel : {0.9f, 0.75f, 0.6f, 0.45f, 0.3f, 0.15f}) {
+    data::MovieLensConfig dc;
+    dc.num_genres = 3;
+    dc.relatedness = rel;
+    data::MovieLensSim ds(dc);
+    auto factory = harness::MlpHpsFactory(ds.input_dim(), {64, 32});
+
+    harness::RunResult stl = bench::StlAveraged(ds, {0}, factory, cfg);
+    harness::RunResult mtl =
+        bench::RunAveraged(ds, {0, 1, 2}, "ew", factory, cfg);
+
+    // TCI on the RMSE risk of task A (Definition 2; lower risk is better,
+    // so positive TCI = conflict occurred).
+    const double tci = core::Tci(mtl.task_metrics[0][0].value,
+                                 stl.task_metrics[0][0].value);
+    gcds.push_back(mtl.mean_gcd);
+    tcis.push_back(tci);
+    table.AddRow({TextTable::Num(rel, 2), TextTable::Num(mtl.mean_gcd, 4),
+                  TextTable::Num(tci, 4),
+                  TextTable::Num(mtl.task_metrics[0][0].value),
+                  TextTable::Num(stl.task_metrics[0][0].value)});
+  }
+
+  // Pearson correlation between GCD and TCI across the sweep.
+  const size_t n = gcds.size();
+  double mg = 0, mt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mg += gcds[i];
+    mt += tcis[i];
+  }
+  mg /= n;
+  mt /= n;
+  double cov = 0, vg = 0, vt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (gcds[i] - mg) * (tcis[i] - mt);
+    vg += (gcds[i] - mg) * (gcds[i] - mg);
+    vt += (tcis[i] - mt) * (tcis[i] - mt);
+  }
+  const double pearson = cov / std::sqrt(vg * vt + 1e-12);
+
+  std::printf("Fig. 2 — TCI vs GCD correlation (MovieLens), %d seeds\n",
+              bench::NumSeeds());
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Pearson correlation(GCD, TCI) = %.3f\n", pearson);
+  std::printf(
+      "Paper shape: strong positive correlation — larger GCD values go with\n"
+      "larger TCI values (paper reports this qualitatively from Fig. 2b-d).\n");
+}
+
+}  // namespace
+}  // namespace mocograd
+
+int main() {
+  mocograd::Run();
+  return 0;
+}

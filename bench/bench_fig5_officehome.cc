@@ -1,0 +1,71 @@
+// Reproduces Fig. 5 of the paper: per-domain accuracy of all methods on the
+// Office-Home workload (Art / Clipart / Product / Real-World, 65-way
+// classification each, multi-input MTL).
+//
+// Paper claims under test: MoCoGrad attains the best and most balanced
+// accuracy across the four domains, while some baselines (MGDA, CAGrad in
+// the paper) fall below the single-task models.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/office_home.h"
+
+namespace mocograd {
+namespace {
+
+void Run() {
+  data::OfficeHomeConfig oc;
+  data::OfficeHomeSim ds(oc);
+
+  harness::TrainConfig cfg;
+  cfg.steps = 300;
+  cfg.batch_size = 16;
+  cfg.lr = 2e-3f;
+
+  auto factory = harness::MlpHpsFactory(ds.input_dim(), {64, 32});
+  const auto tasks = bench::AllTasks(ds);
+  harness::RunResult stl = bench::StlAveraged(ds, tasks, factory, cfg);
+
+  TextTable table;
+  table.SetHeader({"Method", "Art", "Clipart", "Product", "RealWorld",
+                   "Avg ACC", "DeltaM"});
+  auto add = [&](const std::string& name, const harness::RunResult& r,
+                 bool is_stl) {
+    std::vector<std::string> row = {name};
+    double avg = 0.0;
+    for (int t = 0; t < 4; ++t) {
+      row.push_back(TextTable::Num(r.task_metrics[t][0].value, 4));
+      avg += r.task_metrics[t][0].value;
+    }
+    row.push_back(TextTable::Num(avg / 4.0, 4));
+    row.push_back(is_stl ? "+0.00%"
+                         : TextTable::Percent(harness::ComputeDeltaM(
+                               r.task_metrics, stl.task_metrics)));
+    table.AddRow(row);
+  };
+
+  add("STL", stl, true);
+  table.AddSeparator();
+  for (const std::string& method : core::PaperMethodNames()) {
+    add(bench::PaperName(method),
+        bench::RunAveraged(ds, tasks, method, factory, cfg), false);
+  }
+
+  std::printf(
+      "Fig. 5 — Office-Home per-domain accuracy (4 x 65-way, multi-input), "
+      "%d seeds\n",
+      bench::NumSeeds());
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper shape: MoCoGrad best and balanced; several baselines at or\n"
+      "below the single-task models.\n");
+}
+
+}  // namespace
+}  // namespace mocograd
+
+int main() {
+  mocograd::Run();
+  return 0;
+}

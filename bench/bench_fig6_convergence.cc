@@ -1,0 +1,83 @@
+// Reproduces Fig. 6 of the paper: training-loss curves of every method on
+// the NYUv2 workload — per-task curves and the three-task average.
+//
+// Paper claims under test: MoCoGrad's loss decreases monotonically and
+// reaches the lowest average training loss under the same epoch budget,
+// i.e. it converges faster than the baselines.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/scene.h"
+
+namespace mocograd {
+namespace {
+
+void Run() {
+  data::SceneConfig sc;
+  sc.mode = data::SceneMode::kNyu;
+  data::SceneSim ds(sc);
+
+  harness::TrainConfig cfg;
+  cfg.steps = 300;
+  cfg.batch_size = 8;
+  cfg.lr = 3e-3f;
+  cfg.loss_curve_every = 30;
+
+  auto factory = harness::SceneConvFactory(3, 16, 2);
+  const auto tasks = bench::AllTasks(ds);
+
+  // Collect loss curves per method.
+  std::vector<std::string> methods = core::PaperMethodNames();
+  std::vector<harness::RunResult> results;
+  for (const std::string& m : methods) {
+    results.push_back(bench::RunAveraged(ds, tasks, m, factory, cfg));
+  }
+
+  const size_t points = results[0].loss_curve.size();
+  const char* task_names[] = {"Segmentation", "Depth", "Surface normals",
+                              "Average of 3 tasks"};
+  for (int view = 0; view < 4; ++view) {
+    TextTable table;
+    std::vector<std::string> header = {"step"};
+    for (const std::string& m : methods) header.push_back(bench::PaperName(m));
+    table.SetHeader(header);
+    for (size_t p = 0; p < points; ++p) {
+      std::vector<std::string> row = {
+          std::to_string(p * cfg.loss_curve_every)};
+      for (const auto& r : results) {
+        double v;
+        if (view < 3) {
+          v = r.loss_curve[p][view];
+        } else {
+          v = (r.loss_curve[p][0] + r.loss_curve[p][1] + r.loss_curve[p][2]) /
+              3.0;
+        }
+        row.push_back(TextTable::Num(v, 4));
+      }
+      table.AddRow(row);
+    }
+    std::printf("Fig. 6(%c) — %s training loss (NYUv2), %d seeds\n",
+                'a' + view, task_names[view], bench::NumSeeds());
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  // Final average training loss ranking.
+  std::printf("Final average training loss by method:\n");
+  for (size_t i = 0; i < methods.size(); ++i) {
+    const auto& last = results[i].loss_curve.back();
+    const double avg = (last[0] + last[1] + last[2]) / 3.0;
+    std::printf("  %-9s %.4f\n", methods[i].c_str(), avg);
+  }
+  std::printf(
+      "Paper shape: MoCoGrad's curves decrease steadily and reach the\n"
+      "lowest (or near-lowest) average loss under the same budget.\n");
+}
+
+}  // namespace
+}  // namespace mocograd
+
+int main() {
+  mocograd::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig. 7 of the paper: Δ_M of MoCoGrad combined with five MTL
+// architectures (HPS, Cross-stitch, MTAN, MMoE, CGC).
+//
+// Workload substitution (see EXPERIMENTS.md): the paper runs this sweep on
+// CityScapes with conv backbones. All five architectures here are MLP
+// variants operating on flat feature vectors, so the sweep runs on the
+// MovieLens workload — the simulator on which this reproduction matches the
+// paper's Table II shape most faithfully. The claim under test is
+// architecture-generality: MoCoGrad must improve over the per-architecture
+// single-task baselines under EVERY sharing scheme, not just HPS.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/movielens.h"
+
+namespace mocograd {
+namespace {
+
+// Approximate bar heights of Fig. 7 (CityScapes in the paper).
+const std::map<std::string, double> kPaperDeltaM = {
+    {"hps", 9.93},  {"cross_stitch", 11.0}, {"mtan", 11.5},
+    {"mmoe", 10.8}, {"cgc", 11.2}};
+
+void Run() {
+  data::MovieLensConfig dc;
+  dc.train_per_task = 1200;
+  dc.test_per_task = 500;
+  data::MovieLensSim ds(dc);
+
+  harness::TrainConfig cfg;
+  cfg.steps = 250;
+  cfg.batch_size = 32;
+  cfg.lr = 3e-3f;
+
+  const auto tasks = bench::AllTasks(ds);
+
+  TextTable table;
+  table.SetHeader({"Architecture", "MoCoGrad DeltaM",
+                   "paper DeltaM (CityScapes, approx)"});
+  for (const std::string& arch : harness::AllArchitectureNames()) {
+    auto factory = harness::ArchitectureFactory(arch, ds.input_dim());
+    // The STL reference uses the same architecture restricted to one task,
+    // mirroring the paper's per-architecture baselines.
+    harness::RunResult stl = bench::StlAveraged(ds, tasks, factory, cfg);
+    harness::RunResult r =
+        bench::RunAveraged(ds, tasks, "mocograd", factory, cfg);
+    table.AddRow({arch,
+                  TextTable::Percent(harness::ComputeDeltaM(
+                      r.task_metrics, stl.task_metrics)),
+                  TextTable::Percent(kPaperDeltaM.at(arch) / 100.0)});
+  }
+
+  std::printf(
+      "Fig. 7 — MoCoGrad with five MTL architectures (MovieLens workload), "
+      "%d seeds\n",
+      bench::NumSeeds());
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper shape: positive Delta_M under every architecture — MoCoGrad is\n"
+      "architecture-agnostic (paper runs this on CityScapes; see\n"
+      "EXPERIMENTS.md for the workload substitution).\n");
+}
+
+}  // namespace
+}  // namespace mocograd
+
+int main() {
+  mocograd::Run();
+  return 0;
+}

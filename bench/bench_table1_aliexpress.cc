@@ -1,0 +1,101 @@
+// Reproduces Table I of the paper: AUC of CTR and CTCVR prediction on the
+// AliExpress workload across four country scenarios (ES / FR / NL / US),
+// for the STL baseline and all ten MTL methods, plus the Δ_M summary.
+//
+// Paper claim under test (shape, not absolute values): the margins between
+// methods are small (fractions of a percent of Δ_M); plain gradient-surgery
+// baselines hover at or below STL; MoCoGrad is at the top of the
+// gradient-surgery family.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/aliexpress.h"
+
+namespace mocograd {
+namespace {
+
+// Δ_M values of Table I.
+const std::map<std::string, double> kPaperDeltaM = {
+    {"DWA", -0.54},    {"MGDA", -0.18},    {"PCGrad", -0.47},
+    {"GradDrop", -0.58}, {"GradVac", -0.71}, {"CAGrad", -0.35},
+    {"IMTL", -0.57},   {"RLW", +0.02},     {"Nash-MTL", -1.11},
+    {"MoCoGrad", +0.48}};
+
+void Run() {
+  const std::vector<std::string> countries = {"ES", "FR", "NL", "US"};
+
+  harness::TrainConfig cfg;
+  cfg.steps = 300;
+  cfg.batch_size = 64;
+  cfg.lr = 2e-3f;
+
+  // Per-country datasets and STL baselines.
+  std::vector<std::unique_ptr<data::AliExpressSim>> datasets;
+  std::vector<harness::RunResult> stl;
+  harness::ModelFactory factory;
+  for (const std::string& country : countries) {
+    data::AliExpressConfig dc;
+    dc.country = country;
+    datasets.push_back(std::make_unique<data::AliExpressSim>(dc));
+    if (!factory) {
+      factory = harness::EmbeddingHpsFactory(dc.dense_dim,
+                                             dc.num_user_segments,
+                                             dc.num_item_categories);
+    }
+    stl.push_back(bench::StlAveraged(*datasets.back(), {0, 1}, factory, cfg));
+  }
+
+  TextTable table;
+  table.SetHeader({"Method", "ES CTR", "ES CTCVR", "FR CTR", "FR CTCVR",
+                   "NL CTR", "NL CTCVR", "US CTR", "US CTCVR", "DeltaM",
+                   "paper DeltaM"});
+
+  auto add_row = [&](const std::string& name,
+                     const std::vector<harness::RunResult>& per_country,
+                     bool is_stl) {
+    std::vector<std::string> row = {name};
+    std::vector<harness::TaskMetrics> mtl_all, stl_all;
+    for (size_t c = 0; c < countries.size(); ++c) {
+      row.push_back(
+          TextTable::Num(per_country[c].task_metrics[0][0].value, 4));
+      row.push_back(
+          TextTable::Num(per_country[c].task_metrics[1][0].value, 4));
+      mtl_all.insert(mtl_all.end(), per_country[c].task_metrics.begin(),
+                     per_country[c].task_metrics.end());
+      stl_all.insert(stl_all.end(), stl[c].task_metrics.begin(),
+                     stl[c].task_metrics.end());
+    }
+    row.push_back(is_stl ? "+0.00%"
+                         : TextTable::Percent(
+                               harness::ComputeDeltaM(mtl_all, stl_all)));
+    auto it = kPaperDeltaM.find(name);
+    row.push_back(it != kPaperDeltaM.end()
+                      ? TextTable::Percent(it->second / 100.0)
+                      : (is_stl ? "+0.00%" : "-"));
+    table.AddRow(row);
+  };
+
+  add_row("STL", stl, /*is_stl=*/true);
+  table.AddSeparator();
+  for (const std::string& method : core::PaperMethodNames()) {
+    std::vector<harness::RunResult> per_country;
+    for (size_t c = 0; c < countries.size(); ++c) {
+      per_country.push_back(
+          bench::RunAveraged(*datasets[c], {0, 1}, method, factory, cfg));
+    }
+    add_row(bench::PaperName(method), per_country, /*is_stl=*/false);
+  }
+
+  std::printf("Table I — AliExpress CTR/CTCVR AUC (2 x 4 tasks), %d seeds\n",
+              bench::NumSeeds());
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace mocograd
+
+int main() {
+  mocograd::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Table III of the paper: NYUv2 three-task scene understanding
+// (13-class segmentation, depth prediction, surface-normal estimation) with
+// all per-pixel metrics and Δ_M.
+//
+// Substitution note (DESIGN.md §4): the workload is the procedural SceneSim
+// and the backbone a 2-layer conv encoder instead of ResNet-50+ASPP on real
+// NYUv2. On this substrate joint training does NOT beat single-task models
+// (all Δ_M < 0) — the tiny encoder lacks the capacity-vs-data trade-off
+// that makes dense MTL profitable at paper scale — so the reproduced shape
+// is the within-MTL method comparison, reported honestly in EXPERIMENTS.md.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/scene.h"
+
+namespace mocograd {
+namespace {
+
+const std::map<std::string, double> kPaperDeltaM = {
+    {"DWA", 7.68},     {"MGDA", 6.23},    {"PCGrad", 8.28},
+    {"GradDrop", 8.30}, {"GradVac", 8.21}, {"CAGrad", 7.44},
+    {"IMTL", 6.97},    {"RLW", 8.00},     {"Nash-MTL", 8.04},
+    {"MoCoGrad", 9.65}};
+
+std::vector<std::string> MetricsRow(const harness::RunResult& r) {
+  // seg: miou, pixacc | depth: abs, rel | normals: mean, median, 11/22/30.
+  std::vector<std::string> out;
+  for (const auto& tm : r.task_metrics) {
+    for (const auto& mv : tm) out.push_back(TextTable::Num(mv.value, 4));
+  }
+  return out;
+}
+
+void Run() {
+  data::SceneConfig sc;
+  sc.mode = data::SceneMode::kNyu;
+  data::SceneSim ds(sc);
+
+  harness::TrainConfig cfg;
+  cfg.steps = 300;
+  cfg.batch_size = 8;
+  cfg.lr = 3e-3f;
+
+  auto factory = harness::SceneConvFactory(3, 16, 2);
+  const auto tasks = bench::AllTasks(ds);
+  harness::RunResult stl = bench::StlAveraged(ds, tasks, factory, cfg);
+
+  TextTable table;
+  table.SetHeader({"Method", "mIoU", "PixAcc", "AbsErr", "RelErr", "NrmMean",
+                   "NrmMed", "<11.25", "<22.5", "<30", "DeltaM",
+                   "paper DeltaM"});
+  {
+    auto row = MetricsRow(stl);
+    row.insert(row.begin(), "STL");
+    row.push_back("+0.00%");
+    row.push_back("+0.00%");
+    table.AddRow(row);
+  }
+  table.AddSeparator();
+  for (const std::string& method : core::PaperMethodNames()) {
+    harness::RunResult r = bench::RunAveraged(ds, tasks, method, factory, cfg);
+    auto row = MetricsRow(r);
+    const std::string name = bench::PaperName(method);
+    row.insert(row.begin(), name);
+    row.push_back(TextTable::Percent(
+        harness::ComputeDeltaM(r.task_metrics, stl.task_metrics)));
+    row.push_back(TextTable::Percent(kPaperDeltaM.at(name) / 100.0));
+    table.AddRow(row);
+  }
+
+  std::printf(
+      "Table III — NYUv2 (segmentation / depth / surface normals), %d "
+      "seeds\n",
+      bench::NumSeeds());
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace mocograd
+
+int main() {
+  mocograd::Run();
+  return 0;
+}

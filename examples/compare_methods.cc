@@ -1,0 +1,142 @@
+// Example: a small CLI for racing MTL methods on any built-in workload.
+//
+//   ./build/examples/example_compare_methods [dataset] [steps] [seeds]
+//
+//   dataset: movielens | qm9 | aliexpress | office_home | nyuv2 | cityscapes
+//            (default movielens)
+//   steps:   training steps per run (default 250)
+//   seeds:   seeds averaged per method (default 2)
+//
+// Prints per-method Δ_M against freshly trained single-task baselines, the
+// mean gradient-conflict degree, and the per-step backward cost — a
+// one-command way to explore how the methods rank on each workload.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "base/table.h"
+#include "data/aliexpress.h"
+#include "data/movielens.h"
+#include "data/office_home.h"
+#include "data/qm9.h"
+#include "data/scene.h"
+#include "harness/experiment.h"
+
+namespace {
+
+using namespace mocograd;
+
+struct Workload {
+  std::unique_ptr<data::MtlDataset> dataset;
+  harness::ModelFactory factory;
+  int batch_size = 32;
+  float lr = 3e-3f;
+};
+
+Workload MakeWorkload(const std::string& name) {
+  Workload w;
+  if (name == "movielens") {
+    auto ds = std::make_unique<data::MovieLensSim>(data::MovieLensConfig{});
+    w.factory = harness::MlpHpsFactory(ds->input_dim(), {64, 32});
+    w.dataset = std::move(ds);
+  } else if (name == "qm9") {
+    auto ds = std::make_unique<data::Qm9Sim>(data::Qm9Config{});
+    w.factory = harness::MlpHpsFactory(ds->input_dim(), {64, 32});
+    w.dataset = std::move(ds);
+  } else if (name == "aliexpress") {
+    data::AliExpressConfig cfg;
+    auto ds = std::make_unique<data::AliExpressSim>(cfg);
+    w.factory = harness::EmbeddingHpsFactory(cfg.dense_dim,
+                                             cfg.num_user_segments,
+                                             cfg.num_item_categories);
+    w.dataset = std::move(ds);
+    w.batch_size = 64;
+    w.lr = 2e-3f;
+  } else if (name == "office_home") {
+    auto ds = std::make_unique<data::OfficeHomeSim>(data::OfficeHomeConfig{});
+    w.factory = harness::MlpHpsFactory(ds->input_dim(), {64, 32});
+    w.dataset = std::move(ds);
+    w.batch_size = 16;
+    w.lr = 2e-3f;
+  } else if (name == "nyuv2" || name == "cityscapes") {
+    data::SceneConfig cfg;
+    cfg.mode = name == "nyuv2" ? data::SceneMode::kNyu
+                               : data::SceneMode::kCityscapes;
+    w.dataset = std::make_unique<data::SceneSim>(cfg);
+    w.factory = harness::SceneConvFactory(3, 16, 2);
+    w.batch_size = 8;
+  } else {
+    std::fprintf(stderr,
+                 "unknown dataset '%s' (movielens|qm9|aliexpress|"
+                 "office_home|nyuv2|cityscapes)\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset_name = argc > 1 ? argv[1] : "movielens";
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 250;
+  const int seeds = argc > 3 ? std::atoi(argv[3]) : 2;
+  MG_CHECK(steps > 0 && seeds > 0, "steps and seeds must be positive");
+
+  Workload w = MakeWorkload(dataset_name);
+  std::vector<int> tasks;
+  for (int i = 0; i < w.dataset->num_tasks(); ++i) tasks.push_back(i);
+  std::printf("workload: %s (%d tasks), %d steps, %d seed(s)\n",
+              w.dataset->name().c_str(), w.dataset->num_tasks(), steps,
+              seeds);
+
+  auto averaged = [&](const std::string& method, bool stl) {
+    harness::RunResult sum;
+    for (int s = 1; s <= seeds; ++s) {
+      harness::TrainConfig cfg;
+      cfg.steps = steps;
+      cfg.batch_size = w.batch_size;
+      cfg.lr = w.lr;
+      cfg.seed = s;
+      harness::RunResult r =
+          stl ? harness::StlBaseline(*w.dataset, tasks, w.factory, cfg)
+              : harness::RunMethod(*w.dataset, tasks, method, w.factory, cfg);
+      if (s == 1) {
+        sum = r;
+      } else {
+        for (size_t t = 0; t < sum.task_metrics.size(); ++t) {
+          for (size_t m = 0; m < sum.task_metrics[t].size(); ++m) {
+            sum.task_metrics[t][m].value += r.task_metrics[t][m].value;
+          }
+        }
+        sum.mean_gcd += r.mean_gcd;
+        sum.mean_backward_seconds += r.mean_backward_seconds;
+      }
+    }
+    for (auto& tm : sum.task_metrics) {
+      for (auto& mv : tm) mv.value /= seeds;
+    }
+    sum.mean_gcd /= seeds;
+    sum.mean_backward_seconds /= seeds;
+    return sum;
+  };
+
+  std::printf("training STL baselines...\n");
+  harness::RunResult stl = averaged("", /*stl=*/true);
+
+  TextTable table;
+  table.SetHeader({"method", "DeltaM vs STL", "mean GCD", "backward ms/step"});
+  for (const std::string& m : core::AllMethodNames()) {
+    std::printf("training %s...\n", m.c_str());
+    harness::RunResult r = averaged(m, /*stl=*/false);
+    table.AddRow({m,
+                  TextTable::Percent(harness::ComputeDeltaM(
+                      r.task_metrics, stl.task_metrics)),
+                  TextTable::Num(r.mean_gcd, 3),
+                  TextTable::Num(r.mean_backward_seconds * 1e3, 3)});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Example: extending the library with a custom gradient-aggregation
+// strategy.
+//
+// The GradientAggregator interface is the library's main extension point:
+// implement Aggregate() over the K×P per-task gradient matrix and the
+// trainer/harness machinery (per-task backward passes, task-weight routing,
+// conflict statistics) comes for free. This example implements "gradient
+// norm clipping per task + sum" — a simple robust baseline — and races it
+// against EW and MoCoGrad on the QM9 workload.
+//
+//   ./build/examples/example_custom_aggregator
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/table.h"
+#include "core/aggregator.h"
+#include "data/qm9.h"
+#include "harness/experiment.h"
+
+namespace {
+
+using namespace mocograd;
+
+// Clips every task gradient to the median task-gradient norm before
+// summing: a cheap defense against the outlier mini-batches that MoCoGrad
+// targets with momentum calibration.
+class ClippedSum : public core::GradientAggregator {
+ public:
+  std::string name() const override { return "clipped_sum"; }
+
+  core::AggregationResult Aggregate(
+      const core::AggregationContext& ctx) override {
+    const core::GradMatrix& g = *ctx.task_grads;
+    const int k = g.num_tasks();
+    const int64_t p = g.dim();
+
+    std::vector<double> norms(k);
+    for (int i = 0; i < k; ++i) norms[i] = g.RowNorm(i);
+    std::vector<double> sorted = norms;
+    std::nth_element(sorted.begin(), sorted.begin() + k / 2, sorted.end());
+    const double clip = sorted[k / 2];
+
+    core::AggregationResult out;
+    out.shared_grad.assign(p, 0.0f);
+    out.task_weights.assign(k, 1.0f);
+    for (int i = 0; i < k; ++i) {
+      const float scale =
+          norms[i] > clip && norms[i] > 0.0
+              ? static_cast<float>(clip / norms[i])
+              : 1.0f;
+      const float* row = g.Row(i);
+      for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += scale * row[q];
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+int main() {
+  data::Qm9Config qc;
+  qc.num_properties = 6;
+  data::Qm9Sim dataset(qc);
+  auto factory = harness::MlpHpsFactory(dataset.input_dim(), {64, 32});
+  const std::vector<int> tasks = {0, 1, 2, 3, 4, 5};
+
+  harness::TrainConfig cfg;
+  cfg.steps = 250;
+  cfg.batch_size = 32;
+  cfg.lr = 3e-3f;
+  cfg.seed = 1;
+
+  harness::RunResult stl =
+      harness::StlBaseline(dataset, tasks, factory, cfg);
+
+  TextTable table;
+  table.SetHeader({"method", "Avg MAE", "DeltaM vs STL"});
+  auto avg_mae = [](const harness::RunResult& r) {
+    double s = 0.0;
+    for (const auto& tm : r.task_metrics) s += tm[0].value;
+    return s / r.task_metrics.size();
+  };
+
+  // Built-in methods go through the registry...
+  for (const std::string& m : {std::string("ew"), std::string("mocograd")}) {
+    auto r = harness::RunMethod(dataset, tasks, m, factory, cfg);
+    table.AddRow({m, TextTable::Num(avg_mae(r)),
+                  TextTable::Percent(harness::ComputeDeltaM(
+                      r.task_metrics, stl.task_metrics))});
+  }
+  // ... and a custom aggregator plugs into the same harness directly.
+  ClippedSum clipped;
+  auto r = harness::TrainAndEvaluate(dataset, tasks, &clipped, factory, cfg);
+  table.AddRow({clipped.name(), TextTable::Num(avg_mae(r)),
+                TextTable::Percent(harness::ComputeDeltaM(
+                    r.task_metrics, stl.task_metrics))});
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nWriting a new strategy = one class implementing\n"
+      "core::GradientAggregator::Aggregate(ctx) over the KxP GradMatrix.\n");
+  return 0;
+}

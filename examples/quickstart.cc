@@ -1,0 +1,75 @@
+// Quickstart: train a 3-task MovieLens-style regression model with MoCoGrad
+// and compare it against plain joint training (EW) and single-task models.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "data/movielens.h"
+#include "harness/experiment.h"
+
+int main() {
+  using namespace mocograd;
+
+  // 1) A dataset. MovieLensSim mimics the paper's 9-genre rating-regression
+  //    benchmark; we train on three genres (tasks A, B, C).
+  data::MovieLensConfig data_cfg;
+  data_cfg.num_genres = 3;
+  data_cfg.train_per_task = 1200;
+  data_cfg.test_per_task = 400;
+  data::MovieLensSim dataset(data_cfg);
+
+  // 2) A model family: hard-parameter-sharing MLP (shared trunk + one head
+  //    per task), built fresh for each run by the factory.
+  harness::ModelFactory factory =
+      harness::MlpHpsFactory(dataset.input_dim(), {64, 32});
+
+  // 3) Training configuration.
+  harness::TrainConfig cfg;
+  cfg.steps = 400;
+  cfg.batch_size = 64;
+  cfg.lr = 1e-2f;
+  cfg.seed = 7;
+
+  const std::vector<int> tasks = {0, 1, 2};
+
+  // 4) Single-task baselines (the paper's STL row) ...
+  std::printf("training STL baselines...\n");
+  harness::RunResult stl = harness::StlBaseline(dataset, tasks, factory, cfg);
+
+  // 5) ... plain joint training ...
+  std::printf("training EW (plain joint training)...\n");
+  harness::RunResult ew =
+      harness::RunMethod(dataset, tasks, "ew", factory, cfg);
+
+  // 6) ... and MoCoGrad, the paper's momentum-calibrated gradient surgery.
+  std::printf("training MoCoGrad...\n");
+  harness::RunResult moco =
+      harness::RunMethod(dataset, tasks, "mocograd", factory, cfg);
+
+  // 7) Report per-task RMSE and the paper's Δ_M summary metric (Eq. 27).
+  TextTable table;
+  table.SetHeader({"method", "RMSE A", "RMSE B", "RMSE C", "DeltaM"});
+  auto row = [&](const char* name, const harness::RunResult& r) {
+    table.AddRow({name, TextTable::Num(r.task_metrics[0][0].value),
+                  TextTable::Num(r.task_metrics[1][0].value),
+                  TextTable::Num(r.task_metrics[2][0].value),
+                  TextTable::Percent(
+                      harness::ComputeDeltaM(r.task_metrics,
+                                             stl.task_metrics))});
+  };
+  row("STL", stl);
+  row("EW", ew);
+  row("MoCoGrad", moco);
+  std::printf("\n%s", table.ToString().c_str());
+  std::printf(
+      "\nMoCoGrad calibrates conflicting task gradients with the other\n"
+      "task's momentum (EMA of past gradients), de-noising the surgery\n"
+      "against mini-batch noise. Mean pairwise GCD during joint training\n"
+      "was %.3f (GCD > 1 means conflicting gradients).\n",
+      moco.mean_gcd);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Example: multi-task CTR/CTCVR recommendation with gradient surgery.
+//
+// Demonstrates the "industrial" use case from the paper's introduction: an
+// e-commerce ranking model that must predict clicks and conversions from
+// the same impressions (single-input MTL through a shared embedding + MLP
+// trunk), where the conversion objective partly conflicts with the click
+// objective. Compares plain joint training against several gradient-surgery
+// methods, including MoCoGrad.
+//
+//   ./build/examples/example_recommender
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "data/aliexpress.h"
+#include "harness/experiment.h"
+
+int main() {
+  using namespace mocograd;
+
+  // The AliExpress-style simulator: clicks and conversions share the same
+  // impressions; conversion weights are partially anti-correlated with the
+  // click weights ("what makes a user click is partly what makes them
+  // bounce"), which is the source of the CTR↔CTCVR gradient conflict.
+  data::AliExpressConfig dc;
+  dc.country = "ES";
+  data::AliExpressSim dataset(dc);
+  std::printf("dataset: %s  (%d tasks, single-input=%d)\n",
+              dataset.name().c_str(), dataset.num_tasks(),
+              dataset.single_input());
+
+  // The paper's AliExpress architecture: embedding tables for the
+  // categorical features (user segment, item category) feeding a shared
+  // two-layer MLP, with one logit head per task.
+  harness::ModelFactory factory = harness::EmbeddingHpsFactory(
+      dc.dense_dim, dc.num_user_segments, dc.num_item_categories);
+
+  harness::TrainConfig cfg;
+  cfg.steps = 300;
+  cfg.batch_size = 64;
+  cfg.lr = 2e-3f;
+  cfg.seed = 1;
+
+  harness::RunResult stl =
+      harness::StlBaseline(dataset, {0, 1}, factory, cfg);
+
+  TextTable table;
+  table.SetHeader({"method", "CTR AUC", "CTCVR AUC", "DeltaM",
+                   "mean GCD", "conflicts acted on"});
+  table.AddRow({"STL", TextTable::Num(stl.task_metrics[0][0].value),
+                TextTable::Num(stl.task_metrics[1][0].value), "+0.00%", "-",
+                "-"});
+  for (const std::string& method :
+       {std::string("ew"), std::string("pcgrad"), std::string("cagrad"),
+        std::string("mocograd")}) {
+    harness::RunResult r =
+        harness::RunMethod(dataset, {0, 1}, method, factory, cfg);
+    table.AddRow({method, TextTable::Num(r.task_metrics[0][0].value),
+                  TextTable::Num(r.task_metrics[1][0].value),
+                  TextTable::Percent(harness::ComputeDeltaM(
+                      r.task_metrics, stl.task_metrics)),
+                  TextTable::Num(r.mean_gcd, 3), ""});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nGCD (Gradient Conflict Degree) > 1 marks conflicting task\n"
+      "gradients; the surgery methods differ in how they repair them.\n");
+  return 0;
+}

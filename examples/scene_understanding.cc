@@ -1,0 +1,67 @@
+// Example: dense scene understanding (NYUv2-style) with a convolutional
+// multi-task model.
+//
+// Trains a shared conv encoder with three per-pixel heads — 13-class
+// segmentation, depth prediction and surface-normal estimation — on the
+// procedural scene simulator, with MoCoGrad handling the gradient conflicts
+// between the three dense objectives. Prints the full per-pixel metric
+// suite of the paper's Table III.
+//
+//   ./build/examples/example_scene_understanding
+
+#include <cstdio>
+
+#include "base/table.h"
+#include "data/scene.h"
+#include "harness/experiment.h"
+
+int main() {
+  using namespace mocograd;
+
+  data::SceneConfig sc;
+  sc.mode = data::SceneMode::kNyu;
+  data::SceneSim dataset(sc);
+  std::printf("dataset: %s  (%dx%d scenes, %d classes)\n",
+              dataset.name().c_str(), dataset.hw(), dataset.hw(),
+              dataset.num_classes());
+
+  // Shared fully-convolutional encoder + one conv head per task.
+  harness::ModelFactory factory = harness::SceneConvFactory(
+      /*in_channels=*/3, /*width=*/16, /*num_encoder_layers=*/2);
+
+  harness::TrainConfig cfg;
+  cfg.steps = 200;
+  cfg.batch_size = 8;
+  cfg.lr = 3e-3f;
+  cfg.seed = 1;
+
+  const std::vector<int> tasks = {0, 1, 2};
+  std::printf("training MoCoGrad (%d steps)...\n", cfg.steps);
+  harness::RunResult moco =
+      harness::RunMethod(dataset, tasks, "mocograd", factory, cfg);
+  std::printf("training plain joint (EW)...\n");
+  harness::RunResult ew =
+      harness::RunMethod(dataset, tasks, "ew", factory, cfg);
+
+  TextTable table;
+  table.SetHeader({"metric", "EW", "MoCoGrad"});
+  auto metric = [](const harness::RunResult& r, int task, int m) {
+    return TextTable::Num(r.task_metrics[task][m].value, 4);
+  };
+  table.AddRow({"seg mIoU (up)", metric(ew, 0, 0), metric(moco, 0, 0)});
+  table.AddRow({"seg PixAcc (up)", metric(ew, 0, 1), metric(moco, 0, 1)});
+  table.AddRow({"depth AbsErr (down)", metric(ew, 1, 0), metric(moco, 1, 0)});
+  table.AddRow({"depth RelErr (down)", metric(ew, 1, 1), metric(moco, 1, 1)});
+  table.AddRow({"normal mean deg (down)", metric(ew, 2, 0),
+                metric(moco, 2, 0)});
+  table.AddRow({"normal median deg (down)", metric(ew, 2, 1),
+                metric(moco, 2, 1)});
+  table.AddRow({"normals within 11.25 (up)", metric(ew, 2, 2),
+                metric(moco, 2, 2)});
+  table.AddRow({"normals within 30 (up)", metric(ew, 2, 4),
+                metric(moco, 2, 4)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nmean pairwise GCD during training: EW %.3f, MoCoGrad %.3f\n",
+              ew.mean_gcd, moco.mean_gcd);
+  return 0;
+}

@@ -1,0 +1,98 @@
+#ifndef MOCOGRAD_AUTOGRAD_OPS_H_
+#define MOCOGRAD_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace autograd {
+
+/// Differentiable op library. Each function runs the forward kernel from
+/// tensor/ops.h and records a grad_fn on the tape. Binary elementwise ops
+/// broadcast; their backward reduces gradients back to the operand shapes.
+
+// --- Elementwise binary ----------------------------------------------------
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// --- Scalar ------------------------------------------------------------------
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+
+// --- Unary -------------------------------------------------------------------
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Relu(const Variable& a);
+/// Smooth ReLU: log(1 + eˣ), computed stably.
+Variable Softplus(const Variable& a);
+/// Elementwise power with a constant exponent (inputs must be positive for
+/// non-integer exponents).
+Variable PowScalar(const Variable& a, float exponent);
+/// Clamps to [lo, hi]; gradient is passed through strictly inside the
+/// interval and zero outside (subgradient at the edges is 0).
+Variable Clamp(const Variable& a, float lo, float hi);
+
+// --- Linear algebra -----------------------------------------------------------
+Variable MatMul(const Variable& a, const Variable& b);
+Variable Transpose2D(const Variable& a);
+
+// --- Shape ---------------------------------------------------------------------
+Variable Reshape(const Variable& a, std::vector<int64_t> dims);
+Variable Concat(const std::vector<Variable>& parts, int axis);
+Variable SliceCols(const Variable& a, int64_t start, int64_t len);
+
+/// [n, c, h, w] -> [n*h*w, c]; pairs dense-prediction conv outputs with the
+/// row-wise losses below. Differentiable (inverse permutation backward).
+Variable ChannelsToLast(const Variable& a);
+
+// --- Indexing --------------------------------------------------------------------
+/// Embedding lookup: rows of `table` ([num, dim]) selected by `indices`.
+Variable GatherRows(const Variable& table, std::vector<int64_t> indices);
+
+// --- Reductions ---------------------------------------------------------------------
+/// Sum of all elements, as a [1] tensor.
+Variable SumAll(const Variable& a);
+/// Mean of all elements, as a [1] tensor.
+Variable MeanAll(const Variable& a);
+/// Sum over one axis (keepdims semantics of tensor/ops.h).
+Variable SumAxis(const Variable& a, int axis, bool keepdims = false);
+/// Mean over one axis.
+Variable MeanAxis(const Variable& a, int axis, bool keepdims = false);
+
+// --- Row-wise nonlinearities -----------------------------------------------------------
+/// Softmax over the last axis of a [n, c] tensor (for gates).
+Variable SoftmaxRows(const Variable& a);
+
+// --- Losses (all return a [1] mean-reduced scalar) ----------------------------------
+/// Mean softmax cross-entropy of [n, c] logits against integer labels.
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             std::vector<int64_t> labels);
+
+/// Mean binary cross-entropy of logits against {0,1} targets (same shape),
+/// computed in the numerically stable log-sum-exp form.
+Variable BceWithLogits(const Variable& logits, Tensor targets);
+
+/// Mean squared error against constant targets of the same shape.
+Variable MseLoss(const Variable& pred, Tensor target);
+
+/// Mean absolute error against constant targets of the same shape.
+Variable L1Loss(const Variable& pred, Tensor target);
+
+// --- Convolution -------------------------------------------------------------------------
+/// 2-D convolution, NCHW. input [n,c,h,w], weight [f,c,k,k], bias [f].
+Variable Conv2d(const Variable& input, const Variable& weight,
+                const Variable& bias, const tops::Conv2dSpec& spec);
+
+}  // namespace autograd
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_AUTOGRAD_OPS_H_

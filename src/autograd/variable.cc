@@ -1,0 +1,151 @@
+#include "autograd/variable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace autograd {
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  MG_CHECK(value.defined(), "Variable from undefined tensor");
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::MakeOp(
+    const char* op, Tensor value, std::vector<Variable> parents,
+    std::function<std::vector<Tensor>(const Tensor&)> grad_fn) {
+  Variable v;
+  v.node_ = std::make_shared<Node>();
+  v.node_->value = std::move(value);
+  v.node_->op = op;
+  bool needs_grad = false;
+  v.node_->parents.reserve(parents.size());
+  for (const Variable& p : parents) {
+    MG_CHECK(p.defined(), "undefined parent in op ", op);
+    needs_grad = needs_grad || p.requires_grad();
+    v.node_->parents.push_back(p.node_);
+  }
+  v.node_->requires_grad = needs_grad;
+  if (needs_grad) v.node_->grad_fn = std::move(grad_fn);
+  return v;
+}
+
+const Tensor& Variable::value() const {
+  MG_CHECK(defined(), "value() on undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  MG_CHECK(defined(), "mutable_value() on undefined Variable");
+  return node_->value;
+}
+
+bool Variable::requires_grad() const {
+  MG_CHECK(defined());
+  return node_->requires_grad;
+}
+
+const Tensor& Variable::grad() const {
+  MG_CHECK(defined());
+  MG_CHECK(node_->grad.defined(), "grad() before any Backward touched node");
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
+
+Tensor& Variable::mutable_grad() {
+  MG_CHECK(defined());
+  if (!node_->grad.defined()) node_->grad = Tensor::Zeros(value().shape());
+  return node_->grad;
+}
+
+void Variable::ZeroGrad() {
+  MG_CHECK(defined());
+  if (node_->grad.defined()) node_->grad.Fill(0.0f);
+}
+
+void Variable::Backward() const {
+  Backward(Tensor::Ones(value().shape()));
+}
+
+void Variable::Backward(const Tensor& seed) const {
+  MG_CHECK(defined(), "Backward on undefined Variable");
+  MG_CHECK(seed.shape() == value().shape(), "Backward seed shape ",
+           seed.shape().ToString(), " vs value ", value().shape().ToString());
+  if (!node_->requires_grad) return;
+
+  // Iterative post-order DFS to get a topological order (children after all
+  // of their users when reversed).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* parent = f.node->parents[f.next_parent++].get();
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // `order` is post-order: parents before users; traverse in reverse.
+
+  // Per-sweep upstream accumulators, separate from node->grad so that
+  // repeated Backward calls on different roots (per-task losses) compose via
+  // += on leaves only, while interior nodes get a fresh accumulator.
+  std::unordered_map<Node*, Tensor> upstream;
+  upstream.reserve(order.size());
+  upstream[node_.get()] = seed.Clone();
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    auto found = upstream.find(n);
+    if (found == upstream.end()) continue;  // unreachable from the seed
+    Tensor& g = found->second;
+
+    // Leaves (and anything a user may later inspect) accumulate into the
+    // persistent grad buffer.
+    if (!n->grad.defined()) n->grad = Tensor::Zeros(n->value.shape());
+    tops::AddInPlace(n->grad, g);
+
+    if (!n->grad_fn) continue;
+    std::vector<Tensor> parent_grads = n->grad_fn(g);
+    MG_CHECK_EQ(parent_grads.size(), n->parents.size(), "grad_fn arity in op ",
+                n->op);
+    for (size_t i = 0; i < n->parents.size(); ++i) {
+      Node* p = n->parents[i].get();
+      if (!p->requires_grad) continue;
+      Tensor& pg = parent_grads[i];
+      MG_CHECK(pg.defined(), "grad_fn of ", n->op,
+               " returned undefined grad for a requires_grad parent");
+      MG_CHECK(pg.shape() == p->value.shape(), "grad shape mismatch in op ",
+               n->op, ": ", pg.shape().ToString(), " vs ",
+               p->value.shape().ToString());
+      auto slot = upstream.find(p);
+      if (slot == upstream.end()) {
+        upstream.emplace(p, std::move(pg));
+      } else {
+        tops::AddInPlace(slot->second, pg);
+      }
+    }
+    upstream.erase(found);
+  }
+}
+
+}  // namespace autograd
+}  // namespace mocograd

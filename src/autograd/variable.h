@@ -1,0 +1,82 @@
+#ifndef MOCOGRAD_AUTOGRAD_VARIABLE_H_
+#define MOCOGRAD_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mocograd {
+namespace autograd {
+
+/// One node of the dynamically built (define-by-run) computation tape.
+struct Node {
+  Tensor value;
+  /// Gradient accumulator; lazily allocated on first write.
+  Tensor grad;
+  bool requires_grad = false;
+  /// Op name for diagnostics ("leaf" for parameters/inputs).
+  const char* op = "leaf";
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Maps the upstream gradient to one gradient per parent (same order).
+  /// Null for leaves.
+  std::function<std::vector<Tensor>(const Tensor& grad_out)> grad_fn;
+};
+
+/// Handle to a tape node. Variables are cheap shared references: copying a
+/// Variable aliases the same node (value and gradient), exactly like
+/// torch.Tensor. Parameters are leaf Variables with requires_grad=true.
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Leaf node wrapping `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Interior node factory used by the op library.
+  static Variable MakeOp(
+      const char* op, Tensor value, std::vector<Variable> parents,
+      std::function<std::vector<Tensor>(const Tensor&)> grad_fn);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  /// Mutable access to the stored value; only sensible on leaves (parameter
+  /// updates) — mutating interior values invalidates the tape.
+  Tensor& mutable_value();
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t NumElements() const { return value().NumElements(); }
+
+  bool requires_grad() const;
+
+  /// Gradient accumulated by the last Backward(); MG_CHECK-fails when no
+  /// gradient has been produced. Use has_grad() to probe.
+  const Tensor& grad() const;
+  bool has_grad() const;
+  /// Gradient buffer, allocated (zero) on demand.
+  Tensor& mutable_grad();
+
+  /// Clears the accumulated gradient (keeps the buffer).
+  void ZeroGrad();
+
+  /// Reverse-mode sweep from this node, seeding with ones. Gradients
+  /// accumulate (+=) into every reachable node with requires_grad, so
+  /// calling Backward on several roots sums their contributions.
+  void Backward() const;
+
+  /// Reverse-mode sweep with an explicit seed of the same shape.
+  void Backward(const Tensor& seed) const;
+
+  /// Underlying tape node (for the op library and tests).
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace autograd
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_AUTOGRAD_VARIABLE_H_

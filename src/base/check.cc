@@ -1,0 +1,18 @@
+#include "base/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mocograd {
+namespace internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::fprintf(stderr, "[MG_CHECK failed] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mocograd

@@ -1,0 +1,64 @@
+#ifndef MOCOGRAD_BASE_CHECK_H_
+#define MOCOGRAD_BASE_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace mocograd {
+namespace internal {
+
+/// Formats the failure banner and aborts the process. Used by the MG_CHECK
+/// family below; never returns.
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+/// Concatenates an arbitrary list of streamable values into one string.
+template <typename... Args>
+std::string StrCatForCheck(const Args&... args) {
+  std::ostringstream oss;
+  ((oss << args), ...);
+  return oss.str();
+}
+
+}  // namespace internal
+}  // namespace mocograd
+
+/// Aborts with a diagnostic when `cond` is false. Additional arguments are
+/// streamed into the failure message. These are programmer-error assertions
+/// (shape mismatches, invariant violations); recoverable errors use Status.
+#define MG_CHECK(cond, ...)                                           \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mocograd::internal::CheckFail(                                \
+          __FILE__, __LINE__, #cond,                                  \
+          ::mocograd::internal::StrCatForCheck(__VA_ARGS__));         \
+    }                                                                 \
+  } while (0)
+
+#define MG_CHECK_OP(op, a, b, ...)                                    \
+  do {                                                                \
+    const auto& mg_check_a_ = (a);                                    \
+    const auto& mg_check_b_ = (b);                                    \
+    if (!(mg_check_a_ op mg_check_b_)) {                              \
+      ::mocograd::internal::CheckFail(                                \
+          __FILE__, __LINE__, #a " " #op " " #b,                      \
+          ::mocograd::internal::StrCatForCheck(                       \
+              "(", mg_check_a_, " vs ", mg_check_b_, ") ",            \
+              ##__VA_ARGS__));                                        \
+    }                                                                 \
+  } while (0)
+
+#define MG_CHECK_EQ(a, b, ...) MG_CHECK_OP(==, a, b, ##__VA_ARGS__)
+#define MG_CHECK_NE(a, b, ...) MG_CHECK_OP(!=, a, b, ##__VA_ARGS__)
+#define MG_CHECK_LT(a, b, ...) MG_CHECK_OP(<, a, b, ##__VA_ARGS__)
+#define MG_CHECK_LE(a, b, ...) MG_CHECK_OP(<=, a, b, ##__VA_ARGS__)
+#define MG_CHECK_GT(a, b, ...) MG_CHECK_OP(>, a, b, ##__VA_ARGS__)
+#define MG_CHECK_GE(a, b, ...) MG_CHECK_OP(>=, a, b, ##__VA_ARGS__)
+
+/// Unconditional failure, for unreachable branches.
+#define MG_FATAL(...)                                                 \
+  ::mocograd::internal::CheckFail(                                    \
+      __FILE__, __LINE__, "FATAL",                                    \
+      ::mocograd::internal::StrCatForCheck(__VA_ARGS__))
+
+#endif  // MOCOGRAD_BASE_CHECK_H_

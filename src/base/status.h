@@ -1,0 +1,89 @@
+#ifndef MOCOGRAD_BASE_STATUS_H_
+#define MOCOGRAD_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/check.h"
+
+namespace mocograd {
+
+/// Error code taxonomy, modeled after the Arrow/RocksDB Status idiom: cheap
+/// to pass by value, `ok()` on the hot path, message only on failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+};
+
+/// A recoverable-error carrier for fallible operations (configuration
+/// parsing, dataset construction, solver non-convergence). Programmer errors
+/// use MG_CHECK instead.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad shape".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a failure Status (Arrow's Result idiom).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT: implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    MG_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MG_CHECK(ok(), "Result::value on error: ", status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    MG_CHECK(ok(), "Result::value on error: ", status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    MG_CHECK(ok(), "Result::value on error: ", status_.ToString());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_STATUS_H_

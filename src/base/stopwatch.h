@@ -1,0 +1,30 @@
+#ifndef MOCOGRAD_BASE_STOPWATCH_H_
+#define MOCOGRAD_BASE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace mocograd {
+
+/// Wall-clock stopwatch for coarse timing (benchmark harness, backward-time
+/// experiment). Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_STOPWATCH_H_

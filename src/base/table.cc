@@ -1,0 +1,77 @@
+#include "base/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mocograd {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+  rows_.clear();
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream oss;
+    oss << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      oss << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    oss << "\n";
+    return oss.str();
+  };
+  auto rule = [&]() {
+    std::ostringstream oss;
+    oss << "+";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      oss << std::string(widths[c] + 2, '-') << "+";
+    }
+    oss << "\n";
+    return oss.str();
+  };
+
+  std::ostringstream out;
+  out << rule() << render_row(header_) << rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out << rule();
+    } else {
+      out << render_row(row);
+    }
+  }
+  out << rule();
+  return out.str();
+}
+
+std::string TextTable::Num(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Percent(double fraction, int precision) {
+  if (std::isnan(fraction)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace mocograd

@@ -1,0 +1,39 @@
+#ifndef MOCOGRAD_BASE_TABLE_H_
+#define MOCOGRAD_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mocograd {
+
+/// Minimal fixed-width ASCII table used by the benchmark harness to print
+/// paper-vs-measured result tables. Columns are sized to their widest cell.
+class TextTable {
+ public:
+  /// Sets the header row; resets any existing rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table, ready for std::cout.
+  std::string ToString() const;
+
+  /// Formats a float with the given precision ("-" for NaN).
+  static std::string Num(double v, int precision = 4);
+
+  /// Formats a signed percentage, e.g. "+0.48%".
+  static std::string Percent(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_TABLE_H_

@@ -1,0 +1,15 @@
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+AggregationResult EqualWeight::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  AggregationResult out;
+  out.shared_grad = ctx.task_grads->SumRows();
+  out.task_weights = OnesWeights(ctx.task_grads->num_tasks());
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,57 @@
+#include "core/aligned_mtl.h"
+
+#include <cmath>
+
+#include "solvers/eigen.h"
+
+namespace mocograd {
+namespace core {
+
+AlignedMtl::AlignedMtl(AlignedMtlOptions options) : options_(options) {}
+
+AggregationResult AlignedMtl::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+
+  AggregationResult out;
+  out.task_weights = OnesWeights(k);
+  if (k == 1) {
+    out.shared_grad = g.SumRows();
+    return out;
+  }
+
+  const auto eig = solvers::JacobiEigenSymmetric(g.Gram());
+  const double lambda_max = std::max(eig.values[0], 0.0);
+  if (lambda_max <= 1e-30) {  // all-zero gradients
+    out.shared_grad = g.SumRows();
+    return out;
+  }
+
+  // Smallest retained singular value (σ = √λ over the numerical rank).
+  const double cutoff = options_.rank_eps * lambda_max;
+  double sigma_min = std::sqrt(lambda_max);
+  int rank = 0;
+  for (double lam : eig.values) {
+    if (lam > cutoff) {
+      sigma_min = std::sqrt(lam);
+      ++rank;
+    }
+  }
+
+  // w = σ_min · Σ_r (1/σ_r) u_r (u_rᵀ 1) over the retained components.
+  std::vector<double> w(k, 0.0);
+  for (int r = 0; r < rank; ++r) {
+    const double sigma_r = std::sqrt(eig.values[r]);
+    double dot_ones = 0.0;
+    for (int i = 0; i < k; ++i) dot_ones += eig.vectors[r][i];
+    const double coef = sigma_min / sigma_r * dot_ones;
+    for (int i = 0; i < k; ++i) w[i] += coef * eig.vectors[r][i];
+  }
+
+  out.shared_grad = g.WeightedSumRows(w);
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,38 @@
+#ifndef MOCOGRAD_CORE_ALIGNED_MTL_H_
+#define MOCOGRAD_CORE_ALIGNED_MTL_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Options for Aligned-MTL.
+struct AlignedMtlOptions {
+  /// Eigenvalues below eps·λ_max are treated as a rank deficiency.
+  double rank_eps = 1e-8;
+};
+
+/// Aligned-MTL (Senushkin et al., CVPR 2023) — extension baseline beyond
+/// the paper's tables. Conditions the gradient matrix to condition number 1
+/// by whitening its principal components: with G = UΣVᵀ (SVD of the K×P
+/// task-gradient matrix), the aligned matrix is Ĝ = σ_min·U Vᵀ, and the
+/// update is the row-sum of Ĝ. Everything is computed in the K×K Gram
+/// space: GGᵀ = U Σ² Uᵀ via a Jacobi eigensolver, and the row-sum of Ĝ
+/// equals wᵀG with w = σ_min · U Σ⁻¹ Uᵀ 1.
+class AlignedMtl : public GradientAggregator {
+ public:
+  explicit AlignedMtl(AlignedMtlOptions options = {});
+
+  std::string name() const override { return "alignedmtl"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+
+ private:
+  AlignedMtlOptions options_;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_ALIGNED_MTL_H_

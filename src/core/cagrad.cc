@@ -1,0 +1,82 @@
+#include "core/cagrad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solvers/simplex.h"
+
+namespace mocograd {
+namespace core {
+
+CaGrad::CaGrad(CaGradOptions options) : options_(options) {
+  MG_CHECK_GE(options_.c, 0.0f);
+  MG_CHECK_GT(options_.inner_iters, 0);
+}
+
+AggregationResult CaGrad::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  const auto gram = g.Gram();
+
+  // u = average weights (g0 = G^T u); precompute M u.
+  const double uk = 1.0 / static_cast<double>(k);
+  std::vector<double> mu(k, 0.0);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) mu[i] += gram[i][j] * uk;
+  }
+  double g0_norm2 = 0.0;
+  for (int i = 0; i < k; ++i) g0_norm2 += mu[i] * uk;
+  g0_norm2 = std::max(g0_norm2, 0.0);
+  const double sqrt_phi =
+      static_cast<double>(options_.c) * std::sqrt(g0_norm2);
+
+  // Projected gradient descent on F(w) = wᵀMu + √φ·√(wᵀMw).
+  std::vector<double> w(k, uk);
+  std::vector<double> mw(k, 0.0);
+  std::vector<double> grad(k, 0.0);
+  for (int it = 0; it < options_.inner_iters; ++it) {
+    double wmw = 0.0;
+    for (int i = 0; i < k; ++i) {
+      mw[i] = 0.0;
+      for (int j = 0; j < k; ++j) mw[i] += gram[i][j] * w[j];
+    }
+    for (int i = 0; i < k; ++i) wmw += w[i] * mw[i];
+    const double gw_norm = std::sqrt(std::max(wmw, 1e-14));
+    double max_abs = 1e-12;
+    for (int i = 0; i < k; ++i) {
+      grad[i] = mu[i] + sqrt_phi * mw[i] / gw_norm;
+      max_abs = std::max(max_abs, std::fabs(grad[i]));
+    }
+    // Normalized step keeps the iteration scale-invariant in ‖G‖.
+    const double eta = 0.25 / max_abs;
+    for (int i = 0; i < k; ++i) w[i] -= eta * grad[i];
+    w = solvers::ProjectToSimplex(std::move(w));
+  }
+
+  // d = g0 + (√φ/‖g_w‖) g_w, rescaled by 1/(1+c²).
+  double wmw = 0.0;
+  for (int i = 0; i < k; ++i) {
+    mw[i] = 0.0;
+    for (int j = 0; j < k; ++j) mw[i] += gram[i][j] * w[j];
+  }
+  for (int i = 0; i < k; ++i) wmw += w[i] * mw[i];
+  const double gw_norm = std::sqrt(std::max(wmw, 1e-14));
+  const double lam = gw_norm > 1e-12 ? sqrt_phi / gw_norm : 0.0;
+  const double rescale = 1.0 / (1.0 + options_.c * options_.c);
+
+  // Combined coefficients per task: (u_i + λ w_i) · rescale · K.
+  // The K factor restores EW magnitude (u sums to 1, EW sums to K).
+  std::vector<double> coef(k);
+  for (int i = 0; i < k; ++i) {
+    coef[i] = (uk + lam * w[i]) * rescale * static_cast<double>(k);
+  }
+
+  AggregationResult out;
+  out.shared_grad = g.WeightedSumRows(coef);
+  out.task_weights = OnesWeights(k);
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

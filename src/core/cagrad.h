@@ -1,0 +1,40 @@
+#ifndef MOCOGRAD_CORE_CAGRAD_H_
+#define MOCOGRAD_CORE_CAGRAD_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Options for CAGrad.
+struct CaGradOptions {
+  /// c parameter of CAGrad (convergence/leeway trade-off); 0.4 is the
+  /// original paper's default.
+  float c = 0.4f;
+  /// Projected-gradient iterations for the inner dual problem.
+  int inner_iters = 50;
+};
+
+/// Conflict-Averse Gradient descent (Liu et al., NeurIPS 2021). Finds the
+/// update d = g₀ + (√φ/‖g_w‖)·g_w, φ = c²‖g₀‖², where g_w = Σ w_i g_i and
+/// the simplex weights w minimize the dual objective
+///   F(w) = g_wᵀ g₀ + √φ · ‖g_w‖,
+/// solved here by projected gradient descent on the Gram matrix. The
+/// result is divided by (1 + c²) as in the reference implementation.
+class CaGrad : public GradientAggregator {
+ public:
+  explicit CaGrad(CaGradOptions options = {});
+
+  std::string name() const override { return "cagrad"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+
+ private:
+  CaGradOptions options_;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_CAGRAD_H_

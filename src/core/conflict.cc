@@ -1,0 +1,52 @@
+#include "core/conflict.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocograd {
+namespace core {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+double CosineSimilarity(const float* a, const float* b, int64_t n) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom < kEps) return 0.0;
+  return dot / denom;
+}
+
+double Gcd(const float* a, const float* b, int64_t n) {
+  return 1.0 - CosineSimilarity(a, b, n);
+}
+
+bool IsConflicting(const float* a, const float* b, int64_t n) {
+  return Gcd(a, b, n) > 1.0;
+}
+
+ConflictStats ComputeConflictStats(const GradMatrix& grads) {
+  ConflictStats stats;
+  const int k = grads.num_tasks();
+  double total = 0.0;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      const double gcd = Gcd(grads.Row(i), grads.Row(j), grads.dim());
+      total += gcd;
+      stats.max_gcd = std::max(stats.max_gcd, gcd);
+      if (gcd > 1.0) ++stats.num_conflicting_pairs;
+      ++stats.num_pairs;
+    }
+  }
+  if (stats.num_pairs > 0) total /= stats.num_pairs;
+  stats.mean_gcd = total;
+  return stats;
+}
+
+}  // namespace core
+}  // namespace mocograd

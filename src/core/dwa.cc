@@ -1,0 +1,54 @@
+#include "core/dwa.h"
+
+#include <cmath>
+
+namespace mocograd {
+namespace core {
+
+Dwa::Dwa(DwaOptions options) : options_(options) {
+  MG_CHECK_GT(options_.temperature, 0.0f);
+}
+
+void Dwa::Reset() {
+  prev_losses_.clear();
+  prev_prev_losses_.clear();
+}
+
+AggregationResult Dwa::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.losses != nullptr, "DWA needs per-task losses");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  MG_CHECK_EQ(static_cast<int>(ctx.losses->size()), k);
+
+  std::vector<double> w(k, 1.0);
+  if (!prev_losses_.empty() && !prev_prev_losses_.empty()) {
+    std::vector<double> r(k);
+    double mx = -1e30;
+    for (int i = 0; i < k; ++i) {
+      const double denom = std::max(1e-12f, prev_prev_losses_[i]);
+      r[i] = prev_losses_[i] / denom / options_.temperature;
+      mx = std::max(mx, r[i]);
+    }
+    double denom = 0.0;
+    for (int i = 0; i < k; ++i) {
+      r[i] = std::exp(r[i] - mx);
+      denom += r[i];
+    }
+    for (int i = 0; i < k; ++i) {
+      w[i] = static_cast<double>(k) * r[i] / denom;
+    }
+  }
+
+  prev_prev_losses_ = prev_losses_;
+  prev_losses_ = *ctx.losses;
+
+  AggregationResult out;
+  out.shared_grad = g.WeightedSumRows(w);
+  out.task_weights.resize(k);
+  for (int i = 0; i < k; ++i) out.task_weights[i] = static_cast<float>(w[i]);
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,40 @@
+#ifndef MOCOGRAD_CORE_DWA_H_
+#define MOCOGRAD_CORE_DWA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Options for Dynamic Weight Average.
+struct DwaOptions {
+  /// Softmax temperature T (2.0 in Liu et al., CVPR 2019).
+  float temperature = 2.0f;
+};
+
+/// Dynamic Weight Average (Liu et al., CVPR 2019): task weights follow the
+/// relative descending rate of the losses,
+///   r_k = L_k(t−1) / L_k(t−2),  w_k = K · softmax(r_k / T),
+/// so tasks whose loss stalls get up-weighted. The first two steps use
+/// equal weights.
+class Dwa : public GradientAggregator {
+ public:
+  explicit Dwa(DwaOptions options = {});
+
+  std::string name() const override { return "dwa"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+  void Reset() override;
+
+ private:
+  DwaOptions options_;
+  std::vector<float> prev_losses_;       // L(t-1)
+  std::vector<float> prev_prev_losses_;  // L(t-2)
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_DWA_H_

@@ -1,0 +1,61 @@
+#include "core/grad_matrix.h"
+
+#include <cmath>
+
+namespace mocograd {
+namespace core {
+
+void GradMatrix::SetRow(int k, const std::vector<float>& src) {
+  MG_CHECK_EQ(static_cast<int64_t>(src.size()), dim_, "SetRow size");
+  std::copy(src.begin(), src.end(), Row(k));
+}
+
+std::vector<float> GradMatrix::RowVector(int k) const {
+  const float* r = Row(k);
+  return std::vector<float>(r, r + dim_);
+}
+
+double GradMatrix::RowDot(int i, int j) const {
+  const float* a = Row(i);
+  const float* b = Row(j);
+  double s = 0.0;
+  for (int64_t p = 0; p < dim_; ++p) s += static_cast<double>(a[p]) * b[p];
+  return s;
+}
+
+double GradMatrix::RowNorm(int i) const { return std::sqrt(RowDot(i, i)); }
+
+std::vector<std::vector<double>> GradMatrix::Gram() const {
+  std::vector<std::vector<double>> m(num_tasks_,
+                                     std::vector<double>(num_tasks_, 0.0));
+  for (int i = 0; i < num_tasks_; ++i) {
+    for (int j = i; j < num_tasks_; ++j) {
+      m[i][j] = m[j][i] = RowDot(i, j);
+    }
+  }
+  return m;
+}
+
+std::vector<float> GradMatrix::SumRows() const {
+  std::vector<float> out(dim_, 0.0f);
+  for (int k = 0; k < num_tasks_; ++k) {
+    const float* r = Row(k);
+    for (int64_t p = 0; p < dim_; ++p) out[p] += r[p];
+  }
+  return out;
+}
+
+std::vector<float> GradMatrix::WeightedSumRows(
+    const std::vector<double>& w) const {
+  MG_CHECK_EQ(static_cast<int>(w.size()), num_tasks_, "weight count");
+  std::vector<float> out(dim_, 0.0f);
+  for (int k = 0; k < num_tasks_; ++k) {
+    const float* r = Row(k);
+    const float wk = static_cast<float>(w[k]);
+    for (int64_t p = 0; p < dim_; ++p) out[p] += wk * r[p];
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

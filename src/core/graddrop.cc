@@ -1,0 +1,42 @@
+#include "core/graddrop.h"
+
+#include <cmath>
+
+namespace mocograd {
+namespace core {
+
+AggregationResult GradDrop::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.rng != nullptr, "GradDrop is stochastic; rng required");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  const int64_t p = g.dim();
+
+  AggregationResult out;
+  out.shared_grad.assign(p, 0.0f);
+  out.task_weights = OnesWeights(k);
+
+  for (int64_t q = 0; q < p; ++q) {
+    double sum = 0.0, abs_sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+      const float v = g.Row(i)[q];
+      sum += v;
+      abs_sum += std::fabs(v);
+    }
+    if (abs_sum <= 1e-12) continue;
+    const double purity = 0.5 * (1.0 + sum / abs_sum);
+    const bool keep_positive = ctx.rng->Uniform() < purity;
+    double kept = 0.0;
+    for (int i = 0; i < k; ++i) {
+      const float v = g.Row(i)[q];
+      if ((keep_positive && v > 0.0f) || (!keep_positive && v < 0.0f)) {
+        kept += v;
+      }
+    }
+    out.shared_grad[q] = static_cast<float>(kept);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

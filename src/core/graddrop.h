@@ -1,0 +1,25 @@
+#ifndef MOCOGRAD_CORE_GRADDROP_H_
+#define MOCOGRAD_CORE_GRADDROP_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Gradient Sign Dropout (Chen et al., NeurIPS 2020). Per coordinate,
+/// computes the sign-purity
+///   P = ½ (1 + Σ_k g_k / Σ_k |g_k|)
+/// and keeps either the positive or the negative task contributions with
+/// probability P / (1−P) respectively, masking the rest.
+class GradDrop : public GradientAggregator {
+ public:
+  std::string name() const override { return "graddrop"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_GRADDROP_H_

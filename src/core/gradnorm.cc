@@ -1,0 +1,76 @@
+#include "core/gradnorm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocograd {
+namespace core {
+
+GradNorm::GradNorm(GradNormOptions options) : options_(options) {
+  MG_CHECK_GT(options_.weight_lr, 0.0f);
+}
+
+void GradNorm::Reset() {
+  initial_losses_.clear();
+  weights_.clear();
+}
+
+AggregationResult GradNorm::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.losses != nullptr, "GradNorm needs per-task losses");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  MG_CHECK_EQ(static_cast<int>(ctx.losses->size()), k);
+
+  if (weights_.empty()) {
+    weights_.assign(k, 1.0);
+    initial_losses_ = *ctx.losses;
+    for (float& l : initial_losses_) l = std::max(l, 1e-8f);
+  }
+  MG_CHECK_EQ(static_cast<int>(weights_.size()), k,
+              "task count changed; call Reset()");
+
+  // Inverse training rates r_k = (L_k / L_k(0)) / mean.
+  std::vector<double> rate(k);
+  double mean_rate = 0.0;
+  for (int i = 0; i < k; ++i) {
+    rate[i] = (*ctx.losses)[i] / initial_losses_[i];
+    mean_rate += rate[i];
+  }
+  mean_rate = std::max(mean_rate / k, 1e-12);
+
+  // Weighted gradient norms and their target.
+  std::vector<double> norms(k);
+  double mean_weighted = 0.0;
+  for (int i = 0; i < k; ++i) {
+    norms[i] = g.RowNorm(i);
+    mean_weighted += weights_[i] * norms[i];
+  }
+  mean_weighted /= k;
+
+  // One gradient step on |w_i * norm_i − target_i| per weight.
+  for (int i = 0; i < k; ++i) {
+    const double target =
+        mean_weighted * std::pow(rate[i] / mean_rate,
+                                 static_cast<double>(options_.alpha));
+    const double diff = weights_[i] * norms[i] - target;
+    const double grad = (diff > 0 ? 1.0 : -1.0) * norms[i];
+    weights_[i] -= options_.weight_lr * grad;
+    weights_[i] = std::max(weights_[i], 1e-3);
+  }
+  // Renormalize to sum K (the original paper renormalizes every step).
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  for (double& w : weights_) w *= static_cast<double>(k) / sum;
+
+  AggregationResult out;
+  out.shared_grad = g.WeightedSumRows(weights_);
+  out.task_weights.resize(k);
+  for (int i = 0; i < k; ++i) {
+    out.task_weights[i] = static_cast<float>(weights_[i]);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,45 @@
+#ifndef MOCOGRAD_CORE_GRADNORM_H_
+#define MOCOGRAD_CORE_GRADNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Options for GradNorm.
+struct GradNormOptions {
+  /// Asymmetry parameter α of the original paper (strength of the
+  /// rate-balancing force); 1.5 is a common default.
+  float alpha = 1.5f;
+  /// Learning rate of the internal weight adaptation.
+  float weight_lr = 0.025f;
+};
+
+/// GradNorm (Chen et al., ICML 2018) — cited as [44] in the paper's related
+/// work; implemented here as an extension baseline beyond the paper's
+/// tables. Learns per-task loss weights w_k so that the weighted gradient
+/// norms track each task's relative inverse training rate:
+///   target_k ∝ ḡ · (L_k(t)/L_k(0) / mean)^α,
+/// with the weights updated by gradient descent on |w_k‖g_k‖ − target_k|
+/// and renormalized to sum to K.
+class GradNorm : public GradientAggregator {
+ public:
+  explicit GradNorm(GradNormOptions options = {});
+
+  std::string name() const override { return "gradnorm"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+  void Reset() override;
+
+ private:
+  GradNormOptions options_;
+  std::vector<float> initial_losses_;
+  std::vector<double> weights_;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_GRADNORM_H_

@@ -1,0 +1,90 @@
+#include "core/gradvac.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace mocograd {
+namespace core {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+GradVac::GradVac(GradVacOptions options) : options_(options) {
+  MG_CHECK_GT(options_.ema_beta, 0.0f);
+  MG_CHECK_LE(options_.ema_beta, 1.0f);
+}
+
+void GradVac::Reset() {
+  target_cos_.clear();
+  num_tasks_ = 0;
+}
+
+AggregationResult GradVac::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.rng != nullptr, "GradVac shuffles task order; rng required");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  const int64_t p = g.dim();
+
+  if (target_cos_.empty()) {
+    target_cos_.assign(static_cast<size_t>(k) * k, 0.0);
+    num_tasks_ = k;
+  }
+  MG_CHECK_EQ(num_tasks_, k, "task count changed; call Reset()");
+
+  std::vector<double> norms(k);
+  for (int i = 0; i < k; ++i) norms[i] = g.RowNorm(i);
+
+  AggregationResult out;
+  out.shared_grad.assign(p, 0.0f);
+  out.task_weights = OnesWeights(k);
+
+  std::vector<float> gi(p);
+  std::vector<int> others(k);
+  std::iota(others.begin(), others.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const float* row = g.Row(i);
+    std::copy(row, row + p, gi.begin());
+    ctx.rng->Shuffle(others);
+    for (int j : others) {
+      if (j == i) continue;
+      const float* gj = g.Row(j);
+      if (norms[i] <= kEps || norms[j] <= kEps) continue;
+      // Observed cosine uses the current (possibly already vaccinated) g_i.
+      double dot = 0.0, ni2 = 0.0;
+      for (int64_t q = 0; q < p; ++q) {
+        dot += static_cast<double>(gi[q]) * gj[q];
+        ni2 += static_cast<double>(gi[q]) * gi[q];
+      }
+      const double ni = std::sqrt(ni2);
+      if (ni <= kEps) continue;
+      const double cos_phi = dot / (ni * norms[j]);
+      double& target = target_cos_[static_cast<size_t>(i) * k + j];
+      if (cos_phi < target) {
+        ++out.num_conflicts;
+        const double cos_gamma = target;
+        const double sin_gamma =
+            std::sqrt(std::max(0.0, 1.0 - cos_gamma * cos_gamma));
+        const double sin_phi =
+            std::sqrt(std::max(0.0, 1.0 - cos_phi * cos_phi));
+        if (sin_gamma > kEps) {
+          // Eq. (7) of the paper.
+          const double alpha = ni * (cos_gamma * sin_phi - cos_phi * sin_gamma) /
+                               (norms[j] * sin_gamma);
+          for (int64_t q = 0; q < p; ++q) {
+            gi[q] += static_cast<float>(alpha) * gj[q];
+          }
+        }
+      }
+      // EMA update of the adaptive target from the observed cosine.
+      target = (1.0 - options_.ema_beta) * target +
+               options_.ema_beta * cos_phi;
+    }
+    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,44 @@
+#ifndef MOCOGRAD_CORE_GRADVAC_H_
+#define MOCOGRAD_CORE_GRADVAC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Options for GradVac.
+struct GradVacOptions {
+  /// EMA rate for the adaptive pairwise cosine targets (β in the GradVac
+  /// paper; 1e-2 is the published default).
+  float ema_beta = 0.01f;
+};
+
+/// Gradient Vaccine (Wang et al., ICLR 2021). Maintains an EMA estimate
+/// φ̂_ij of each pairwise cosine similarity; whenever the observed cosine
+/// falls below the target, g_i is pushed toward g_j by the Law-of-Sines
+/// coefficient of the paper's Eq. (6)/(7):
+///   g_i' = g_i + α g_j,
+///   α = ‖g_i‖ (cosγ √(1−cos²φ) − cosφ √(1−cos²γ)) / (‖g_j‖ √(1−cos²γ)),
+/// where γ is the target angle and φ the observed one.
+class GradVac : public GradientAggregator {
+ public:
+  explicit GradVac(GradVacOptions options = {});
+
+  std::string name() const override { return "gradvac"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+  void Reset() override;
+
+ private:
+  GradVacOptions options_;
+  /// Flattened K×K EMA of pairwise cosine targets.
+  std::vector<double> target_cos_;
+  int num_tasks_ = 0;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_GRADVAC_H_

@@ -1,0 +1,64 @@
+#include "core/imtl.h"
+
+#include <cmath>
+
+#include "solvers/linear_solve.h"
+
+namespace mocograd {
+namespace core {
+
+AggregationResult Imtl::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+
+  AggregationResult out;
+  out.task_weights = OnesWeights(k);
+  if (k == 1) {
+    out.shared_grad = g.SumRows();
+    return out;
+  }
+
+  const auto gram = g.Gram();
+  std::vector<double> norms(k);
+  bool degenerate = false;
+  for (int i = 0; i < k; ++i) {
+    norms[i] = std::sqrt(std::max(gram[i][i], 0.0));
+    if (norms[i] < 1e-12) degenerate = true;
+  }
+
+  std::vector<double> alpha(k, 1.0);
+  if (!degenerate) {
+    // Solve Σ_j α_j (g_j − g_1)ᵀ(u_1 − u_m) = −g_1ᵀ(u_1 − u_m), m = 2..K,
+    // using only Gram entries: g_aᵀu_b = gram[a][b]/‖g_b‖.
+    auto gu = [&](int a, int b) { return gram[a][b] / norms[b]; };
+    const int n = k - 1;
+    std::vector<std::vector<double>> a_mat(n, std::vector<double>(n, 0.0));
+    std::vector<double> b_vec(n, 0.0);
+    for (int m = 1; m < k; ++m) {
+      for (int j = 1; j < k; ++j) {
+        a_mat[m - 1][j - 1] =
+            (gu(j, 0) - gu(j, m)) - (gu(0, 0) - gu(0, m));
+      }
+      b_vec[m - 1] = -(gu(0, 0) - gu(0, m));
+    }
+    auto sol = solvers::SolveLinear(a_mat, b_vec);
+    if (sol.ok()) {
+      double rest = 0.0;
+      for (int j = 1; j < k; ++j) {
+        alpha[j] = sol.value()[j - 1];
+        rest += alpha[j];
+      }
+      alpha[0] = 1.0 - rest;
+      // Rescale Σα from 1 to K so step magnitude matches EW.
+      for (double& x : alpha) x *= static_cast<double>(k);
+    }
+    // else: singular system, keep equal weights (α = 1 each).
+  }
+
+  out.shared_grad = g.WeightedSumRows(alpha);
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

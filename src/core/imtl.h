@@ -1,0 +1,27 @@
+#ifndef MOCOGRAD_CORE_IMTL_H_
+#define MOCOGRAD_CORE_IMTL_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// IMTL-G (Liu et al., ICLR 2021): impartial multi-task learning. Finds
+/// weights α (Σα = 1) such that the aggregated gradient g = Σ α_k g_k has
+/// equal projection onto every task's unit gradient u_k = g_k/‖g_k‖:
+///   gᵀu_1 = gᵀu_k  ∀k,
+/// which reduces to a (K−1)×(K−1) linear system solved in closed form.
+/// Falls back to equal weights when the system is singular (e.g. colinear
+/// gradients). Weights are rescaled to sum to K for EW-comparable magnitude.
+class Imtl : public GradientAggregator {
+ public:
+  std::string name() const override { return "imtl"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_IMTL_H_

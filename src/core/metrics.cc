@@ -1,0 +1,25 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace core {
+
+double Tci(double mtl_risk, double stl_risk) { return mtl_risk - stl_risk; }
+
+double DeltaM(const std::vector<MetricComparison>& comparisons) {
+  MG_CHECK(!comparisons.empty(), "DeltaM over zero metrics");
+  double total = 0.0;
+  for (const MetricComparison& c : comparisons) {
+    MG_CHECK_GT(std::fabs(c.stl_value), 1e-12,
+                "DeltaM baseline metric is zero");
+    const double rel = (c.mtl_value - c.stl_value) / std::fabs(c.stl_value);
+    total += c.higher_is_better ? rel : -rel;
+  }
+  return total / static_cast<double>(comparisons.size());
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,31 @@
+#ifndef MOCOGRAD_CORE_METRICS_H_
+#define MOCOGRAD_CORE_METRICS_H_
+
+#include <vector>
+
+namespace mocograd {
+namespace core {
+
+/// Task Conflict Intensity, Definition 2 of the paper:
+///   TCI(T_k, F) = R_k(MTL model) − R_k(STL model).
+/// For "lower is better" risks (loss, RMSE), TCI > 0 means joint training
+/// hurt the task, i.e. a task conflict occurred.
+double Tci(double mtl_risk, double stl_risk);
+
+/// One metric comparison for Δ_M.
+struct MetricComparison {
+  double mtl_value = 0.0;
+  double stl_value = 0.0;
+  /// True if a larger metric value is better (AUC, mIoU, accuracy);
+  /// false for errors (RMSE, MAE, Abs Err, ...).
+  bool higher_is_better = true;
+};
+
+/// Δ_M, Eq. (27): mean relative improvement of an MTL method over the STL
+/// baselines across all metrics, sign-corrected per metric direction.
+double DeltaM(const std::vector<MetricComparison>& comparisons);
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_METRICS_H_

@@ -1,0 +1,24 @@
+#include "core/mgda.h"
+
+#include "solvers/min_norm.h"
+
+namespace mocograd {
+namespace core {
+
+AggregationResult Mgda::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+
+  std::vector<double> w = solvers::MinNormWeights(g.Gram());
+  // Scale so Σ w_k = K (matches the magnitude of the EW sum).
+  for (double& x : w) x *= static_cast<double>(k);
+
+  AggregationResult out;
+  out.shared_grad = g.WeightedSumRows(w);
+  out.task_weights = OnesWeights(k);
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,26 @@
+#ifndef MOCOGRAD_CORE_MGDA_H_
+#define MOCOGRAD_CORE_MGDA_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// MGDA (Sener & Koltun, NeurIPS 2018): multi-task learning as
+/// multi-objective optimization. The combined gradient is the min-norm
+/// point in the convex hull of the task gradients, found with Frank–Wolfe
+/// on the Gram matrix — a Pareto-stationary common descent direction.
+/// The direction is rescaled by K so its magnitude is comparable to the
+/// equal-weight sum (pure min-norm weights average to 1/K).
+class Mgda : public GradientAggregator {
+ public:
+  std::string name() const override { return "mgda"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_MGDA_H_

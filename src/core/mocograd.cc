@@ -1,0 +1,117 @@
+#include "core/mocograd.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "core/conflict.h"
+
+namespace mocograd {
+namespace core {
+
+namespace {
+constexpr double kNormEps = 1e-12;
+}  // namespace
+
+MoCoGrad::MoCoGrad(MoCoGradOptions options) : options_(options) {
+  MG_CHECK_GT(options_.lambda, 0.0f, "lambda must be in (0, 1]");
+  MG_CHECK_LE(options_.lambda, 1.0f, "lambda must be in (0, 1]");
+  MG_CHECK_GE(options_.beta1, 0.0f);
+  MG_CHECK_LT(options_.beta1, 1.0f);
+}
+
+void MoCoGrad::Reset() { momenta_.clear(); }
+
+const std::vector<float>& MoCoGrad::momentum(int k) const {
+  MG_CHECK_GE(k, 0);
+  MG_CHECK_LT(k, static_cast<int>(momenta_.size()), "momentum not initialized");
+  return momenta_[k];
+}
+
+AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.rng != nullptr, "MoCoGrad shuffles task order; rng required");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  const int64_t p = g.dim();
+
+  if (momenta_.empty()) {
+    momenta_.assign(k, std::vector<float>(p, 0.0f));
+  }
+  MG_CHECK_EQ(static_cast<int>(momenta_.size()), k,
+              "task count changed across steps; call Reset()");
+
+  // Pre-compute per-task gradient and momentum norms.
+  std::vector<double> g_norm(k), m_norm(k);
+  for (int i = 0; i < k; ++i) {
+    g_norm[i] = g.RowNorm(i);
+    double s = 0.0;
+    for (float v : momenta_[i]) s += static_cast<double>(v) * v;
+    m_norm[i] = std::sqrt(s);
+  }
+
+  AggregationResult out;
+  out.shared_grad.assign(p, 0.0f);
+  out.task_weights = OnesWeights(k);
+
+  // Calibrate each task against the others in random order (Algorithm 1).
+  // Line 10 of the pseudo-code *sets* ĝ_i = g_i + λ(‖g_j‖/‖m_j‖)m_j (it does
+  // not accumulate), so with several conflicting partners the last one in
+  // the random order provides the calibration — equivalently, a uniformly
+  // random conflicting partner. This is what makes Theorem 1's ‖ĝ‖ ≤
+  // K(1+λ)G bound hold (exactly one calibration term per task).
+  // Adds the Eq. (8) calibration term for partner j to the output.
+  auto add_calibration = [&](int j) {
+    // Cold start (‖m_j‖ ≈ 0) falls back to the raw gradient g_j, the
+    // history-free limit of Eq. (9).
+    const float* dir;
+    double dir_norm;
+    if (!options_.use_raw_gradient && m_norm[j] > kNormEps) {
+      dir = momenta_[j].data();
+      dir_norm = m_norm[j];
+    } else {
+      dir = g.Row(j);
+      dir_norm = g_norm[j];
+    }
+    if (dir_norm <= kNormEps) return;  // zero gradient: nothing to add
+    const float scale =
+        static_cast<float>(options_.lambda * g_norm[j] / dir_norm);
+    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += scale * dir[q];
+  };
+
+  std::vector<int> others(k);
+  std::iota(others.begin(), others.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const float* gi = g.Row(i);
+    int chosen = -1;
+    ctx.rng->Shuffle(others);
+    for (int j : others) {
+      if (j == i) continue;
+      // GCD(g_i, g_j) > 1 ⇔ g_i · g_j < 0 (Definition 3); the dot product is
+      // the numerically robust form of the test.
+      if (g.RowDot(i, j) >= 0.0) continue;
+      ++out.num_conflicts;
+      if (options_.accumulate_all_conflicts) {
+        add_calibration(j);
+      } else {
+        chosen = j;
+      }
+    }
+    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
+    // Eq. (8): ĝ_i = g_i + λ (‖g_j‖/‖m_j‖) m_j for the chosen partner.
+    if (chosen >= 0) add_calibration(chosen);
+  }
+
+  // Eq. (9): one EMA update per task per step.
+  const float b1 = options_.beta1;
+  for (int j = 0; j < k; ++j) {
+    const float* gj = g.Row(j);
+    float* mj = momenta_[j].data();
+    for (int64_t q = 0; q < p; ++q) {
+      mj[q] = b1 * mj[q] + (1.0f - b1) * gj[q];
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,40 @@
+#ifndef MOCOGRAD_CORE_NASH_MTL_H_
+#define MOCOGRAD_CORE_NASH_MTL_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Options for Nash-MTL.
+struct NashMtlOptions {
+  /// Damped fixed-point iterations for the bargaining solution.
+  int iters = 100;
+  /// Lower clamp keeping α strictly positive.
+  double alpha_min = 1e-6;
+};
+
+/// Nash-MTL (Navon et al., ICML 2022): gradient aggregation as a bargaining
+/// game whose Nash solution α solves
+///   (G Gᵀ) α = 1/α,   α > 0.
+/// Solved here with a damped fixed-point iteration on the Gram matrix:
+///   α ← ½ (α + 1 ⊘ max(GGᵀα, ε)).
+/// This is the most expensive method per step (the paper's Fig. 8 shows it
+/// dominating backward time), which this implementation reproduces.
+class NashMtl : public GradientAggregator {
+ public:
+  explicit NashMtl(NashMtlOptions options = {});
+
+  std::string name() const override { return "nashmtl"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+
+ private:
+  NashMtlOptions options_;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_NASH_MTL_H_

@@ -1,0 +1,47 @@
+#include "core/pcgrad.h"
+
+#include <numeric>
+
+namespace mocograd {
+namespace core {
+
+AggregationResult PcGrad::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.rng != nullptr, "PCGrad shuffles task order; rng required");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  const int64_t p = g.dim();
+
+  AggregationResult out;
+  out.shared_grad.assign(p, 0.0f);
+  out.task_weights = OnesWeights(k);
+
+  std::vector<float> gi(p);
+  std::vector<int> others(k);
+  std::iota(others.begin(), others.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    const float* row = g.Row(i);
+    std::copy(row, row + p, gi.begin());
+    ctx.rng->Shuffle(others);
+    for (int j : others) {
+      if (j == i) continue;
+      const float* gj = g.Row(j);
+      // Note: projections chain — the dot uses the *current* g_i, matching
+      // the original PCGrad algorithm.
+      double dot = 0.0, nj2 = 0.0;
+      for (int64_t q = 0; q < p; ++q) {
+        dot += static_cast<double>(gi[q]) * gj[q];
+        nj2 += static_cast<double>(gj[q]) * gj[q];
+      }
+      if (dot >= 0.0 || nj2 <= 1e-12) continue;
+      ++out.num_conflicts;
+      const float c = static_cast<float>(dot / nj2);
+      for (int64_t q = 0; q < p; ++q) gi[q] -= c * gj[q];
+    }
+    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,26 @@
+#ifndef MOCOGRAD_CORE_PCGRAD_H_
+#define MOCOGRAD_CORE_PCGRAD_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// PCGrad (Yu et al., NeurIPS 2020): when g_i conflicts with g_j
+/// (negative dot product), g_i is replaced by its projection onto the
+/// normal plane of g_j (paper Eq. 5):
+///   g_i' = g_i − (g_i·g_j / ‖g_j‖²) g_j,
+/// repeated over the other tasks in random order, then all projected
+/// gradients are summed.
+class PcGrad : public GradientAggregator {
+ public:
+  std::string name() const override { return "pcgrad"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_PCGRAD_H_

@@ -1,0 +1,70 @@
+#include "core/registry.h"
+
+#include "core/graddrop.h"
+#include "core/imtl.h"
+#include "core/mgda.h"
+#include "core/pcgrad.h"
+#include "core/rlw.h"
+
+namespace mocograd {
+namespace core {
+
+const std::vector<std::string>& AllMethodNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "ew",     "dwa",    "mgda", "pcgrad", "graddrop", "gradvac",
+      "cagrad", "imtl",   "rlw",  "nashmtl", "mocograd"};
+  return *names;
+}
+
+const std::vector<std::string>& PaperMethodNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "dwa",    "mgda", "pcgrad", "graddrop", "gradvac",
+      "cagrad", "imtl", "rlw",    "nashmtl",  "mocograd"};
+  return *names;
+}
+
+const std::vector<std::string>& ExtensionMethodNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"gradnorm", "uw", "alignedmtl"};
+  return *names;
+}
+
+Result<std::unique_ptr<GradientAggregator>> MakeAggregator(
+    const std::string& name, const AggregatorOptions& options) {
+  std::unique_ptr<GradientAggregator> out;
+  if (name == "ew") {
+    out = std::make_unique<EqualWeight>();
+  } else if (name == "mocograd") {
+    out = std::make_unique<MoCoGrad>(options.mocograd);
+  } else if (name == "pcgrad") {
+    out = std::make_unique<PcGrad>();
+  } else if (name == "gradvac") {
+    out = std::make_unique<GradVac>(options.gradvac);
+  } else if (name == "cagrad") {
+    out = std::make_unique<CaGrad>(options.cagrad);
+  } else if (name == "mgda") {
+    out = std::make_unique<Mgda>();
+  } else if (name == "graddrop") {
+    out = std::make_unique<GradDrop>();
+  } else if (name == "imtl") {
+    out = std::make_unique<Imtl>();
+  } else if (name == "rlw") {
+    out = std::make_unique<Rlw>();
+  } else if (name == "nashmtl") {
+    out = std::make_unique<NashMtl>(options.nashmtl);
+  } else if (name == "dwa") {
+    out = std::make_unique<Dwa>(options.dwa);
+  } else if (name == "gradnorm") {
+    out = std::make_unique<GradNorm>(options.gradnorm);
+  } else if (name == "uw") {
+    out = std::make_unique<UncertaintyWeighting>(options.uw);
+  } else if (name == "alignedmtl") {
+    out = std::make_unique<AlignedMtl>(options.alignedmtl);
+  } else {
+    return Status::NotFound("unknown aggregation method: " + name);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,55 @@
+#ifndef MOCOGRAD_CORE_REGISTRY_H_
+#define MOCOGRAD_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/aggregator.h"
+#include "core/aligned_mtl.h"
+#include "core/cagrad.h"
+#include "core/dwa.h"
+#include "core/gradnorm.h"
+#include "core/gradvac.h"
+#include "core/mocograd.h"
+#include "core/nash_mtl.h"
+#include "core/uncertainty_weighting.h"
+
+namespace mocograd {
+namespace core {
+
+/// Tunables for every aggregation method, with the defaults used throughout
+/// the paper's experiments.
+struct AggregatorOptions {
+  MoCoGradOptions mocograd;
+  GradVacOptions gradvac;
+  CaGradOptions cagrad;
+  DwaOptions dwa;
+  NashMtlOptions nashmtl;
+  GradNormOptions gradnorm;
+  UncertaintyWeightingOptions uw;
+  AlignedMtlOptions alignedmtl;
+};
+
+/// Canonical method names, in the row order of the paper's tables
+/// (excluding the STL baseline, which is a training mode, not an
+/// aggregator): dwa, mgda, pcgrad, graddrop, gradvac, cagrad, imtl, rlw,
+/// nashmtl, mocograd — plus "ew" (plain joint training).
+const std::vector<std::string>& AllMethodNames();
+
+/// Method names in the paper's table order (without "ew").
+const std::vector<std::string>& PaperMethodNames();
+
+/// Extension baselines beyond the paper's tables (cited in its related
+/// work): "gradnorm" (Chen et al. 2018) and "uw" (Kendall et al. 2018).
+const std::vector<std::string>& ExtensionMethodNames();
+
+/// Builds an aggregator by canonical name; NotFound for unknown names.
+Result<std::unique_ptr<GradientAggregator>> MakeAggregator(
+    const std::string& name, const AggregatorOptions& options = {});
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_REGISTRY_H_

@@ -1,0 +1,38 @@
+#include "core/rlw.h"
+
+#include <cmath>
+
+namespace mocograd {
+namespace core {
+
+AggregationResult Rlw::Aggregate(const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.rng != nullptr, "RLW samples weights; rng required");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+
+  std::vector<double> z(k);
+  double mx = -1e30;
+  for (double& x : z) {
+    x = ctx.rng->Normal(0.0f, 1.0f);
+    mx = std::max(mx, x);
+  }
+  double denom = 0.0;
+  for (double& x : z) {
+    x = std::exp(x - mx);
+    denom += x;
+  }
+  std::vector<double> w(k);
+  for (int i = 0; i < k; ++i) {
+    w[i] = z[i] / denom * static_cast<double>(k);
+  }
+
+  AggregationResult out;
+  out.shared_grad = g.WeightedSumRows(w);
+  out.task_weights.resize(k);
+  for (int i = 0; i < k; ++i) out.task_weights[i] = static_cast<float>(w[i]);
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,24 @@
+#ifndef MOCOGRAD_CORE_RLW_H_
+#define MOCOGRAD_CORE_RLW_H_
+
+#include <string>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Random Loss Weighting (Lin et al., TMLR 2022): per step, sample task
+/// weights w = softmax(z) with z ~ N(0, 1)^K and minimize the weighted sum
+/// of losses. Weights are rescaled to sum to K so the expected step
+/// magnitude matches equal weighting.
+class Rlw : public GradientAggregator {
+ public:
+  std::string name() const override { return "rlw"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_RLW_H_

@@ -1,0 +1,53 @@
+#include "core/uncertainty_weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocograd {
+namespace core {
+
+UncertaintyWeighting::UncertaintyWeighting(
+    UncertaintyWeightingOptions options)
+    : options_(options) {
+  MG_CHECK_GT(options_.sigma_lr, 0.0f);
+}
+
+void UncertaintyWeighting::Reset() { log_var_.clear(); }
+
+AggregationResult UncertaintyWeighting::Aggregate(
+    const AggregationContext& ctx) {
+  MG_CHECK(ctx.task_grads != nullptr);
+  MG_CHECK(ctx.losses != nullptr, "UW needs per-task losses");
+  const GradMatrix& g = *ctx.task_grads;
+  const int k = g.num_tasks();
+  MG_CHECK_EQ(static_cast<int>(ctx.losses->size()), k);
+
+  if (log_var_.empty()) log_var_.assign(k, 0.0);
+  MG_CHECK_EQ(static_cast<int>(log_var_.size()), k,
+              "task count changed; call Reset()");
+
+  // One SGD step on the UW objective w.r.t. each s_k.
+  for (int i = 0; i < k; ++i) {
+    const double grad =
+        -std::exp(-log_var_[i]) * (*ctx.losses)[i] + 1.0;
+    log_var_[i] += options_.sigma_lr * -grad;
+    log_var_[i] = std::clamp(log_var_[i], -4.0, 4.0);
+  }
+
+  std::vector<double> w(k);
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    w[i] = std::exp(-log_var_[i]);
+    sum += w[i];
+  }
+  for (double& x : w) x *= static_cast<double>(k) / sum;
+
+  AggregationResult out;
+  out.shared_grad = g.WeightedSumRows(w);
+  out.task_weights.resize(k);
+  for (int i = 0; i < k; ++i) out.task_weights[i] = static_cast<float>(w[i]);
+  return out;
+}
+
+}  // namespace core
+}  // namespace mocograd

@@ -1,0 +1,41 @@
+#ifndef MOCOGRAD_CORE_UNCERTAINTY_WEIGHTING_H_
+#define MOCOGRAD_CORE_UNCERTAINTY_WEIGHTING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.h"
+
+namespace mocograd {
+namespace core {
+
+/// Options for Uncertainty Weighting.
+struct UncertaintyWeightingOptions {
+  /// Learning rate of the internal log-variance parameters.
+  float sigma_lr = 0.02f;
+};
+
+/// Homoscedastic Uncertainty Weighting (Kendall et al., CVPR 2018) — cited
+/// as [38] in the paper; implemented as an extension baseline. Each task
+/// carries a learnable log-variance s_k, the effective objective is
+///   Σ_k exp(−s_k) · L_k + s_k,
+/// and the s_k are updated by gradient descent on that objective using the
+/// observed losses: ∂/∂s_k = −exp(−s_k) L_k + 1. Task weights are
+/// w_k = exp(−s_k), renormalized to sum to K.
+class UncertaintyWeighting : public GradientAggregator {
+ public:
+  explicit UncertaintyWeighting(UncertaintyWeightingOptions options = {});
+
+  std::string name() const override { return "uw"; }
+  AggregationResult Aggregate(const AggregationContext& ctx) override;
+  void Reset() override;
+
+ private:
+  UncertaintyWeightingOptions options_;
+  std::vector<double> log_var_;
+};
+
+}  // namespace core
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_CORE_UNCERTAINTY_WEIGHTING_H_

@@ -1,0 +1,96 @@
+#include "data/aliexpress.h"
+
+#include <cmath>
+
+namespace mocograd {
+namespace data {
+
+namespace {
+
+// Deterministic per-country seed perturbation.
+uint64_t CountrySalt(const std::string& country) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : country) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+AliExpressSim::AliExpressSim(const AliExpressConfig& config)
+    : config_(config) {
+  Rng rng(config_.seed ^ CountrySalt(config_.country));
+
+  auto fill = [&](std::vector<float>& v, size_t n, float stddev) {
+    v.resize(n);
+    for (float& x : v) x = rng.Normal(0.0f, stddev);
+  };
+  fill(ctr_dense_w_, config_.dense_dim, 1.2f);
+  fill(ctr_seg_w_, config_.num_user_segments, 0.9f);
+  fill(ctr_cat_w_, config_.num_item_categories, 0.9f);
+
+  // Conversion weights: blend of an anti-correlated component (what makes a
+  // user click is partly what makes them bounce) and fresh private signal.
+  auto blend = [&](const std::vector<float>& ctr_w, std::vector<float>& out) {
+    out.resize(ctr_w.size());
+    for (size_t i = 0; i < ctr_w.size(); ++i) {
+      out[i] = -config_.conflict * ctr_w[i] +
+               (1.0f - config_.conflict) * rng.Normal(0.0f, 1.2f);
+    }
+  };
+  blend(ctr_dense_w_, cvr_dense_w_);
+  blend(ctr_seg_w_, cvr_seg_w_);
+  blend(ctr_cat_w_, cvr_cat_w_);
+
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  train_ = GenerateSplit(config_.num_train, train_rng);
+  test_ = GenerateSplit(config_.num_test, test_rng);
+}
+
+std::vector<Batch> AliExpressSim::GenerateSplit(int count, Rng& rng) const {
+  const int d = config_.dense_dim;
+  Tensor x = Tensor::Zeros({count, d + 2});
+  Tensor click = Tensor::Zeros({count, 1});
+  Tensor ctcvr = Tensor::Zeros({count, 1});
+  for (int i = 0; i < count; ++i) {
+    float* row = x.data() + static_cast<int64_t>(i) * (d + 2);
+    const int seg = rng.UniformInt(0, config_.num_user_segments);
+    const int cat = rng.UniformInt(0, config_.num_item_categories);
+    float ctr_logit = config_.ctr_base + ctr_seg_w_[seg] + ctr_cat_w_[cat];
+    float cvr_logit = config_.cvr_base + cvr_seg_w_[seg] + cvr_cat_w_[cat];
+    for (int j = 0; j < d; ++j) {
+      row[j] = rng.Normal();
+      ctr_logit += ctr_dense_w_[j] * row[j];
+      cvr_logit += cvr_dense_w_[j] * row[j];
+    }
+    row[d] = static_cast<float>(seg);
+    row[d + 1] = static_cast<float>(cat);
+
+    const bool clicked = rng.Bernoulli(
+        Sigmoid(ctr_logit + rng.Normal(0.0f, config_.ctr_logit_noise)));
+    const bool converted = clicked && rng.Bernoulli(Sigmoid(cvr_logit));
+    click.data()[i] = clicked ? 1.0f : 0.0f;
+    ctcvr.data()[i] = converted ? 1.0f : 0.0f;
+  }
+  Batch ctr_batch{.x = x, .y = click, .labels = {}};
+  Batch ctcvr_batch{.x = x, .y = ctcvr, .labels = {}};
+  return {ctr_batch, ctcvr_batch};
+}
+
+std::vector<Batch> AliExpressSim::SampleTrainBatches(int batch_size,
+                                                     Rng& rng) const {
+  // Single-input: both tasks score the same sampled impressions.
+  const auto idx = SampleIndices(train_[0].size(), batch_size, rng);
+  std::vector<Batch> out;
+  out.reserve(2);
+  for (const Batch& full : train_) out.push_back(SubsetBatch(full, idx));
+  return out;
+}
+
+}  // namespace data
+}  // namespace mocograd

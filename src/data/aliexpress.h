@@ -1,0 +1,83 @@
+#ifndef MOCOGRAD_DATA_ALIEXPRESS_H_
+#define MOCOGRAD_DATA_ALIEXPRESS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mocograd {
+namespace data {
+
+/// Configuration of the AliExpress CTR/CTCVR simulator for one country
+/// scenario.
+struct AliExpressConfig {
+  /// Country tag: "ES", "FR", "NL" or "US". Selects a deterministic
+  /// country-specific drift of the ground-truth weights.
+  std::string country = "ES";
+  int num_train = 12000;
+  int num_test = 4000;
+  /// Dense feature width (user + item real-valued features).
+  int dense_dim = 8;
+  /// Cardinalities of the two categorical features.
+  int num_user_segments = 16;
+  int num_item_categories = 32;
+  /// Base log-odds of click and of conversion-given-click; the defaults
+  /// give ~15% clicks and ~35% conversions-of-clicks (≈5% CTCVR), matching
+  /// the strong label imbalance of the real traffic logs.
+  float ctr_base = -1.5f;
+  float cvr_base = -0.6f;
+  /// How anti-correlated the conversion weights are with the click weights;
+  /// this funnel mismatch is the source of CTR↔CTCVR gradient conflict.
+  float conflict = 0.75f;
+  /// Stddev of unobserved click confounders (position bias, session mood):
+  /// logit noise applied when sampling clicks but invisible in the
+  /// features. Caps the achievable CTR AUC the way real traffic logs do and
+  /// keeps the two tasks comparably hard.
+  float ctr_logit_noise = 1.2f;
+  uint64_t seed = 29;
+};
+
+/// Stand-in for the AliExpress search-log dataset (paper §V-A): two binary
+/// tasks per country, Click-Through Rate and Click-Through&Conversion Rate.
+/// Both tasks score the same impressions (single-input MTL) through a
+/// funnel: a conversion requires a click, so CTCVR = P(click)·P(conv|click),
+/// with conversion weights partially anti-correlated with the click weights
+/// (`conflict`). Input is [dense ‖ user-segment id ‖ item-category id] with
+/// the ids float-encoded for the EmbeddingHpsModel. Metric: AUC.
+class AliExpressSim : public MtlDataset {
+ public:
+  explicit AliExpressSim(const AliExpressConfig& config);
+
+  std::string name() const override { return "aliexpress_" + config_.country; }
+  int num_tasks() const override { return 2; }
+  TaskKind task_kind(int) const override {
+    return TaskKind::kBinaryLogistic;
+  }
+  bool single_input() const override { return true; }
+
+  std::vector<Batch> SampleTrainBatches(int batch_size,
+                                        Rng& rng) const override;
+  std::vector<Batch> TestBatches() const override { return test_; }
+
+  /// Input width: dense features plus the two id columns.
+  int64_t input_dim() const { return config_.dense_dim + 2; }
+  const AliExpressConfig& config() const { return config_; }
+
+ private:
+  /// Generates `count` impressions; fills per-task batches sharing x.
+  std::vector<Batch> GenerateSplit(int count, Rng& rng) const;
+
+  AliExpressConfig config_;
+  /// Ground-truth weights.
+  std::vector<float> ctr_dense_w_, cvr_dense_w_;
+  std::vector<float> ctr_seg_w_, cvr_seg_w_;   // per user segment
+  std::vector<float> ctr_cat_w_, cvr_cat_w_;   // per item category
+  std::vector<Batch> train_;
+  std::vector<Batch> test_;
+};
+
+}  // namespace data
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_DATA_ALIEXPRESS_H_

@@ -1,0 +1,49 @@
+#ifndef MOCOGRAD_DATA_BATCH_H_
+#define MOCOGRAD_DATA_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mocograd {
+namespace data {
+
+/// What kind of supervised task a prediction head solves; selects the loss
+/// function and the default evaluation metric.
+enum class TaskKind {
+  /// Binary logistic task (CTR/CTCVR): head emits one logit, BCE loss, AUC.
+  kBinaryLogistic,
+  /// Scalar/vector regression trained with MSE (RMSE metric).
+  kRegression,
+  /// Scalar/vector regression trained with L1 (MAE metric).
+  kRegressionL1,
+  /// Regression trained with MSE but evaluated with MAE — the QM9 protocol
+  /// (squared loss on normalized targets, MAE reporting).
+  kRegressionMae,
+  /// C-way classification: head emits C logits, softmax CE, accuracy.
+  kClassification,
+  /// Per-pixel classification on [n,C,H,W] maps (mIoU / PixAcc).
+  kPixelClassification,
+  /// Per-pixel regression on [n,C,H,W] maps (Abs/Rel Err, normal angles).
+  kPixelRegression,
+};
+
+/// One mini-batch (or full split) for one task.
+struct Batch {
+  /// Input features: [n, d] for MLP models, [n, c, h, w] for conv models.
+  Tensor x;
+  /// Dense targets for regression / logistic tasks (same layout as the
+  /// prediction); undefined for pure classification.
+  Tensor y;
+  /// Integer class labels for (pixel-)classification tasks; for pixel tasks
+  /// the length is n*h*w in row-major pixel order.
+  std::vector<int64_t> labels;
+
+  int64_t size() const { return x.defined() ? x.Dim(0) : 0; }
+};
+
+}  // namespace data
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_DATA_BATCH_H_

@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace data {
+
+Tensor GatherDim0(const Tensor& t, const std::vector<int64_t>& idx) {
+  MG_CHECK(t.defined());
+  MG_CHECK_GE(t.Rank(), 1);
+  const int64_t n = t.Dim(0);
+  const int64_t rest = t.NumElements() / std::max<int64_t>(n, 1);
+  Tensor flat = t.Reshape({n, rest});
+  Tensor gathered = tops::GatherRows(flat, idx);
+  std::vector<int64_t> dims = t.shape().dims();
+  dims[0] = static_cast<int64_t>(idx.size());
+  return gathered.Reshape(dims);
+}
+
+Batch SubsetBatch(const Batch& full, const std::vector<int64_t>& idx,
+                  int64_t labels_per_row) {
+  Batch out;
+  out.x = GatherDim0(full.x, idx);
+  if (full.y.defined()) out.y = GatherDim0(full.y, idx);
+  if (!full.labels.empty()) {
+    out.labels.reserve(idx.size() * labels_per_row);
+    for (int64_t row : idx) {
+      for (int64_t j = 0; j < labels_per_row; ++j) {
+        out.labels.push_back(full.labels[row * labels_per_row + j]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> SampleIndices(int64_t n, int count, Rng& rng) {
+  MG_CHECK_GT(n, 0);
+  std::vector<int64_t> idx(count);
+  if (count <= n) {
+    // Partial Fisher-Yates over a shuffled identity.
+    std::vector<int64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    rng.Shuffle(all);
+    std::copy(all.begin(), all.begin() + count, idx.begin());
+  } else {
+    for (int i = 0; i < count; ++i) {
+      idx[i] = rng.UniformInt(0, static_cast<int>(n));
+    }
+  }
+  return idx;
+}
+
+}  // namespace data
+}  // namespace mocograd

@@ -1,0 +1,60 @@
+#ifndef MOCOGRAD_DATA_DATASET_H_
+#define MOCOGRAD_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "data/batch.h"
+
+namespace mocograd {
+namespace data {
+
+/// A multi-task dataset: a train split to sample mini-batches from and a
+/// held-out test split. Single-input datasets (all tasks share the same
+/// examples) return per-task batches whose `x` tensors alias one another;
+/// multi-input datasets (paper §III-A) hold disjoint per-task example sets.
+class MtlDataset {
+ public:
+  virtual ~MtlDataset() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_tasks() const = 0;
+  virtual TaskKind task_kind(int task) const = 0;
+
+  /// True when all tasks share the same inputs (Single-Input MTL).
+  virtual bool single_input() const = 0;
+
+  /// Samples one training mini-batch per task.
+  virtual std::vector<Batch> SampleTrainBatches(int batch_size,
+                                                Rng& rng) const = 0;
+
+  /// The full test split, one Batch per task.
+  virtual std::vector<Batch> TestBatches() const = 0;
+
+  /// Number of classes of a (pixel-)classification task; 0 when unknown
+  /// (the harness then infers it from the labels) or not a classification
+  /// task.
+  virtual int64_t ClassCount(int task) const {
+    (void)task;
+    return 0;
+  }
+};
+
+/// Gathers rows `idx` along dim 0 of a tensor of any rank ≥ 1.
+Tensor GatherDim0(const Tensor& t, const std::vector<int64_t>& idx);
+
+/// Row subset of a batch: gathers x, y (if defined) and labels. For pixel
+/// tasks, `labels_per_row` is the number of label entries per example
+/// (h*w); 1 for ordinary tasks.
+Batch SubsetBatch(const Batch& full, const std::vector<int64_t>& idx,
+                  int64_t labels_per_row = 1);
+
+/// Draws `count` distinct indices from [0, n) (or with replacement when
+/// count > n).
+std::vector<int64_t> SampleIndices(int64_t n, int count, Rng& rng);
+
+}  // namespace data
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_DATA_DATASET_H_

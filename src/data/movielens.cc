@@ -1,0 +1,90 @@
+#include "data/movielens.h"
+
+#include <cmath>
+
+namespace mocograd {
+namespace data {
+
+MovieLensSim::MovieLensSim(const MovieLensConfig& config) : config_(config) {
+  MG_CHECK_GT(config_.num_genres, 0);
+  MG_CHECK_GE(config_.relatedness, 0.0f);
+  MG_CHECK_LE(config_.relatedness, 1.0f);
+  Rng rng(config_.seed);
+
+  const int l = config_.latent_dim;
+  user_factors_.resize(static_cast<size_t>(config_.num_users) * l);
+  for (float& v : user_factors_) v = rng.Normal();
+  item_factors_.resize(static_cast<size_t>(config_.num_items) * l);
+  for (float& v : item_factors_) v = rng.Normal();
+
+  // Common taste component shared by all genres.
+  std::vector<float> common(static_cast<size_t>(l) * l);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(l));
+  for (float& v : common) v = rng.Normal(0.0f, scale);
+
+  genre_transform_.resize(config_.num_genres);
+  genre_bias_.resize(config_.num_genres);
+  for (int g = 0; g < config_.num_genres; ++g) {
+    genre_transform_[g].resize(static_cast<size_t>(l) * l);
+    for (size_t i = 0; i < genre_transform_[g].size(); ++i) {
+      const float priv = rng.Normal(0.0f, scale);
+      genre_transform_[g][i] = config_.relatedness * common[i] +
+                               (1.0f - config_.relatedness) * priv;
+    }
+    genre_bias_[g] = rng.Normal(0.0f, 0.3f);
+  }
+
+  for (int g = 0; g < config_.num_genres; ++g) {
+    Rng split_rng = rng.Fork();
+    train_.push_back(GenerateSplit(g, config_.train_per_task, split_rng));
+    test_.push_back(GenerateSplit(g, config_.test_per_task, split_rng));
+  }
+}
+
+Batch MovieLensSim::GenerateSplit(int genre, int count, Rng& rng) const {
+  const int l = config_.latent_dim;
+  Batch batch;
+  batch.x = Tensor::Zeros({count, 2 * l});
+  batch.y = Tensor::Zeros({count, 1});
+  for (int i = 0; i < count; ++i) {
+    const int u = rng.UniformInt(0, config_.num_users);
+    const int it = rng.UniformInt(0, config_.num_items);
+    const float* uf = user_factors_.data() + static_cast<size_t>(u) * l;
+    const float* vf = item_factors_.data() + static_cast<size_t>(it) * l;
+    float* row = batch.x.data() + static_cast<int64_t>(i) * 2 * l;
+    std::copy(uf, uf + l, row);
+    std::copy(vf, vf + l, row + l);
+
+    // rating = 3 + 1.5·tanh(uᵀ M_g v + b_g) + noise, clamped to [1, 5].
+    double bilinear = 0.0;
+    const std::vector<float>& m = genre_transform_[genre];
+    for (int a = 0; a < l; ++a) {
+      double mv = 0.0;
+      for (int b = 0; b < l; ++b) mv += m[a * l + b] * vf[b];
+      bilinear += uf[a] * mv;
+    }
+    float rating = 3.0f +
+                   1.5f * std::tanh(static_cast<float>(bilinear) +
+                                    genre_bias_[genre]) +
+                   rng.Normal(0.0f, config_.noise);
+    if (rng.Bernoulli(config_.outlier_fraction)) {
+      rating = rng.Uniform(1.0f, 5.0f);  // careless-user outlier
+    }
+    batch.y.data()[i] = std::min(5.0f, std::max(1.0f, rating));
+  }
+  return batch;
+}
+
+std::vector<Batch> MovieLensSim::SampleTrainBatches(int batch_size,
+                                                    Rng& rng) const {
+  std::vector<Batch> out;
+  out.reserve(train_.size());
+  for (const Batch& full : train_) {
+    out.push_back(SubsetBatch(full, SampleIndices(full.size(), batch_size,
+                                                  rng)));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace mocograd

@@ -1,0 +1,93 @@
+#include "data/office_home.h"
+
+#include <cmath>
+
+namespace mocograd {
+namespace data {
+
+const char* OfficeHomeSim::DomainName(int task) {
+  static const char* kNames[] = {"Art", "Clipart", "Product", "RealWorld"};
+  MG_CHECK_GE(task, 0);
+  MG_CHECK_LT(task, 4);
+  return kNames[task];
+}
+
+OfficeHomeSim::OfficeHomeSim(const OfficeHomeConfig& config)
+    : config_(config) {
+  MG_CHECK_GT(config_.num_classes, 1);
+  Rng rng(config_.seed);
+  const int d = config_.feature_dim;
+
+  prototypes_.resize(static_cast<size_t>(config_.num_classes) * d);
+  for (float& v : prototypes_) v = rng.Normal(0.0f, 1.0f);
+
+  for (int dom = 0; dom < config_.num_domains; ++dom) {
+    // Style transform: identity plus a random mixing perturbation.
+    std::vector<float> m(static_cast<size_t>(d) * d, 0.0f);
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        m[i * d + j] = (i == j ? 1.0f : 0.0f) +
+                       config_.domain_shift *
+                           rng.Normal(0.0f, 1.0f / std::sqrt(float(d)));
+      }
+    }
+    std::vector<float> b(d);
+    for (float& v : b) v = config_.domain_shift * rng.Normal();
+    domain_mat_.push_back(std::move(m));
+    domain_bias_.push_back(std::move(b));
+  }
+
+  for (int dom = 0; dom < config_.num_domains; ++dom) {
+    Rng split_rng = rng.Fork();
+    train_.push_back(GenerateSplit(dom, config_.train_per_class_per_domain,
+                                   split_rng));
+    test_.push_back(GenerateSplit(dom, config_.test_per_class_per_domain,
+                                  split_rng));
+  }
+}
+
+Batch OfficeHomeSim::GenerateSplit(int domain, int per_class,
+                                   Rng& rng) const {
+  const int d = config_.feature_dim;
+  const int n = config_.num_classes * per_class;
+  Batch batch;
+  batch.x = Tensor::Zeros({n, d});
+  batch.labels.resize(n);
+
+  std::vector<float> latent(d);
+  int row = 0;
+  for (int cls = 0; cls < config_.num_classes; ++cls) {
+    const float* proto = prototypes_.data() + static_cast<size_t>(cls) * d;
+    for (int s = 0; s < per_class; ++s, ++row) {
+      for (int j = 0; j < d; ++j) {
+        latent[j] = std::tanh(proto[j] + config_.noise * rng.Normal());
+      }
+      float* xr = batch.x.data() + static_cast<int64_t>(row) * d;
+      const auto& m = domain_mat_[domain];
+      const auto& b = domain_bias_[domain];
+      for (int i = 0; i < d; ++i) {
+        double acc = b[i];
+        for (int j = 0; j < d; ++j) acc += m[i * d + j] * latent[j];
+        xr[i] = static_cast<float>(acc) + 0.1f * rng.Normal();
+      }
+      batch.labels[row] = rng.Bernoulli(config_.label_noise)
+                              ? rng.UniformInt(0, config_.num_classes)
+                              : cls;
+    }
+  }
+  return batch;
+}
+
+std::vector<Batch> OfficeHomeSim::SampleTrainBatches(int batch_size,
+                                                     Rng& rng) const {
+  std::vector<Batch> out;
+  out.reserve(train_.size());
+  for (const Batch& full : train_) {
+    out.push_back(
+        SubsetBatch(full, SampleIndices(full.size(), batch_size, rng)));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace mocograd

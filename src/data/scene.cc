@@ -1,0 +1,269 @@
+#include "data/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocograd {
+namespace data {
+
+namespace {
+
+// Fixed, distinguishable class palette (RGB per class id).
+void ClassColor(int cls, float* rgb) {
+  // Golden-angle hue walk -> stable distinct colors for up to ~20 classes.
+  const float h = std::fmod(0.137508f * static_cast<float>(cls + 1), 1.0f);
+  rgb[0] = 0.5f + 0.5f * std::sin(6.2832f * h);
+  rgb[1] = 0.5f + 0.5f * std::sin(6.2832f * h + 2.094f);
+  rgb[2] = 0.5f + 0.5f * std::sin(6.2832f * h + 4.189f);
+}
+
+// Small set of plausible surface orientations plus jitter.
+void ObjectNormal(int pick, Rng& rng, float* n) {
+  static const float kBases[5][3] = {{0, 0, 1},
+                                     {0, 0.8f, 0.6f},
+                                     {0.7f, 0, 0.71f},
+                                     {-0.7f, 0, 0.71f},
+                                     {0, -0.6f, 0.8f}};
+  const float* b = kBases[pick % 5];
+  float v[3];
+  double norm = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    v[i] = b[i] + rng.Normal(0.0f, 0.08f);
+    norm += static_cast<double>(v[i]) * v[i];
+  }
+  const float inv = 1.0f / static_cast<float>(std::sqrt(norm));
+  for (int i = 0; i < 3; ++i) n[i] = v[i] * inv;
+}
+
+}  // namespace
+
+SceneSim::SceneSim(const SceneConfig& config) : config_(config) {
+  MG_CHECK_GE(config_.hw, 8);
+  Rng rng(config_.seed);
+  Rng train_rng = rng.Fork();
+  Rng test_rng = rng.Fork();
+  train_ = GenerateSplit(config_.num_train, train_rng);
+  test_ = GenerateSplit(config_.num_test, test_rng);
+}
+
+TaskKind SceneSim::task_kind(int task) const {
+  if (task == 0) return TaskKind::kPixelClassification;  // segmentation
+  if (task == 1) return TaskKind::kPixelRegression;      // depth
+  MG_CHECK_EQ(config_.mode == SceneMode::kNyu, true, "normals are NYU-only");
+  return TaskKind::kPixelRegression;  // surface normals
+}
+
+std::vector<Batch> SceneSim::GenerateSplit(int count, Rng& rng) const {
+  const int hw = config_.hw;
+  const bool nyu = config_.mode == SceneMode::kNyu;
+  const int classes = num_classes();
+
+  Tensor images = Tensor::Zeros({count, 3, hw, hw});
+  Tensor depth = Tensor::Zeros({count, 1, hw, hw});
+  Tensor normals = nyu ? Tensor::Zeros({count, 3, hw, hw}) : Tensor();
+  std::vector<int64_t> seg(static_cast<size_t>(count) * hw * hw, 0);
+
+  for (int img = 0; img < count; ++img) {
+    // --- Background: class 0, depth falls from top (far) to bottom (near),
+    // normals: upper half wall (facing camera), lower half floor.
+    std::vector<int> cls(hw * hw, 0);         // annotated (possibly wrong)
+    std::vector<int> true_cls(hw * hw, 0);    // what the image renders
+    std::vector<float> dep(hw * hw);
+    std::vector<float> nrm(hw * hw * 3);
+    for (int y = 0; y < hw; ++y) {
+      for (int x = 0; x < hw; ++x) {
+        const int p = y * hw + x;
+        dep[p] = 0.9f - 0.55f * static_cast<float>(y) / (hw - 1);
+        const bool floor = y >= hw / 2;
+        nrm[p * 3 + 0] = 0.0f;
+        nrm[p * 3 + 1] = floor ? 0.9539f : 0.0f;
+        nrm[p * 3 + 2] = floor ? 0.3f : 1.0f;
+      }
+    }
+
+    // --- Objects: draw far-to-near so near ones occlude.
+    const int n_obj = 1 + rng.UniformInt(0, config_.max_objects);
+    struct Obj {
+      int cls, y0, y1, x0, x1, orient;
+      float depth;
+    };
+    std::vector<Obj> objs;
+    for (int o = 0; o < n_obj; ++o) {
+      Obj ob;
+      ob.cls = 1 + rng.UniformInt(0, classes - 1);
+      const int oh = 3 + rng.UniformInt(0, hw / 2 - 2);
+      const int ow = 3 + rng.UniformInt(0, hw / 2 - 2);
+      ob.y0 = rng.UniformInt(0, hw - oh);
+      ob.x0 = rng.UniformInt(0, hw - ow);
+      ob.y1 = ob.y0 + oh;
+      ob.x1 = ob.x0 + ow;
+      // Semantics correlate with geometry, as in real indoor/street scenes:
+      // each class has a characteristic depth band and surface orientation
+      // (floors are flat and near, walls vertical and far, furniture in a
+      // mid-depth band). This cross-task structure is what joint training
+      // can exploit.
+      const float band =
+          0.2f + 0.55f * static_cast<float>(ob.cls) / (classes - 1);
+      ob.depth = band + rng.Normal(0.0f, 0.06f);
+      ob.depth = std::min(0.85f, std::max(0.12f, ob.depth));
+      ob.orient = ob.cls % 5;
+      objs.push_back(ob);
+    }
+    std::sort(objs.begin(), objs.end(),
+              [](const Obj& a, const Obj& b) { return a.depth > b.depth; });
+    for (const Obj& ob : objs) {
+      float onrm[3];
+      ObjectNormal(ob.orient, rng, onrm);
+      // Annotation noise: a mislabeled instance keeps its true geometry but
+      // carries a wrong class in the segmentation ground truth.
+      const int label_cls = rng.Bernoulli(config_.annotation_noise)
+                                ? 1 + rng.UniformInt(0, classes - 1)
+                                : ob.cls;
+      for (int y = ob.y0; y < ob.y1; ++y) {
+        for (int x = ob.x0; x < ob.x1; ++x) {
+          const int p = y * hw + x;
+          if (ob.depth > dep[p]) continue;  // occluded by nearer surface
+          cls[p] = label_cls;
+          true_cls[p] = ob.cls;
+          dep[p] = ob.depth + 0.03f * rng.Normal();
+          for (int c = 0; c < 3; ++c) nrm[p * 3 + c] = onrm[c];
+        }
+      }
+    }
+
+    // --- Render image: class color modulated by depth shading + noise.
+    float* img_ptr = images.data() + static_cast<int64_t>(img) * 3 * hw * hw;
+    float* dep_ptr = depth.data() + static_cast<int64_t>(img) * hw * hw;
+    float* nrm_ptr =
+        nyu ? normals.data() + static_cast<int64_t>(img) * 3 * hw * hw
+            : nullptr;
+    for (int p = 0; p < hw * hw; ++p) {
+      float rgb[3];
+      ClassColor(true_cls[p], rgb);
+      // Lambertian-style rendering: pixel brightness couples depth
+      // attenuation with normal-dependent lighting, so recovering any one
+      // quantity from the image requires implicitly estimating the others —
+      // the cross-task synergy that makes joint training profitable on the
+      // real datasets.
+      const float ndotl = std::max(
+          0.0f, 0.3f * nrm[p * 3 + 0] + 0.5f * nrm[p * 3 + 1] +
+                    0.81f * nrm[p * 3 + 2]);
+      const float shade = (1.15f - dep[p]) * (0.55f + 0.75f * ndotl);
+      for (int c = 0; c < 3; ++c) {
+        img_ptr[c * hw * hw + p] =
+            rgb[c] * shade + rng.Normal(0.0f, config_.image_noise);
+      }
+      // Depth is stored in meters (scaled disparity units, range ≈ 0.4–2.7) so the MSE
+      // loss has the same O(1) scale as the segmentation CE and the normal
+      // loss — matching the loss balance of the real benchmark.
+      dep_ptr[p] = 3.0f * dep[p];
+      seg[static_cast<size_t>(img) * hw * hw + p] = cls[p];
+      if (nyu) {
+        for (int c = 0; c < 3; ++c) nrm_ptr[c * hw * hw + p] = nrm[p * 3 + c];
+      }
+    }
+  }
+
+  Batch seg_batch{.x = images, .y = Tensor(), .labels = std::move(seg)};
+  Batch depth_batch{.x = images, .y = depth, .labels = {}};
+  std::vector<Batch> out = {seg_batch, depth_batch};
+  if (nyu) {
+    Batch normal_batch{.x = images, .y = normals, .labels = {}};
+    out.push_back(normal_batch);
+  }
+  return out;
+}
+
+std::vector<Batch> SceneSim::SampleTrainBatches(int batch_size,
+                                                Rng& rng) const {
+  const auto idx = SampleIndices(train_[0].size(), batch_size, rng);
+  const int64_t ppx = static_cast<int64_t>(config_.hw) * config_.hw;
+  std::vector<Batch> out;
+  out.reserve(train_.size());
+  for (size_t t = 0; t < train_.size(); ++t) {
+    out.push_back(SubsetBatch(train_[t], idx, t == 0 ? ppx : 1));
+  }
+  return out;
+}
+
+ScenePixelDataset::ScenePixelDataset(const SceneSim& scene, int window,
+                                     int pixels_per_image, uint64_t seed) {
+  name_ = scene.name() + "_pixels";
+  num_classes_ = scene.num_classes();
+  const bool nyu = scene.num_tasks() == 3;
+  kinds_ = {TaskKind::kClassification, TaskKind::kRegression};
+  if (nyu) kinds_.push_back(TaskKind::kRegression);
+  input_dim_ = 3ll * window * window;
+
+  Rng rng(seed);
+  train_ = Extract(scene.TrainBatchesFull(), window, pixels_per_image, rng);
+  test_ = Extract(scene.TestBatches(), window, pixels_per_image, rng);
+}
+
+std::vector<Batch> ScenePixelDataset::Extract(const std::vector<Batch>& dense,
+                                              int window,
+                                              int pixels_per_image,
+                                              Rng& rng) const {
+  const Tensor& images = dense[0].x;  // [n, 3, hw, hw]
+  const int64_t n = images.Dim(0);
+  const int hw = static_cast<int>(images.Dim(2));
+  const int half = window / 2;
+  const int64_t m = n * pixels_per_image;
+  const bool nyu = kinds_.size() == 3;
+
+  Tensor x = Tensor::Zeros({m, input_dim_});
+  std::vector<int64_t> labels(m);
+  Tensor depth_y = Tensor::Zeros({m, 1});
+  Tensor normal_y = nyu ? Tensor::Zeros({m, 3}) : Tensor();
+
+  int64_t row = 0;
+  for (int64_t img = 0; img < n; ++img) {
+    const float* img_ptr = images.data() + img * 3 * hw * hw;
+    for (int s = 0; s < pixels_per_image; ++s, ++row) {
+      const int cy = rng.UniformInt(0, hw);
+      const int cx = rng.UniformInt(0, hw);
+      float* xr = x.data() + row * input_dim_;
+      int64_t f = 0;
+      for (int c = 0; c < 3; ++c) {
+        for (int dy = -half; dy <= half; ++dy) {
+          for (int dx = -half; dx <= half; ++dx) {
+            const int yy = cy + dy, xx = cx + dx;
+            xr[f++] = (yy >= 0 && yy < hw && xx >= 0 && xx < hw)
+                          ? img_ptr[c * hw * hw + yy * hw + xx]
+                          : 0.0f;
+          }
+        }
+      }
+      const int64_t p = static_cast<int64_t>(cy) * hw + cx;
+      labels[row] = dense[0].labels[img * hw * hw + p];
+      depth_y.data()[row] = dense[1].y.data()[img * hw * hw + p];
+      if (nyu) {
+        for (int c = 0; c < 3; ++c) {
+          normal_y.data()[row * 3 + c] =
+              dense[2].y.data()[(img * 3 + c) * hw * hw + p];
+        }
+      }
+    }
+  }
+
+  Batch seg{.x = x, .y = Tensor(), .labels = std::move(labels)};
+  Batch dep{.x = x, .y = depth_y, .labels = {}};
+  std::vector<Batch> out = {seg, dep};
+  if (nyu) {
+    Batch nrm{.x = x, .y = normal_y, .labels = {}};
+    out.push_back(nrm);
+  }
+  return out;
+}
+
+std::vector<Batch> ScenePixelDataset::SampleTrainBatches(int batch_size,
+                                                         Rng& rng) const {
+  const auto idx = SampleIndices(train_[0].size(), batch_size, rng);
+  std::vector<Batch> out;
+  out.reserve(train_.size());
+  for (const Batch& full : train_) out.push_back(SubsetBatch(full, idx));
+  return out;
+}
+
+}  // namespace data
+}  // namespace mocograd

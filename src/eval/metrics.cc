@@ -1,0 +1,204 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace eval {
+
+double Auc(const Tensor& scores, const Tensor& labels) {
+  MG_CHECK_EQ(scores.NumElements(), labels.NumElements());
+  const int64_t n = scores.NumElements();
+  MG_CHECK_GT(n, 0);
+
+  // Rank-based (Mann-Whitney) AUC with average ranks for ties.
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const float* s = scores.data();
+  const float* y = labels.data();
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return s[a] < s[b]; });
+
+  double pos_rank_sum = 0.0;
+  int64_t num_pos = 0;
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j < n && s[order[j]] == s[order[i]]) ++j;
+    const double avg_rank = 0.5 * (i + j - 1) + 1.0;  // 1-based average rank
+    for (int64_t t = i; t < j; ++t) {
+      if (y[order[t]] > 0.5f) {
+        pos_rank_sum += avg_rank;
+        ++num_pos;
+      }
+    }
+    i = j;
+  }
+  const int64_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  return (pos_rank_sum - 0.5 * num_pos * (num_pos + 1)) /
+         (static_cast<double>(num_pos) * num_neg);
+}
+
+double Rmse(const Tensor& pred, const Tensor& target) {
+  MG_CHECK_EQ(pred.NumElements(), target.NumElements());
+  const int64_t n = pred.NumElements();
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = pred[i] - target[i];
+    s += d * d;
+  }
+  return std::sqrt(s / n);
+}
+
+double Mae(const Tensor& pred, const Tensor& target) {
+  MG_CHECK_EQ(pred.NumElements(), target.NumElements());
+  const int64_t n = pred.NumElements();
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += std::fabs(pred[i] - target[i]);
+  return s / n;
+}
+
+double AbsErr(const Tensor& pred, const Tensor& target) {
+  return Mae(pred, target);
+}
+
+double RelErr(const Tensor& pred, const Tensor& target) {
+  MG_CHECK_EQ(pred.NumElements(), target.NumElements());
+  const int64_t n = pred.NumElements();
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    s += std::fabs(pred[i] - target[i]) /
+         std::max(1e-6f, std::fabs(target[i]));
+  }
+  return 100.0 * s / n;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  MG_CHECK_EQ(logits.Dim(0), static_cast<int64_t>(labels.size()));
+  const auto preds = tops::ArgMaxRows(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / labels.size();
+}
+
+namespace {
+
+// Flattens [n, C, H, W] logits into per-pixel argmax predictions in the
+// same row-major pixel order as the label vector.
+std::vector<int64_t> PixelArgmax(const Tensor& logits) {
+  MG_CHECK_EQ(logits.Rank(), 4);
+  const int64_t n = logits.Dim(0), c = logits.Dim(1), h = logits.Dim(2),
+                w = logits.Dim(3);
+  std::vector<int64_t> preds(n * h * w);
+  const float* p = logits.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t pix = 0; pix < h * w; ++pix) {
+      int64_t best = 0;
+      float best_v = p[(b * c) * h * w + pix];
+      for (int64_t ch = 1; ch < c; ++ch) {
+        const float v = p[(b * c + ch) * h * w + pix];
+        if (v > best_v) {
+          best_v = v;
+          best = ch;
+        }
+      }
+      preds[b * h * w + pix] = best;
+    }
+  }
+  return preds;
+}
+
+}  // namespace
+
+double PixelAccuracy(const Tensor& logits,
+                     const std::vector<int64_t>& labels) {
+  const auto preds = PixelArgmax(logits);
+  MG_CHECK_EQ(preds.size(), labels.size());
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / labels.size();
+}
+
+double MeanIou(const Tensor& logits, const std::vector<int64_t>& labels,
+               int num_classes) {
+  const auto preds = PixelArgmax(logits);
+  MG_CHECK_EQ(preds.size(), labels.size());
+  std::vector<int64_t> inter(num_classes, 0), uni(num_classes, 0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int64_t t = labels[i], p = preds[i];
+    MG_CHECK_LT(t, num_classes);
+    if (t == p) {
+      ++inter[t];
+      ++uni[t];
+    } else {
+      ++uni[t];
+      if (p < num_classes) ++uni[p];
+    }
+  }
+  double iou_sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    if (uni[c] == 0) continue;
+    iou_sum += static_cast<double>(inter[c]) / uni[c];
+    ++present;
+  }
+  return present > 0 ? iou_sum / present : 0.0;
+}
+
+NormalStats NormalAngles(const Tensor& pred, const Tensor& target) {
+  MG_CHECK_EQ(pred.Rank(), 4);
+  MG_CHECK(pred.shape() == target.shape(), "normal map shape mismatch");
+  MG_CHECK_EQ(pred.Dim(1), 3);
+  const int64_t n = pred.Dim(0), h = pred.Dim(2), w = pred.Dim(3);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+
+  std::vector<double> angles;
+  angles.reserve(n * h * w);
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t pix = 0; pix < h * w; ++pix) {
+      double dp = 0.0, np = 0.0, nt = 0.0;
+      for (int64_t c = 0; c < 3; ++c) {
+        const double pv = pp[(b * 3 + c) * h * w + pix];
+        const double tv = pt[(b * 3 + c) * h * w + pix];
+        dp += pv * tv;
+        np += pv * pv;
+        nt += tv * tv;
+      }
+      const double denom = std::sqrt(np) * std::sqrt(nt);
+      double cosv = denom > 1e-12 ? dp / denom : 0.0;
+      cosv = std::clamp(cosv, -1.0, 1.0);
+      angles.push_back(std::acos(cosv) * 180.0 / M_PI);
+    }
+  }
+  NormalStats stats;
+  double sum = 0.0;
+  int64_t w11 = 0, w22 = 0, w30 = 0;
+  for (double a : angles) {
+    sum += a;
+    if (a < 11.25) ++w11;
+    if (a < 22.5) ++w22;
+    if (a < 30.0) ++w30;
+  }
+  const double count = static_cast<double>(angles.size());
+  stats.mean_deg = sum / count;
+  std::nth_element(angles.begin(), angles.begin() + angles.size() / 2,
+                   angles.end());
+  stats.median_deg = angles[angles.size() / 2];
+  stats.within_11 = w11 / count;
+  stats.within_22 = w22 / count;
+  stats.within_30 = w30 / count;
+  return stats;
+}
+
+}  // namespace eval
+}  // namespace mocograd

@@ -1,0 +1,56 @@
+#ifndef MOCOGRAD_EVAL_METRICS_H_
+#define MOCOGRAD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mocograd {
+namespace eval {
+
+/// Area under the ROC curve for scores (logits or probabilities, any
+/// monotone scale) against {0,1} labels. Computed exactly via the
+/// Mann-Whitney statistic with tie correction. Returns 0.5 when one class
+/// is absent.
+double Auc(const Tensor& scores, const Tensor& labels);
+
+/// Root mean squared error.
+double Rmse(const Tensor& pred, const Tensor& target);
+
+/// Mean absolute error.
+double Mae(const Tensor& pred, const Tensor& target);
+
+/// Mean |pred − target| over a dense map — the "Abs Err" of the scene
+/// benchmarks (identical to Mae; named for table parity).
+double AbsErr(const Tensor& pred, const Tensor& target);
+
+/// Mean |pred − target| / |target| (%), the scene benchmarks' "Rel Err".
+double RelErr(const Tensor& pred, const Tensor& target);
+
+/// Top-1 accuracy of [n, c] logits against labels.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+/// Per-pixel metrics of [n, C, H, W] segmentation logits against labels of
+/// length n*H*W.
+double PixelAccuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+/// Mean intersection-over-union over classes present in labels/preds.
+double MeanIou(const Tensor& logits, const std::vector<int64_t>& labels,
+               int num_classes);
+
+/// Surface-normal angle statistics between predicted and target normal maps
+/// ([n, 3, H, W]); predictions are L2-normalized per pixel first.
+struct NormalStats {
+  double mean_deg = 0.0;
+  double median_deg = 0.0;
+  double within_11 = 0.0;  // fraction of pixels within 11.25°
+  double within_22 = 0.0;  // within 22.5°
+  double within_30 = 0.0;  // within 30°
+};
+NormalStats NormalAngles(const Tensor& pred, const Tensor& target);
+
+}  // namespace eval
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_EVAL_METRICS_H_

@@ -1,0 +1,34 @@
+#ifndef MOCOGRAD_HARNESS_REPORT_H_
+#define MOCOGRAD_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "harness/experiment.h"
+
+namespace mocograd {
+namespace harness {
+
+/// One labeled run in a report (method name → its RunResult).
+struct LabeledRun {
+  std::string label;
+  RunResult result;
+};
+
+/// Serializes a set of runs to CSV with one row per (run, task, metric):
+///   label,task,metric,value,higher_is_better
+/// plus per-run summary rows (delta_m when a baseline is given, mean_gcd,
+/// backward_seconds). Suited for downstream plotting of the figures.
+std::string RunsToCsv(const std::vector<LabeledRun>& runs,
+                      const RunResult* stl_baseline = nullptr);
+
+/// Writes RunsToCsv output to a file.
+Status WriteCsvReport(const std::vector<LabeledRun>& runs,
+                      const std::string& path,
+                      const RunResult* stl_baseline = nullptr);
+
+}  // namespace harness
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_HARNESS_REPORT_H_

@@ -1,0 +1,53 @@
+#ifndef MOCOGRAD_MTL_CGC_H_
+#define MOCOGRAD_MTL_CGC_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mtl/model.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Configuration of a CGC model.
+struct CgcConfig {
+  int64_t input_dim = 0;
+  /// Number of experts shared by all tasks.
+  int num_shared_experts = 2;
+  /// Number of experts private to each task.
+  int num_task_experts = 1;
+  /// Widths of every expert MLP (ending in the feature width).
+  std::vector<int64_t> expert_dims = {32};
+  /// Hidden widths of each task head.
+  std::vector<int64_t> head_hidden;
+  /// Output width per task.
+  std::vector<int64_t> task_output_dims;
+};
+
+/// Customized Gate Control (Tang et al., RecSys 2020), the single-level
+/// core of PLE: each task gates over the shared experts plus its own
+/// private experts. Shared experts are the shared parameters; private
+/// experts, gates and heads belong to their task.
+class CgcModel : public MtlModel {
+ public:
+  CgcModel(const CgcConfig& config, Rng& rng);
+
+  int num_tasks() const override { return static_cast<int>(heads_.size()); }
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) override;
+  std::vector<Variable*> SharedParameters() override;
+  std::vector<Variable*> TaskParameters(int k) override;
+
+ private:
+  std::vector<nn::Mlp*> shared_experts_;
+  /// task_experts_[k]: private experts of task k.
+  std::vector<std::vector<nn::Mlp*>> task_experts_;
+  std::vector<nn::Linear*> gates_;
+  std::vector<nn::Mlp*> heads_;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_CGC_H_

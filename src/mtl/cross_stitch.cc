@@ -1,0 +1,107 @@
+#include "mtl/cross_stitch.h"
+
+#include <memory>
+#include <string>
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace mtl {
+
+namespace ag = autograd;
+
+CrossStitchModel::CrossStitchModel(const CrossStitchConfig& config, Rng& rng) {
+  MG_CHECK_GT(config.input_dim, 0);
+  MG_CHECK(!config.tower_dims.empty());
+  const int k = static_cast<int>(config.task_output_dims.size());
+  MG_CHECK_GT(k, 0);
+  num_layers_ = static_cast<int>(config.tower_dims.size());
+
+  towers_.resize(k);
+  for (int t = 0; t < k; ++t) {
+    int64_t prev = config.input_dim;
+    for (int l = 0; l < num_layers_; ++l) {
+      towers_[t].push_back(RegisterModule(
+          "tower" + std::to_string(t) + "_l" + std::to_string(l),
+          std::make_unique<nn::Linear>(prev, config.tower_dims[l], rng)));
+      prev = config.tower_dims[l];
+    }
+  }
+
+  // Stitch units start near-diagonal so early training behaves like
+  // independent towers.
+  for (int l = 0; l < num_layers_; ++l) {
+    Tensor init(Shape{k, k});
+    const float off = k > 1
+                          ? (1.0f - config.stitch_self_init) / (k - 1)
+                          : 0.0f;
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        init.At(i, j) = i == j ? config.stitch_self_init : off;
+      }
+    }
+    stitches_.push_back(
+        RegisterParameter("stitch" + std::to_string(l), init));
+  }
+
+  const int64_t feat = config.tower_dims.back();
+  for (int t = 0; t < k; ++t) {
+    std::vector<int64_t> head_dims = {feat};
+    head_dims.insert(head_dims.end(), config.head_hidden.begin(),
+                     config.head_hidden.end());
+    head_dims.push_back(config.task_output_dims[t]);
+    heads_.push_back(RegisterModule("head" + std::to_string(t),
+                                    std::make_unique<nn::Mlp>(head_dims, rng)));
+  }
+}
+
+std::vector<Variable> CrossStitchModel::Forward(
+    const std::vector<Variable>& inputs) {
+  const int k = num_tasks();
+  MG_CHECK_EQ(static_cast<int>(inputs.size()), k);
+  std::vector<Variable> h(inputs.begin(), inputs.end());
+  for (int l = 0; l < num_layers_; ++l) {
+    // Per-task layer + nonlinearity.
+    std::vector<Variable> z(k);
+    for (int t = 0; t < k; ++t) {
+      z[t] = ag::Relu(towers_[t][l]->Forward(h[t]));
+    }
+    // Stitch: h_t' = Σ_m α[t,m] z_m with α the K×K stitch matrix. The
+    // scalar α[t,m] is sliced out as a [1,1] Variable and broadcast.
+    Variable alpha_flat = ag::Reshape(*stitches_[l], {1, k * k});
+    for (int t = 0; t < k; ++t) {
+      Variable mixed;
+      for (int m = 0; m < k; ++m) {
+        Variable a = ag::SliceCols(alpha_flat, t * k + m, 1);  // [1,1]
+        Variable contrib = ag::Mul(z[m], a);
+        mixed = mixed.defined() ? ag::Add(mixed, contrib) : contrib;
+      }
+      h[t] = mixed;
+    }
+  }
+  std::vector<Variable> outputs;
+  outputs.reserve(k);
+  for (int t = 0; t < k; ++t) outputs.push_back(heads_[t]->Forward(h[t]));
+  return outputs;
+}
+
+std::vector<Variable*> CrossStitchModel::SharedParameters() {
+  std::vector<Variable*> out;
+  for (auto& tower : towers_) {
+    for (nn::Linear* l : tower) {
+      auto p = l->Parameters();
+      out.insert(out.end(), p.begin(), p.end());
+    }
+  }
+  out.insert(out.end(), stitches_.begin(), stitches_.end());
+  return out;
+}
+
+std::vector<Variable*> CrossStitchModel::TaskParameters(int k) {
+  MG_CHECK_GE(k, 0);
+  MG_CHECK_LT(k, num_tasks());
+  return heads_[k]->Parameters();
+}
+
+}  // namespace mtl
+}  // namespace mocograd

@@ -1,0 +1,52 @@
+#ifndef MOCOGRAD_MTL_CROSS_STITCH_H_
+#define MOCOGRAD_MTL_CROSS_STITCH_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mtl/model.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Configuration of a Cross-stitch model.
+struct CrossStitchConfig {
+  int64_t input_dim = 0;
+  /// Width of each tower layer; the towers have dims.size() layers.
+  std::vector<int64_t> tower_dims = {32, 32};
+  /// Hidden widths of each task head.
+  std::vector<int64_t> head_hidden;
+  /// Output width per task.
+  std::vector<int64_t> task_output_dims;
+  /// Initial self-weight of the stitch units (rest split evenly).
+  float stitch_self_init = 0.9f;
+};
+
+/// Cross-stitch networks (Misra et al., CVPR 2016): one tower per task,
+/// with learnable K×K "stitch" units after every layer linearly recombining
+/// the task activations. Towers and stitch units are coupled across tasks,
+/// so they all count as shared parameters; only the heads are task-specific.
+class CrossStitchModel : public MtlModel {
+ public:
+  CrossStitchModel(const CrossStitchConfig& config, Rng& rng);
+
+  int num_tasks() const override { return static_cast<int>(heads_.size()); }
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) override;
+  std::vector<Variable*> SharedParameters() override;
+  std::vector<Variable*> TaskParameters(int k) override;
+
+ private:
+  int num_layers_;
+  /// towers_[k][l]: layer l of task k's tower.
+  std::vector<std::vector<nn::Linear*>> towers_;
+  /// stitches_[l]: K×K stitch matrix applied after layer l.
+  std::vector<Variable*> stitches_;
+  std::vector<nn::Mlp*> heads_;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_CROSS_STITCH_H_

@@ -1,0 +1,58 @@
+#ifndef MOCOGRAD_MTL_EMBEDDING_HPS_H_
+#define MOCOGRAD_MTL_EMBEDDING_HPS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mtl/model.h"
+#include "nn/embedding.h"
+#include "nn/mlp.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Configuration of the embedding + MLP recommendation model.
+struct EmbeddingHpsConfig {
+  /// One categorical feature column.
+  struct CatSpec {
+    int64_t cardinality = 0;
+    int64_t embedding_dim = 8;
+  };
+
+  /// Width of the dense (real-valued) feature prefix of the input.
+  int64_t dense_dim = 0;
+  /// Categorical columns; the input carries their ids as float-encoded
+  /// values in the columns following the dense prefix.
+  std::vector<CatSpec> cat_specs;
+  /// Trunk widths after the [dense ‖ embeddings] concatenation.
+  std::vector<int64_t> shared_dims = {64, 32};
+  /// Hidden widths of each task head.
+  std::vector<int64_t> head_hidden;
+  /// Output width per task.
+  std::vector<int64_t> task_output_dims;
+};
+
+/// Embedding-layer + MLP hard-parameter-sharing model, the CTR/CTCVR
+/// architecture used on the AliExpress workload (paper §V-D: "an embedding
+/// layer followed by two-layer MLP as task-shared layers"). Embedding
+/// tables and the trunk are shared; each task owns its head.
+class EmbeddingHpsModel : public MtlModel {
+ public:
+  EmbeddingHpsModel(const EmbeddingHpsConfig& config, Rng& rng);
+
+  int num_tasks() const override { return static_cast<int>(heads_.size()); }
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) override;
+  std::vector<Variable*> SharedParameters() override;
+  std::vector<Variable*> TaskParameters(int k) override;
+
+ private:
+  EmbeddingHpsConfig config_;
+  std::vector<nn::Embedding*> embeddings_;
+  nn::Mlp* trunk_;
+  std::vector<nn::Mlp*> heads_;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_EMBEDDING_HPS_H_

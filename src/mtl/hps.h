@@ -1,0 +1,45 @@
+#ifndef MOCOGRAD_MTL_HPS_H_
+#define MOCOGRAD_MTL_HPS_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mtl/model.h"
+#include "nn/mlp.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Configuration of a hard-parameter-sharing MLP model.
+struct HpsConfig {
+  /// Input feature width.
+  int64_t input_dim = 0;
+  /// Trunk widths, ending in the shared representation width, e.g. {64, 32}.
+  std::vector<int64_t> shared_dims;
+  /// Hidden widths of each task head (may be empty for a linear head).
+  std::vector<int64_t> head_hidden;
+  /// Output width per task (1 for scalar regression / binary logit,
+  /// #classes for classification).
+  std::vector<int64_t> task_output_dims;
+};
+
+/// Hard-parameter sharing (HPS): one shared MLP trunk, one light MLP head
+/// per task — the architecture used for the paper's main tables.
+class HpsModel : public MtlModel {
+ public:
+  HpsModel(const HpsConfig& config, Rng& rng);
+
+  int num_tasks() const override { return static_cast<int>(heads_.size()); }
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) override;
+  std::vector<Variable*> SharedParameters() override;
+  std::vector<Variable*> TaskParameters(int k) override;
+
+ private:
+  nn::Mlp* trunk_;
+  std::vector<nn::Mlp*> heads_;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_HPS_H_

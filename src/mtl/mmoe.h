@@ -1,0 +1,48 @@
+#ifndef MOCOGRAD_MTL_MMOE_H_
+#define MOCOGRAD_MTL_MMOE_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mtl/model.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Configuration of an MMoE model.
+struct MmoeConfig {
+  int64_t input_dim = 0;
+  /// Number of expert networks.
+  int num_experts = 4;
+  /// Widths of each expert MLP (ending in the shared feature width).
+  std::vector<int64_t> expert_dims = {32};
+  /// Hidden widths of each task head.
+  std::vector<int64_t> head_hidden;
+  /// Output width per task.
+  std::vector<int64_t> task_output_dims;
+};
+
+/// Multi-gate Mixture-of-Experts (Ma et al., KDD 2018): E shared experts
+/// fused per task by a learned softmax gate over the input. Experts are the
+/// shared parameters; each task owns its gate and head.
+class MmoeModel : public MtlModel {
+ public:
+  MmoeModel(const MmoeConfig& config, Rng& rng);
+
+  int num_tasks() const override { return static_cast<int>(heads_.size()); }
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) override;
+  std::vector<Variable*> SharedParameters() override;
+  std::vector<Variable*> TaskParameters(int k) override;
+
+ private:
+  std::vector<nn::Mlp*> experts_;
+  std::vector<nn::Linear*> gates_;
+  std::vector<nn::Mlp*> heads_;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_MMOE_H_

@@ -1,0 +1,45 @@
+#ifndef MOCOGRAD_MTL_MODEL_H_
+#define MOCOGRAD_MTL_MODEL_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace mocograd {
+namespace mtl {
+
+using autograd::Variable;
+
+/// A multi-task model: shared representation plus per-task branches.
+///
+/// Forward takes one input Variable per task (multi-input MTL); single-input
+/// datasets pass the same Variable K times. The shared/task parameter split
+/// is what the gradient-surgery trainer operates on: per-task gradients are
+/// taken w.r.t. SharedParameters() and combined by a GradientAggregator,
+/// while TaskParameters(k) only ever receive task k's own gradient.
+class MtlModel : public nn::Module {
+ public:
+  virtual int num_tasks() const = 0;
+
+  /// One prediction per task. `inputs.size()` must equal num_tasks().
+  virtual std::vector<Variable> Forward(
+      const std::vector<Variable>& inputs) = 0;
+
+  /// Parameters updated by all tasks (trunk, experts, stitch units, ...).
+  virtual std::vector<Variable*> SharedParameters() = 0;
+
+  /// Parameters owned by task `k` (its head, gate, attention module, ...).
+  virtual std::vector<Variable*> TaskParameters(int k) = 0;
+
+  /// Total size of the flattened shared-parameter vector.
+  int64_t SharedDim() {
+    int64_t n = 0;
+    for (Variable* p : SharedParameters()) n += p->NumElements();
+    return n;
+  }
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_MODEL_H_

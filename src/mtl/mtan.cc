@@ -1,0 +1,63 @@
+#include "mtl/mtan.h"
+
+#include <memory>
+#include <string>
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace mtl {
+
+namespace ag = autograd;
+
+MtanModel::MtanModel(const MtanConfig& config, Rng& rng) {
+  MG_CHECK_GT(config.input_dim, 0);
+  MG_CHECK(!config.shared_dims.empty());
+  MG_CHECK(!config.task_output_dims.empty());
+
+  std::vector<int64_t> trunk_dims = {config.input_dim};
+  trunk_dims.insert(trunk_dims.end(), config.shared_dims.begin(),
+                    config.shared_dims.end());
+  trunk_ = RegisterModule("trunk", std::make_unique<nn::Mlp>(trunk_dims, rng));
+
+  const int64_t feat = config.shared_dims.back();
+  for (size_t k = 0; k < config.task_output_dims.size(); ++k) {
+    attentions_.push_back(
+        RegisterModule("attn" + std::to_string(k),
+                       std::make_unique<nn::Linear>(feat, feat, rng)));
+    std::vector<int64_t> head_dims = {feat};
+    head_dims.insert(head_dims.end(), config.head_hidden.begin(),
+                     config.head_hidden.end());
+    head_dims.push_back(config.task_output_dims[k]);
+    heads_.push_back(RegisterModule("head" + std::to_string(k),
+                                    std::make_unique<nn::Mlp>(head_dims, rng)));
+  }
+}
+
+std::vector<Variable> MtanModel::Forward(const std::vector<Variable>& inputs) {
+  MG_CHECK_EQ(static_cast<int>(inputs.size()), num_tasks());
+  std::vector<Variable> outputs;
+  outputs.reserve(heads_.size());
+  for (size_t k = 0; k < heads_.size(); ++k) {
+    Variable z = ag::Relu(trunk_->Forward(inputs[k]));
+    Variable mask = ag::Sigmoid(attentions_[k]->Forward(z));
+    outputs.push_back(heads_[k]->Forward(ag::Mul(mask, z)));
+  }
+  return outputs;
+}
+
+std::vector<Variable*> MtanModel::SharedParameters() {
+  return trunk_->Parameters();
+}
+
+std::vector<Variable*> MtanModel::TaskParameters(int k) {
+  MG_CHECK_GE(k, 0);
+  MG_CHECK_LT(k, num_tasks());
+  std::vector<Variable*> out = attentions_[k]->Parameters();
+  auto h = heads_[k]->Parameters();
+  out.insert(out.end(), h.begin(), h.end());
+  return out;
+}
+
+}  // namespace mtl
+}  // namespace mocograd

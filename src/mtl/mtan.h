@@ -1,0 +1,48 @@
+#ifndef MOCOGRAD_MTL_MTAN_H_
+#define MOCOGRAD_MTL_MTAN_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mtl/model.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Configuration of an MTAN-style model.
+struct MtanConfig {
+  int64_t input_dim = 0;
+  /// Shared trunk widths (ending in the feature width).
+  std::vector<int64_t> shared_dims = {64, 32};
+  /// Hidden widths of each task head.
+  std::vector<int64_t> head_hidden;
+  /// Output width per task.
+  std::vector<int64_t> task_output_dims;
+};
+
+/// Multi-Task Attention Network (Liu et al., CVPR 2019), MLP variant: a
+/// shared trunk plus one sigmoid attention module per task that selects the
+/// task-relevant slice of the shared features:
+///   h_k = σ(W_k z) ⊙ z.
+/// The trunk is shared; attention modules and heads are task-specific.
+class MtanModel : public MtlModel {
+ public:
+  MtanModel(const MtanConfig& config, Rng& rng);
+
+  int num_tasks() const override { return static_cast<int>(heads_.size()); }
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) override;
+  std::vector<Variable*> SharedParameters() override;
+  std::vector<Variable*> TaskParameters(int k) override;
+
+ private:
+  nn::Mlp* trunk_;
+  std::vector<nn::Linear*> attentions_;
+  std::vector<nn::Mlp*> heads_;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_MTAN_H_

@@ -1,0 +1,67 @@
+#include "mtl/scene_model.h"
+
+#include <memory>
+#include <string>
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace mtl {
+
+namespace ag = autograd;
+
+SceneConvModel::SceneConvModel(const SceneConvConfig& config, Rng& rng) {
+  MG_CHECK_GT(config.in_channels, 0);
+  MG_CHECK_GT(config.num_encoder_layers, 0);
+  MG_CHECK(!config.task_out_channels.empty());
+
+  int64_t prev = config.in_channels;
+  for (int l = 0; l < config.num_encoder_layers; ++l) {
+    encoder_.push_back(RegisterModule(
+        "enc" + std::to_string(l),
+        std::make_unique<nn::Conv2d>(prev, config.width, /*kernel=*/3,
+                                     /*stride=*/1, /*padding=*/1, rng)));
+    prev = config.width;
+  }
+  for (size_t k = 0; k < config.task_out_channels.size(); ++k) {
+    heads_.push_back(RegisterModule(
+        "head" + std::to_string(k),
+        std::make_unique<nn::Conv2d>(config.width,
+                                     config.task_out_channels[k],
+                                     /*kernel=*/3, /*stride=*/1,
+                                     /*padding=*/1, rng)));
+  }
+}
+
+std::vector<Variable> SceneConvModel::Forward(
+    const std::vector<Variable>& inputs) {
+  MG_CHECK_EQ(static_cast<int>(inputs.size()), num_tasks());
+  // Scene understanding is single-input MTL: all tasks see the same image
+  // batch, so the encoder runs once on inputs[0].
+  Variable z = inputs[0];
+  for (nn::Conv2d* conv : encoder_) {
+    z = ag::Relu(conv->Forward(z));
+  }
+  std::vector<Variable> outputs;
+  outputs.reserve(heads_.size());
+  for (nn::Conv2d* head : heads_) outputs.push_back(head->Forward(z));
+  return outputs;
+}
+
+std::vector<Variable*> SceneConvModel::SharedParameters() {
+  std::vector<Variable*> out;
+  for (nn::Conv2d* c : encoder_) {
+    auto p = c->Parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<Variable*> SceneConvModel::TaskParameters(int k) {
+  MG_CHECK_GE(k, 0);
+  MG_CHECK_LT(k, num_tasks());
+  return heads_[k]->Parameters();
+}
+
+}  // namespace mtl
+}  // namespace mocograd

@@ -1,0 +1,46 @@
+#ifndef MOCOGRAD_MTL_SCENE_MODEL_H_
+#define MOCOGRAD_MTL_SCENE_MODEL_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "mtl/model.h"
+#include "nn/conv.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Configuration of the dense-prediction (scene understanding) model.
+struct SceneConvConfig {
+  int64_t in_channels = 3;
+  /// Encoder channel width.
+  int64_t width = 16;
+  /// Number of 3×3 stride-1 encoder convolutions.
+  int num_encoder_layers = 2;
+  /// Output channels per task (e.g. {13, 1, 3} for NYUv2's segmentation /
+  /// depth / surface normals).
+  std::vector<int64_t> task_out_channels;
+};
+
+/// Convolutional hard-parameter-sharing model for dense prediction: a
+/// shared fully-convolutional encoder (spatial dims preserved) and one
+/// 3×3 conv head per task producing a per-pixel map — the laptop-scale
+/// stand-in for the paper's ResNet-50 + ASPP backbone on NYUv2/CityScapes.
+class SceneConvModel : public MtlModel {
+ public:
+  SceneConvModel(const SceneConvConfig& config, Rng& rng);
+
+  int num_tasks() const override { return static_cast<int>(heads_.size()); }
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) override;
+  std::vector<Variable*> SharedParameters() override;
+  std::vector<Variable*> TaskParameters(int k) override;
+
+ private:
+  std::vector<nn::Conv2d*> encoder_;
+  std::vector<nn::Conv2d*> heads_;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_SCENE_MODEL_H_

@@ -1,0 +1,176 @@
+#include "mtl/trainer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "autograd/ops.h"
+#include "base/stopwatch.h"
+#include "core/grad_matrix.h"
+
+namespace mocograd {
+namespace mtl {
+
+namespace ag = autograd;
+using data::Batch;
+using data::TaskKind;
+
+Variable TaskLoss(TaskKind kind, const Variable& pred, const Batch& batch) {
+  switch (kind) {
+    case TaskKind::kBinaryLogistic:
+      return ag::BceWithLogits(pred, batch.y);
+    case TaskKind::kRegression:
+    case TaskKind::kRegressionMae:
+      return ag::MseLoss(pred, batch.y);
+    case TaskKind::kRegressionL1:
+      return ag::L1Loss(pred, batch.y);
+    case TaskKind::kClassification:
+      return ag::SoftmaxCrossEntropy(pred, batch.labels);
+    case TaskKind::kPixelClassification:
+      return ag::SoftmaxCrossEntropy(ag::ChannelsToLast(pred), batch.labels);
+    case TaskKind::kPixelRegression:
+      return ag::MseLoss(pred, batch.y);
+  }
+  MG_FATAL("unhandled TaskKind");
+}
+
+MtlTrainer::MtlTrainer(MtlModel* model, core::GradientAggregator* aggregator,
+                       optim::Optimizer* optimizer,
+                       std::vector<data::TaskKind> kinds, uint64_t seed)
+    : model_(model),
+      aggregator_(aggregator),
+      optimizer_(optimizer),
+      kinds_(std::move(kinds)),
+      rng_(seed) {
+  MG_CHECK(model_ != nullptr && aggregator_ != nullptr &&
+           optimizer_ != nullptr);
+  MG_CHECK_EQ(static_cast<int>(kinds_.size()), model_->num_tasks(),
+              "one TaskKind per task");
+}
+
+StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
+  const int k = model_->num_tasks();
+  MG_CHECK_EQ(static_cast<int>(batches.size()), k, "one batch per task");
+
+  // Forward all tasks on one shared tape.
+  std::vector<Variable> inputs;
+  inputs.reserve(k);
+  for (const Batch& b : batches) {
+    inputs.emplace_back(b.x, /*requires_grad=*/false);
+  }
+  std::vector<Variable> preds = model_->Forward(inputs);
+  MG_CHECK_EQ(static_cast<int>(preds.size()), k);
+
+  StepStats stats;
+  std::vector<Variable> losses;
+  losses.reserve(k);
+  for (int t = 0; t < k; ++t) {
+    losses.push_back(TaskLoss(kinds_[t], preds[t], batches[t]));
+    stats.losses.push_back(losses.back().value().Item());
+  }
+
+  Stopwatch backward_timer;
+
+  // One backward per task; harvest flattened shared grads and stash each
+  // task's specific-parameter grads (zeroed between tasks).
+  std::vector<Variable*> shared = model_->SharedParameters();
+  int64_t shared_dim = 0;
+  for (Variable* p : shared) shared_dim += p->NumElements();
+  core::GradMatrix task_grads(k, shared_dim);
+  std::vector<std::vector<Tensor>> task_specific_grads(k);
+
+  for (int t = 0; t < k; ++t) {
+    model_->ZeroGrad();
+    losses[t].Backward();
+    float* row = task_grads.Row(t);
+    int64_t off = 0;
+    for (Variable* p : shared) {
+      const int64_t n = p->NumElements();
+      if (p->has_grad()) {
+        std::memcpy(row + off, p->grad().data(), n * sizeof(float));
+      } else {
+        std::memset(row + off, 0, n * sizeof(float));
+      }
+      off += n;
+    }
+    for (Variable* p : model_->TaskParameters(t)) {
+      task_specific_grads[t].push_back(
+          p->has_grad() ? p->grad().Clone() : Tensor::Zeros(p->shape()));
+    }
+  }
+
+  stats.conflicts = core::ComputeConflictStats(task_grads);
+  if (tracker_ != nullptr) tracker_->Record(task_grads);
+
+  // Aggregate.
+  core::AggregationContext ctx;
+  ctx.task_grads = &task_grads;
+  ctx.losses = &stats.losses;
+  ctx.step = step_;
+  ctx.rng = &rng_;
+  core::AggregationResult agg = aggregator_->Aggregate(ctx);
+  stats.aggregator_conflicts = agg.num_conflicts;
+  MG_CHECK_EQ(static_cast<int64_t>(agg.shared_grad.size()), shared_dim);
+  MG_CHECK_EQ(static_cast<int>(agg.task_weights.size()), k);
+
+  stats.backward_seconds = backward_timer.ElapsedSeconds();
+
+  // Write the combined gradient back onto the parameters and step.
+  model_->ZeroGrad();
+  {
+    int64_t off = 0;
+    for (Variable* p : shared) {
+      const int64_t n = p->NumElements();
+      std::memcpy(p->mutable_grad().data(), agg.shared_grad.data() + off,
+                  n * sizeof(float));
+      off += n;
+    }
+  }
+  for (int t = 0; t < k; ++t) {
+    auto params = model_->TaskParameters(t);
+    MG_CHECK_EQ(params.size(), task_specific_grads[t].size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      Tensor& g = params[i]->mutable_grad();
+      g.CopyFrom(task_specific_grads[t][i]);
+      tops::ScaleInPlace(g, agg.task_weights[t]);
+    }
+  }
+  if (max_grad_norm_ > 0.0f) {
+    // Global-norm clipping over every parameter gradient about to be
+    // applied (the LibMTL-style safety net against aggregation spikes).
+    double total = 0.0;
+    for (Variable* p : model_->Parameters()) {
+      if (!p->has_grad()) continue;
+      const float n = tops::Norm(p->grad());
+      total += static_cast<double>(n) * n;
+    }
+    const double norm = std::sqrt(total);
+    if (norm > max_grad_norm_) {
+      const float scale = max_grad_norm_ / static_cast<float>(norm);
+      for (Variable* p : model_->Parameters()) {
+        if (p->has_grad()) tops::ScaleInPlace(p->mutable_grad(), scale);
+      }
+    }
+  }
+
+  optimizer_->Step();
+  ++step_;
+  return stats;
+}
+
+std::vector<Tensor> MtlTrainer::Predict(const std::vector<Batch>& batches) {
+  const int k = model_->num_tasks();
+  MG_CHECK_EQ(static_cast<int>(batches.size()), k);
+  std::vector<Variable> inputs;
+  inputs.reserve(k);
+  for (const Batch& b : batches) {
+    inputs.emplace_back(b.x, /*requires_grad=*/false);
+  }
+  std::vector<Variable> preds = model_->Forward(inputs);
+  std::vector<Tensor> out;
+  out.reserve(k);
+  for (const Variable& p : preds) out.push_back(p.value());
+  return out;
+}
+
+}  // namespace mtl
+}  // namespace mocograd

@@ -1,0 +1,90 @@
+#ifndef MOCOGRAD_MTL_TRAINER_H_
+#define MOCOGRAD_MTL_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/aggregator.h"
+#include "core/analysis.h"
+#include "core/conflict.h"
+#include "data/batch.h"
+#include "mtl/model.h"
+#include "optim/optimizer.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Statistics of one optimization step.
+struct StepStats {
+  /// Raw per-task loss values.
+  std::vector<float> losses;
+  /// Pairwise conflict statistics of the per-task shared gradients — the
+  /// GCD signal used in the paper's analysis (Fig. 2).
+  core::ConflictStats conflicts;
+  /// Conflicts the aggregation method itself acted on.
+  int aggregator_conflicts = 0;
+  /// Wall-clock seconds spent in the K backward passes + aggregation (the
+  /// quantity of the paper's Fig. 8).
+  double backward_seconds = 0.0;
+};
+
+/// The per-task loss for a prediction given its batch and task kind.
+autograd::Variable TaskLoss(data::TaskKind kind,
+                            const autograd::Variable& pred,
+                            const data::Batch& batch);
+
+/// Orchestrates gradient-surgery training:
+///   forward all tasks → one backward per task → flatten shared-parameter
+///   gradients into a GradMatrix → GradientAggregator → write combined
+///   gradient back → optimizer step.
+/// Task-specific parameters receive only their own task's gradient, scaled
+/// by the aggregator's task weights (loss-weighting methods).
+class MtlTrainer {
+ public:
+  /// Borrows all components; they must outlive the trainer. `seed` drives
+  /// the trainer's private Rng handed to stochastic aggregators.
+  MtlTrainer(MtlModel* model, core::GradientAggregator* aggregator,
+             optim::Optimizer* optimizer, std::vector<data::TaskKind> kinds,
+             uint64_t seed);
+
+  /// Runs one optimization step on one batch per task (single-input callers
+  /// pass batches sharing the same `x`).
+  StepStats Step(const std::vector<data::Batch>& batches);
+
+  /// Forward pass only (no tape kept on parameters), for evaluation.
+  std::vector<Tensor> Predict(const std::vector<data::Batch>& batches);
+
+  MtlModel* model() { return model_; }
+  int64_t steps_done() const { return step_; }
+
+  /// Optional: record every step's task-gradient matrix into a
+  /// ConflictTracker (borrowed; pass nullptr to stop tracking).
+  void set_conflict_tracker(core::ConflictTracker* tracker) {
+    tracker_ = tracker;
+  }
+
+  /// Optional global-norm gradient clipping applied to the aggregated
+  /// update (shared + task-specific gradients jointly) before the
+  /// optimizer step; 0 disables (default).
+  void set_max_grad_norm(float max_norm) {
+    MG_CHECK_GE(max_norm, 0.0f);
+    max_grad_norm_ = max_norm;
+  }
+  float max_grad_norm() const { return max_grad_norm_; }
+
+ private:
+  MtlModel* model_;
+  core::GradientAggregator* aggregator_;
+  optim::Optimizer* optimizer_;
+  std::vector<data::TaskKind> kinds_;
+  Rng rng_;
+  int64_t step_ = 0;
+  core::ConflictTracker* tracker_ = nullptr;
+  float max_grad_norm_ = 0.0f;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_TRAINER_H_

@@ -1,0 +1,32 @@
+#ifndef MOCOGRAD_NN_ACTIVATION_H_
+#define MOCOGRAD_NN_ACTIVATION_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Stateless activation layers so nonlinearities can live in Sequential.
+
+class ReluLayer : public Layer {
+ public:
+  Variable Forward(const Variable& x) override { return autograd::Relu(x); }
+};
+
+class TanhLayer : public Layer {
+ public:
+  Variable Forward(const Variable& x) override { return autograd::Tanh(x); }
+};
+
+class SigmoidLayer : public Layer {
+ public:
+  Variable Forward(const Variable& x) override {
+    return autograd::Sigmoid(x);
+  }
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_ACTIVATION_H_

@@ -1,0 +1,28 @@
+#include "nn/conv.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace mocograd {
+namespace nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, Rng& rng) {
+  spec_.in_channels = in_channels;
+  spec_.out_channels = out_channels;
+  spec_.kernel = kernel;
+  spec_.stride = stride;
+  spec_.padding = padding;
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight_ = RegisterParameter(
+      "weight",
+      HeNormal(Shape{out_channels, in_channels, kernel, kernel}, fan_in, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_channels}));
+}
+
+Variable Conv2d::Forward(const Variable& x) {
+  return autograd::Conv2d(x, *weight_, *bias_, spec_);
+}
+
+}  // namespace nn
+}  // namespace mocograd

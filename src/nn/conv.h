@@ -1,0 +1,30 @@
+#ifndef MOCOGRAD_NN_CONV_H_
+#define MOCOGRAD_NN_CONV_H_
+
+#include "base/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace nn {
+
+/// 2-D convolution layer (NCHW), square kernel, zero padding.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, Rng& rng);
+
+  Variable Forward(const Variable& x) override;
+
+  const tops::Conv2dSpec& spec() const { return spec_; }
+
+ private:
+  tops::Conv2dSpec spec_;
+  Variable* weight_;
+  Variable* bias_;
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_CONV_H_

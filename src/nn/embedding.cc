@@ -1,0 +1,20 @@
+#include "nn/embedding.h"
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace nn {
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng& rng)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  // Small-variance normal init, the standard choice for embedding tables.
+  table_ = RegisterParameter(
+      "table", Tensor::Randn(Shape{num_embeddings, dim}, rng, 0.0f, 0.1f));
+}
+
+Variable Embedding::Forward(const std::vector<int64_t>& ids) {
+  return autograd::GatherRows(*table_, ids);
+}
+
+}  // namespace nn
+}  // namespace mocograd

@@ -1,0 +1,35 @@
+#ifndef MOCOGRAD_NN_EMBEDDING_H_
+#define MOCOGRAD_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Lookup table mapping integer ids to dense vectors; backward scatters
+/// gradients into the selected rows only.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng& rng);
+
+  /// Rows for the given ids, as a [ids.size(), dim] Variable.
+  Variable Forward(const std::vector<int64_t>& ids);
+
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t dim() const { return dim_; }
+  Variable* table() { return table_; }
+
+ private:
+  int64_t num_embeddings_;
+  int64_t dim_;
+  Variable* table_;
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_EMBEDDING_H_

@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace nn {
+
+Tensor GlorotUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  MG_CHECK_GT(fan_in + fan_out, 0);
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(std::move(shape), rng, -a, a);
+}
+
+Tensor HeNormal(Shape shape, int64_t fan_in, Rng& rng) {
+  MG_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn(std::move(shape), rng, 0.0f, stddev);
+}
+
+}  // namespace nn
+}  // namespace mocograd

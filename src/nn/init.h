@@ -1,0 +1,20 @@
+#ifndef MOCOGRAD_NN_INIT_H_
+#define MOCOGRAD_NN_INIT_H_
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+Tensor GlorotUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// He/Kaiming normal initialization: N(0, sqrt(2/fan_in)). Used ahead of
+/// ReLU nonlinearities.
+Tensor HeNormal(Shape shape, int64_t fan_in, Rng& rng);
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_INIT_H_

@@ -1,0 +1,28 @@
+#include "nn/linear.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace mocograd {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", GlorotUniform(Shape{in_features, out_features}, in_features,
+                              out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_features}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) {
+  MG_CHECK_EQ(x.shape().Rank(), 2, "Linear expects [n, in] input");
+  MG_CHECK_EQ(x.shape().Dim(1), in_features_, "Linear input width");
+  Variable y = autograd::MatMul(x, *weight_);
+  if (bias_ != nullptr) y = autograd::Add(y, *bias_);
+  return y;
+}
+
+}  // namespace nn
+}  // namespace mocograd

@@ -1,0 +1,33 @@
+#ifndef MOCOGRAD_NN_LINEAR_H_
+#define MOCOGRAD_NN_LINEAR_H_
+
+#include "base/rng.h"
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Fully connected layer: y = x W + b, with x [n, in], W [in, out], b [out].
+class Linear : public Layer {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Variable* weight() { return weight_; }
+  Variable* bias() { return bias_; }  // nullptr when bias=false
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Variable* weight_;
+  Variable* bias_ = nullptr;
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_LINEAR_H_

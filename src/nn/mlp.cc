@@ -1,0 +1,30 @@
+#include "nn/mlp.h"
+
+#include <memory>
+#include <string>
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace nn {
+
+Mlp::Mlp(std::vector<int64_t> dims, Rng& rng) : dims_(std::move(dims)) {
+  MG_CHECK_GE(dims_.size(), 2u, "Mlp needs at least {in, out} dims");
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    layers_.push_back(RegisterModule(
+        "fc" + std::to_string(i),
+        std::make_unique<Linear>(dims_[i], dims_[i + 1], rng)));
+  }
+}
+
+Variable Mlp::Forward(const Variable& x) {
+  Variable cur = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    cur = layers_[i]->Forward(cur);
+    if (i + 1 < layers_.size()) cur = autograd::Relu(cur);
+  }
+  return cur;
+}
+
+}  // namespace nn
+}  // namespace mocograd

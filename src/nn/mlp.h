@@ -1,0 +1,32 @@
+#ifndef MOCOGRAD_NN_MLP_H_
+#define MOCOGRAD_NN_MLP_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Multi-layer perceptron: Linear layers with ReLU between them. The last
+/// layer is linear (no activation) so it can produce logits / regressands.
+class Mlp : public Layer {
+ public:
+  /// `dims` = {in, hidden..., out}; needs at least {in, out}.
+  Mlp(std::vector<int64_t> dims, Rng& rng);
+
+  Variable Forward(const Variable& x) override;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+ private:
+  std::vector<int64_t> dims_;
+  std::vector<Linear*> layers_;
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_MLP_H_

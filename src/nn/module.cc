@@ -1,0 +1,34 @@
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+std::vector<Variable*> Module::Parameters() {
+  std::vector<Variable*> out;
+  for (auto& [name, p] : params_) out.push_back(p.get());
+  for (auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() {
+  int64_t n = 0;
+  for (Variable* p : Parameters()) n += p->NumElements();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (Variable* p : Parameters()) p->ZeroGrad();
+}
+
+Variable* Module::RegisterParameter(std::string name, Tensor init) {
+  params_.emplace_back(
+      std::move(name),
+      std::make_unique<Variable>(std::move(init), /*requires_grad=*/true));
+  return params_.back().second.get();
+}
+
+}  // namespace nn
+}  // namespace mocograd

@@ -1,0 +1,66 @@
+#ifndef MOCOGRAD_NN_MODULE_H_
+#define MOCOGRAD_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace mocograd {
+namespace nn {
+
+using autograd::Variable;
+
+/// Base class for neural-network components. A Module owns named parameters
+/// (leaf Variables with requires_grad) and child modules; Parameters()
+/// walks the tree in registration order, which gives every composite model a
+/// stable, deterministic parameter ordering — the gradient-surgery code
+/// relies on that ordering to flatten per-task gradients consistently.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its children, depth-first.
+  std::vector<Variable*> Parameters();
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters();
+
+  /// Zeroes the gradient of every parameter.
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  /// Registers a parameter; the returned pointer stays valid for the
+  /// module's lifetime.
+  Variable* RegisterParameter(std::string name, Tensor init);
+
+  /// Registers a child module and returns a typed borrow.
+  template <typename M>
+  M* RegisterModule(std::string name, std::unique_ptr<M> child) {
+    M* raw = child.get();
+    children_.emplace_back(std::move(name), std::move(child));
+    return raw;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Variable>>> params_;
+  std::vector<std::pair<std::string, std::unique_ptr<Module>>> children_;
+};
+
+/// A Module with the common one-tensor-in / one-tensor-out signature, the
+/// building block Sequential chains together.
+class Layer : public Module {
+ public:
+  virtual Variable Forward(const Variable& x) = 0;
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_MODULE_H_

@@ -1,0 +1,51 @@
+#include "nn/norm.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace nn {
+
+namespace ag = autograd;
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  MG_CHECK_GT(dim, 0);
+  gamma_ = RegisterParameter("gamma", Tensor::Ones(Shape{dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros(Shape{dim}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) {
+  MG_CHECK_EQ(x.shape().Rank(), 2, "LayerNorm expects [n, d]");
+  MG_CHECK_EQ(x.shape().Dim(1), dim_, "LayerNorm width");
+  // Composed from differentiable primitives so the backward pass needs no
+  // bespoke gradient code.
+  Variable mu = ag::MeanAxis(x, 1, /*keepdims=*/true);            // [n,1]
+  Variable centered = ag::Sub(x, mu);                             // [n,d]
+  Variable var = ag::MeanAxis(ag::Mul(centered, centered), 1,
+                              /*keepdims=*/true);                 // [n,1]
+  Variable inv_std = ag::Div(
+      Variable(Tensor::Ones({x.shape().Dim(0), 1}), false),
+      ag::Sqrt(ag::AddScalar(var, eps_)));
+  Variable norm = ag::Mul(centered, inv_std);
+  return ag::Add(ag::Mul(norm, *gamma_), *beta_);
+}
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+  MG_CHECK_GE(p, 0.0f);
+  MG_CHECK_LT(p, 1.0f);
+}
+
+Variable Dropout::Forward(const Variable& x) {
+  if (!training_ || p_ == 0.0f) return x;
+  Tensor mask(x.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.NumElements(); ++i) {
+    m[i] = rng_->Bernoulli(p_) ? 0.0f : scale;
+  }
+  return ag::Mul(x, Variable(mask, false));
+}
+
+}  // namespace nn
+}  // namespace mocograd

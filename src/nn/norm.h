@@ -1,0 +1,51 @@
+#ifndef MOCOGRAD_NN_NORM_H_
+#define MOCOGRAD_NN_NORM_H_
+
+#include "base/rng.h"
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Layer normalization over the last axis of a [n, d] input:
+///   y = γ ⊙ (x − μ_row) / √(σ²_row + ε) + β.
+/// γ initializes to ones, β to zeros.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  Variable Forward(const Variable& x) override;
+
+  Variable* gamma() { return gamma_; }
+  Variable* beta() { return beta_; }
+
+ private:
+  int64_t dim_;
+  float eps_;
+  Variable* gamma_;
+  Variable* beta_;
+};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1−p); in eval mode the
+/// layer is the identity. Randomness comes from the Rng passed at
+/// construction (no global state).
+class Dropout : public Layer {
+ public:
+  Dropout(float p, Rng& rng);
+
+  Variable Forward(const Variable& x) override;
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ private:
+  float p_;
+  Rng* rng_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_NORM_H_

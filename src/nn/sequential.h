@@ -1,0 +1,43 @@
+#ifndef MOCOGRAD_NN_SEQUENTIAL_H_
+#define MOCOGRAD_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Chains Layers: Forward applies each child in order.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a typed borrow for later inspection.
+  template <typename L>
+  L* Add(std::unique_ptr<L> layer) {
+    L* raw = RegisterModule("layer" + std::to_string(size_++),
+                            std::move(layer));
+    layers_.push_back(raw);
+    return raw;
+  }
+
+  Variable Forward(const Variable& x) override {
+    Variable cur = x;
+    for (Layer* l : layers_) cur = l->Forward(cur);
+    return cur;
+  }
+
+  int size() const { return size_; }
+
+ private:
+  int size_ = 0;
+  std::vector<Layer*> layers_;
+};
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_SEQUENTIAL_H_

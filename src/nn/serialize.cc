@@ -1,0 +1,104 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace mocograd {
+namespace nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4f4347;  // "MOCG"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Internal("cannot open for writing: " + path);
+
+  const auto params = module.Parameters();
+  if (!WriteU32(f.get(), kMagic) ||
+      !WriteU32(f.get(), static_cast<uint32_t>(params.size()))) {
+    return Status::Internal("write failed: " + path);
+  }
+  for (autograd::Variable* p : params) {
+    const Tensor& t = p->value();
+    if (!WriteU32(f.get(), static_cast<uint32_t>(t.Rank()))) {
+      return Status::Internal("write failed: " + path);
+    }
+    for (int i = 0; i < t.Rank(); ++i) {
+      if (!WriteU32(f.get(), static_cast<uint32_t>(t.Dim(i)))) {
+        return Status::Internal("write failed: " + path);
+      }
+    }
+    const size_t n = static_cast<size_t>(t.NumElements());
+    if (std::fwrite(t.data(), sizeof(float), n, f.get()) != n) {
+      return Status::Internal("write failed: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(f.get(), &magic) || magic != kMagic) {
+    return Status::InvalidArgument("not a mocograd checkpoint: " + path);
+  }
+  if (!ReadU32(f.get(), &count)) {
+    return Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+  const auto params = module.Parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: checkpoint has " + std::to_string(count) +
+        ", module has " + std::to_string(params.size()));
+  }
+  for (autograd::Variable* p : params) {
+    uint32_t rank = 0;
+    if (!ReadU32(f.get(), &rank)) {
+      return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    std::vector<int64_t> dims(rank);
+    for (uint32_t i = 0; i < rank; ++i) {
+      uint32_t d = 0;
+      if (!ReadU32(f.get(), &d)) {
+        return Status::InvalidArgument("truncated checkpoint: " + path);
+      }
+      dims[i] = d;
+    }
+    if (Shape(dims) != p->value().shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for a parameter: checkpoint " +
+          Shape(dims).ToString() + " vs module " +
+          p->value().shape().ToString());
+    }
+    Tensor& t = p->mutable_value();
+    const size_t n = static_cast<size_t>(t.NumElements());
+    if (std::fread(t.data(), sizeof(float), n, f.get()) != n) {
+      return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace mocograd

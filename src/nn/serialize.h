@@ -1,0 +1,25 @@
+#ifndef MOCOGRAD_NN_SERIALIZE_H_
+#define MOCOGRAD_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "nn/module.h"
+
+namespace mocograd {
+namespace nn {
+
+/// Saves a module's parameters to a binary checkpoint. The format is a
+/// small header (magic, parameter count) followed by, per parameter, its
+/// rank, dims and raw float32 data — tied to the module's deterministic
+/// registration order (Module::Parameters()).
+Status SaveParameters(Module& module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters into a module with the same
+/// architecture (same parameter count and shapes, checked).
+Status LoadParameters(Module& module, const std::string& path);
+
+}  // namespace nn
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_NN_SERIALIZE_H_

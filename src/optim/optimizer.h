@@ -1,0 +1,84 @@
+#ifndef MOCOGRAD_OPTIM_OPTIMIZER_H_
+#define MOCOGRAD_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace mocograd {
+namespace optim {
+
+using autograd::Variable;
+
+/// First-order optimizer over a fixed parameter list. Step() consumes the
+/// gradients currently stored on the parameters (the MTL trainer writes the
+/// aggregated gradient there before stepping). Parameters that have no
+/// gradient buffer yet are skipped.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Variable*> params, float lr);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the stored gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+  const std::vector<Variable*>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable*> params_;
+  float lr_;
+};
+
+/// SGD with optional classical momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable*> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Adagrad (Duchi et al., 2011).
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<Variable*> params, float lr, float eps = 1e-10f);
+
+  void Step() override;
+
+ private:
+  float eps_;
+  std::vector<Tensor> accum_;
+};
+
+}  // namespace optim
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_OPTIM_OPTIMIZER_H_

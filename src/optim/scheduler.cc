@@ -1,0 +1,50 @@
+#include "optim/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace optim {
+
+LrScheduler::LrScheduler(Optimizer* optimizer)
+    : optimizer_(optimizer), base_lr_(optimizer->learning_rate()) {
+  MG_CHECK(optimizer != nullptr);
+}
+
+void LrScheduler::Step() {
+  ++step_;
+  optimizer_->set_learning_rate(LrAt(step_));
+}
+
+float LrScheduler::current_lr() const { return optimizer_->learning_rate(); }
+
+StepDecayLr::StepDecayLr(Optimizer* optimizer, int64_t period, float gamma)
+    : LrScheduler(optimizer), period_(period), gamma_(gamma) {
+  MG_CHECK_GT(period, 0);
+  MG_CHECK_GT(gamma, 0.0f);
+}
+
+float StepDecayLr::LrAt(int64_t t) const {
+  return base_lr() * std::pow(gamma_, static_cast<float>(t / period_));
+}
+
+float InverseSqrtLr::LrAt(int64_t t) const {
+  return base_lr() / std::sqrt(static_cast<float>(t + 1));
+}
+
+CosineLr::CosineLr(Optimizer* optimizer, int64_t total_steps, float min_lr)
+    : LrScheduler(optimizer), total_steps_(total_steps), min_lr_(min_lr) {
+  MG_CHECK_GT(total_steps, 0);
+}
+
+float CosineLr::LrAt(int64_t t) const {
+  const float progress =
+      std::min(1.0f, static_cast<float>(t) / static_cast<float>(total_steps_));
+  return min_lr_ + 0.5f * (base_lr() - min_lr_) *
+                       (1.0f + std::cos(progress * 3.14159265358979f));
+}
+
+}  // namespace optim
+}  // namespace mocograd

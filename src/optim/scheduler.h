@@ -1,0 +1,84 @@
+#ifndef MOCOGRAD_OPTIM_SCHEDULER_H_
+#define MOCOGRAD_OPTIM_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "optim/optimizer.h"
+
+namespace mocograd {
+namespace optim {
+
+/// Learning-rate schedule over optimization steps. Call Step() once per
+/// optimizer step; the scheduler writes the new rate into the optimizer.
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer* optimizer);
+  virtual ~LrScheduler() = default;
+
+  /// Advances one step and updates the optimizer's learning rate.
+  void Step();
+
+  int64_t step_count() const { return step_; }
+  float current_lr() const;
+
+ protected:
+  /// The learning rate to use at step t (0-based), given the base rate.
+  virtual float LrAt(int64_t t) const = 0;
+
+  float base_lr() const { return base_lr_; }
+
+ private:
+  Optimizer* optimizer_;
+  float base_lr_;
+  int64_t step_ = 0;
+};
+
+/// Constant rate (identity schedule), useful as a default.
+class ConstantLr : public LrScheduler {
+ public:
+  using LrScheduler::LrScheduler;
+
+ protected:
+  float LrAt(int64_t) const override { return base_lr(); }
+};
+
+/// Multiplies the rate by `gamma` every `period` steps.
+class StepDecayLr : public LrScheduler {
+ public:
+  StepDecayLr(Optimizer* optimizer, int64_t period, float gamma);
+
+ protected:
+  float LrAt(int64_t t) const override;
+
+ private:
+  int64_t period_;
+  float gamma_;
+};
+
+/// μ_t = μ / √(t+1) — the schedule of the paper's Corollary 1, under which
+/// MoCoGrad's average regret vanishes.
+class InverseSqrtLr : public LrScheduler {
+ public:
+  using LrScheduler::LrScheduler;
+
+ protected:
+  float LrAt(int64_t t) const override;
+};
+
+/// Cosine decay from the base rate to `min_lr` over `total_steps`.
+class CosineLr : public LrScheduler {
+ public:
+  CosineLr(Optimizer* optimizer, int64_t total_steps, float min_lr = 0.0f);
+
+ protected:
+  float LrAt(int64_t t) const override;
+
+ private:
+  int64_t total_steps_;
+  float min_lr_;
+};
+
+}  // namespace optim
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_OPTIM_SCHEDULER_H_

@@ -1,0 +1,79 @@
+#include "solvers/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace solvers {
+
+EigenDecomposition JacobiEigenSymmetric(std::vector<std::vector<double>> a,
+                                        int max_sweeps, double tol) {
+  const size_t n = a.size();
+  MG_CHECK_GT(n, 0u, "empty matrix");
+  for (const auto& row : a) MG_CHECK_EQ(row.size(), n, "matrix not square");
+
+  // V accumulates the rotations; starts as identity.
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of squared off-diagonal entries.
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += a[i][j] * a[i][j];
+    }
+    if (off < tol) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a[p][q]) < 1e-300) continue;
+        // Rotation angle zeroing a[p][q].
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // A ← Jᵀ A J applied to rows/cols p and q.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        // V ← V J.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort by eigenvalue, descending.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a[x][x] > a[y][y]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors.assign(n, std::vector<double>(n, 0.0));
+  for (size_t r = 0; r < n; ++r) {
+    out.values[r] = a[order[r]][order[r]];
+    for (size_t k = 0; k < n; ++k) out.vectors[r][k] = v[k][order[r]];
+  }
+  return out;
+}
+
+}  // namespace solvers
+}  // namespace mocograd

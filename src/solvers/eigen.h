@@ -1,0 +1,27 @@
+#ifndef MOCOGRAD_SOLVERS_EIGEN_H_
+#define MOCOGRAD_SOLVERS_EIGEN_H_
+
+#include <vector>
+
+namespace mocograd {
+namespace solvers {
+
+/// Eigen-decomposition of a small symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// vectors[i] is the unit eigenvector of values[i].
+  std::vector<std::vector<double>> vectors;
+};
+
+/// Cyclic Jacobi rotation method for a dense symmetric matrix (sized for
+/// the K×K Gram matrices of the gradient aggregators). Converges to machine
+/// precision in a handful of sweeps for K ≤ a few dozen.
+EigenDecomposition JacobiEigenSymmetric(std::vector<std::vector<double>> a,
+                                        int max_sweeps = 50,
+                                        double tol = 1e-20);
+
+}  // namespace solvers
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_SOLVERS_EIGEN_H_

@@ -1,0 +1,47 @@
+#include "solvers/linear_solve.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace solvers {
+
+Result<std::vector<double>> SolveLinear(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const size_t n = a.size();
+  MG_CHECK_EQ(b.size(), n, "SolveLinear dimension mismatch");
+  for (const auto& row : a) MG_CHECK_EQ(row.size(), n, "A not square");
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("singular system in SolveLinear");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    const double inv = 1.0 / a[col][col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] * inv;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) s -= a[ri][c] * x[c];
+    x[ri] = s / a[ri][ri];
+  }
+  return x;
+}
+
+}  // namespace solvers
+}  // namespace mocograd

@@ -1,0 +1,21 @@
+#ifndef MOCOGRAD_SOLVERS_LINEAR_SOLVE_H_
+#define MOCOGRAD_SOLVERS_LINEAR_SOLVE_H_
+
+#include <vector>
+
+#include "base/status.h"
+
+namespace mocograd {
+namespace solvers {
+
+/// Solves the dense system A x = b by Gaussian elimination with partial
+/// pivoting (A is n×n, row-major, modified in place conceptually — the
+/// function works on copies). Sized for the small (K-1)×(K-1) systems of
+/// IMTL-G. Returns InvalidArgument on singular systems.
+Result<std::vector<double>> SolveLinear(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace solvers
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_SOLVERS_LINEAR_SOLVE_H_

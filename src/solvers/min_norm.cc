@@ -1,0 +1,52 @@
+#include "solvers/min_norm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace solvers {
+
+std::vector<double> MinNormWeights(const std::vector<std::vector<double>>& gram,
+                                   int max_iters, double tol) {
+  const size_t k = gram.size();
+  MG_CHECK_GT(k, 0u, "MinNormWeights on empty Gram matrix");
+  for (const auto& row : gram) MG_CHECK_EQ(row.size(), k, "Gram not square");
+  if (k == 1) return {1.0};
+
+  std::vector<double> w(k, 1.0 / static_cast<double>(k));
+  std::vector<double> mw(k, 0.0);  // M w
+  auto refresh_mw = [&]() {
+    for (size_t i = 0; i < k; ++i) {
+      double s = 0.0;
+      for (size_t j = 0; j < k; ++j) s += gram[i][j] * w[j];
+      mw[i] = s;
+    }
+  };
+
+  for (int it = 0; it < max_iters; ++it) {
+    refresh_mw();
+    // Frank–Wolfe vertex: coordinate with the smallest gradient (Mw)_t.
+    const size_t t =
+        std::min_element(mw.begin(), mw.end()) - mw.begin();
+    // Direction d = e_t - w; exact line search on γ ∈ [0, 1]:
+    //   γ* = -(dᵀ M w) / (dᵀ M d)
+    double d_mw = mw[t];
+    double w_mw = 0.0;
+    for (size_t i = 0; i < k; ++i) w_mw += w[i] * mw[i];
+    d_mw -= w_mw;  // dᵀ M w with d = e_t - w
+    // dᵀ M d = M_tt - 2 (Mw)_t + wᵀMw
+    const double d_md = gram[t][t] - 2.0 * mw[t] + w_mw;
+    if (d_md <= 0.0) break;  // degenerate (colinear) — w already optimal
+    double gamma = -d_mw / d_md;
+    gamma = std::clamp(gamma, 0.0, 1.0);
+    if (gamma < tol) break;
+    for (size_t i = 0; i < k; ++i) w[i] *= (1.0 - gamma);
+    w[t] += gamma;
+  }
+  return w;
+}
+
+}  // namespace solvers
+}  // namespace mocograd

@@ -1,0 +1,18 @@
+#ifndef MOCOGRAD_SOLVERS_MIN_NORM_H_
+#define MOCOGRAD_SOLVERS_MIN_NORM_H_
+
+#include <vector>
+
+namespace mocograd {
+namespace solvers {
+
+/// Finds simplex weights w minimizing ||Σ_i w_i g_i||² given the Gram
+/// matrix M (M[i][j] = g_i · g_j) via Frank–Wolfe with exact line search.
+/// This is the solver at the heart of MGDA (Sener & Koltun, 2018).
+std::vector<double> MinNormWeights(const std::vector<std::vector<double>>& gram,
+                                   int max_iters = 250, double tol = 1e-7);
+
+}  // namespace solvers
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_SOLVERS_MIN_NORM_H_

@@ -1,0 +1,31 @@
+#include "solvers/simplex.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace solvers {
+
+std::vector<double> ProjectToSimplex(std::vector<double> v) {
+  MG_CHECK(!v.empty(), "ProjectToSimplex on empty vector");
+  std::vector<double> u = v;
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  double css = 0.0;
+  double theta = 0.0;
+  int rho = 0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    css += u[i];
+    const double t = (css - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - t > 0.0) {
+      rho = static_cast<int>(i + 1);
+      theta = t;
+    }
+  }
+  MG_CHECK_GT(rho, 0, "simplex projection internal error");
+  for (double& x : v) x = std::max(0.0, x - theta);
+  return v;
+}
+
+}  // namespace solvers
+}  // namespace mocograd

@@ -1,0 +1,17 @@
+#ifndef MOCOGRAD_SOLVERS_SIMPLEX_H_
+#define MOCOGRAD_SOLVERS_SIMPLEX_H_
+
+#include <vector>
+
+namespace mocograd {
+namespace solvers {
+
+/// Euclidean projection of v onto the probability simplex
+/// {w : w_i >= 0, sum w_i = 1} (Duchi et al., 2008, O(n log n)).
+/// Used by CAGrad's inner dual optimization.
+std::vector<double> ProjectToSimplex(std::vector<double> v);
+
+}  // namespace solvers
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_SOLVERS_SIMPLEX_H_

@@ -1,0 +1,83 @@
+#include "tensor/gemm.h"
+
+#include <vector>
+
+#include "base/check.h"
+
+namespace mocograd {
+
+namespace {
+
+// Core kernel for row-major C[m,n] += alpha * A[m,k] * B[k,n]. The i-k-j
+// loop order streams B and C rows sequentially, which vectorizes well and is
+// cache-friendly for the small-to-medium matrices this library works with.
+void GemmNoTrans(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, const float* b, int64_t ldb, float* c,
+                 int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * lda;
+    float* c_row = c + i * ldc;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+// Packs op(X) into a contiguous rows×cols row-major buffer.
+std::vector<float> PackTransposed(const float* x, int64_t rows, int64_t cols,
+                                  int64_t ldx) {
+  // x is stored as cols×rows with leading dimension ldx; output is
+  // rows×cols contiguous (i.e. the transpose of the stored matrix).
+  std::vector<float> out(static_cast<size_t>(rows) * cols);
+  for (int64_t r = 0; r < cols; ++r) {
+    const float* src = x + r * ldx;
+    for (int64_t c = 0; c < rows; ++c) {
+      out[c * cols + r] = src[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, int64_t lda, const float* b,
+          int64_t ldb, float beta, float* c, int64_t ldc) {
+  MG_CHECK_GE(m, 0);
+  MG_CHECK_GE(n, 0);
+  MG_CHECK_GE(k, 0);
+  if (beta != 1.0f) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* c_row = c + i * ldc;
+      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  // Transposed operands are packed once so the hot loop is always the
+  // no-transpose kernel; for this library's sizes the packing cost is noise.
+  std::vector<float> a_packed;
+  std::vector<float> b_packed;
+  const float* a_eff = a;
+  int64_t lda_eff = lda;
+  if (trans_a) {
+    a_packed = PackTransposed(a, m, k, lda);
+    a_eff = a_packed.data();
+    lda_eff = k;
+  }
+  const float* b_eff = b;
+  int64_t ldb_eff = ldb;
+  if (trans_b) {
+    b_packed = PackTransposed(b, k, n, ldb);
+    b_eff = b_packed.data();
+    ldb_eff = n;
+  }
+  GemmNoTrans(m, n, k, alpha, a_eff, lda_eff, b_eff, ldb_eff, c, ldc);
+}
+
+}  // namespace mocograd

@@ -1,0 +1,20 @@
+#ifndef MOCOGRAD_TENSOR_GEMM_H_
+#define MOCOGRAD_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace mocograd {
+
+/// Single-precision general matrix multiply:
+///   C = alpha * op(A) * op(B) + beta * C
+/// with op(X) = X or Xᵀ. A is m×k (after op), B is k×n (after op), C is m×n.
+/// All matrices are dense row-major with the given leading dimensions
+/// (elements per row of the *stored* matrix). This is the single compute
+/// kernel behind Linear, Conv2d (via im2col) and their backward passes.
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, int64_t lda, const float* b,
+          int64_t ldb, float beta, float* c, int64_t ldc);
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_TENSOR_GEMM_H_

@@ -1,0 +1,72 @@
+#ifndef MOCOGRAD_TENSOR_SHAPE_H_
+#define MOCOGRAD_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace mocograd {
+
+/// Dimension list of a dense row-major tensor. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  int Rank() const { return static_cast<int>(dims_.size()); }
+
+  int64_t Dim(int i) const {
+    MG_CHECK_GE(i, 0);
+    MG_CHECK_LT(i, Rank());
+    return dims_[i];
+  }
+
+  int64_t operator[](int i) const { return Dim(i); }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total element count (1 for scalars).
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Row-major strides, e.g. {2,3,4} -> {12,4,1}.
+  std::vector<int64_t> Strides() const {
+    std::vector<int64_t> strides(dims_.size(), 1);
+    for (int i = Rank() - 2; i >= 0; --i) {
+      strides[i] = strides[i + 1] * dims_[i + 1];
+    }
+    return strides;
+  }
+
+  /// "[2, 3, 4]"
+  std::string ToString() const;
+
+  /// NumPy-style broadcast of two shapes; MG_CHECK-fails if incompatible.
+  static Shape Broadcast(const Shape& a, const Shape& b);
+
+  /// True iff `a` broadcasts to exactly `target`.
+  static bool BroadcastsTo(const Shape& a, const Shape& target);
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) MG_CHECK_GE(d, 0, "negative dimension in shape");
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_TENSOR_SHAPE_H_

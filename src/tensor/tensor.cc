@@ -1,0 +1,113 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mocograd {
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  MG_CHECK_EQ(shape.NumElements(), static_cast<int64_t>(values.size()),
+              "FromVector size mismatch for shape ", shape.ToString());
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const int64_t n = t.NumElements();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng.Normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const int64_t n = t.NumElements();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  MG_CHECK(defined(), "Clone of undefined tensor");
+  Tensor t;
+  t.shape_ = shape_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> dims) const {
+  MG_CHECK(defined(), "Reshape of undefined tensor");
+  int64_t known = 1;
+  int infer = -1;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] == -1) {
+      MG_CHECK_EQ(infer, -1, "at most one -1 dimension in Reshape");
+      infer = static_cast<int>(i);
+    } else {
+      known *= dims[i];
+    }
+  }
+  if (infer >= 0) {
+    MG_CHECK_GT(known, 0);
+    MG_CHECK_EQ(NumElements() % known, 0, "cannot infer dim in Reshape");
+    dims[infer] = NumElements() / known;
+  }
+  Shape new_shape(std::move(dims));
+  MG_CHECK_EQ(new_shape.NumElements(), NumElements(), "Reshape from ",
+              shape_.ToString(), " to ", new_shape.ToString());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.storage_ = storage_;
+  return t;
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  MG_CHECK(defined() && src.defined());
+  MG_CHECK_EQ(NumElements(), src.NumElements(), "CopyFrom size mismatch");
+  std::copy(src.data(), src.data() + src.NumElements(), data());
+}
+
+void Tensor::Fill(float value) {
+  MG_CHECK(defined());
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+std::vector<float> Tensor::ToVector() const {
+  MG_CHECK(defined());
+  return *storage_;
+}
+
+std::string Tensor::ToString(int64_t limit) const {
+  std::ostringstream oss;
+  oss << "Tensor" << shape_.ToString() << " {";
+  if (defined()) {
+    const int64_t n = std::min<int64_t>(limit, NumElements());
+    for (int64_t i = 0; i < n; ++i) {
+      if (i) oss << ", ";
+      oss << data()[i];
+    }
+    if (n < NumElements()) oss << ", ...";
+  } else {
+    oss << "undefined";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace mocograd

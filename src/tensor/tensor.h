@@ -1,0 +1,129 @@
+#ifndef MOCOGRAD_TENSOR_TENSOR_H_
+#define MOCOGRAD_TENSOR_TENSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "tensor/shape.h"
+
+namespace mocograd {
+
+/// Dense, contiguous, row-major float32 tensor with shared storage.
+///
+/// Copying a Tensor is cheap: it shares the underlying buffer (like
+/// torch.Tensor). Use Clone() for a deep copy. All views produced by
+/// Reshape() alias the same storage; slicing operations in ops.h copy.
+/// An empty (default-constructed) Tensor has null storage and is only valid
+/// as a placeholder.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        storage_(std::make_shared<std::vector<float>>(shape_.NumElements(),
+                                                      0.0f)) {}
+
+  /// --- Factories -------------------------------------------------------
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+  static Tensor Full(Shape shape, float value);
+  static Tensor Scalar(float value) { return Full(Shape{}, value); }
+
+  /// Takes ownership of `values`; size must equal shape.NumElements().
+  static Tensor FromVector(Shape shape, std::vector<float> values);
+
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor Randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor Rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+  /// [0, 1, ..., n-1] as a rank-1 tensor.
+  static Tensor Arange(int64_t n);
+
+  /// --- Accessors -------------------------------------------------------
+
+  bool defined() const { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+  int Rank() const { return shape_.Rank(); }
+  int64_t Dim(int i) const { return shape_.Dim(i); }
+
+  float* data() {
+    MG_CHECK(defined(), "access to undefined tensor");
+    return storage_->data();
+  }
+  const float* data() const {
+    MG_CHECK(defined(), "access to undefined tensor");
+    return storage_->data();
+  }
+
+  /// Element access by flat index.
+  float& operator[](int64_t i) {
+    MG_CHECK_GE(i, 0);
+    MG_CHECK_LT(i, NumElements());
+    return data()[i];
+  }
+  float operator[](int64_t i) const {
+    MG_CHECK_GE(i, 0);
+    MG_CHECK_LT(i, NumElements());
+    return data()[i];
+  }
+
+  /// 2-D element access; tensor must be rank 2.
+  float& At(int64_t r, int64_t c) {
+    MG_CHECK_EQ(Rank(), 2);
+    return data()[r * Dim(1) + c];
+  }
+  float At(int64_t r, int64_t c) const {
+    MG_CHECK_EQ(Rank(), 2);
+    return data()[r * Dim(1) + c];
+  }
+
+  /// The single value of a one-element tensor.
+  float Item() const {
+    MG_CHECK_EQ(NumElements(), 1, "Item() on non-scalar ", shape_.ToString());
+    return data()[0];
+  }
+
+  /// --- Transformations --------------------------------------------------
+
+  /// Deep copy with fresh storage.
+  Tensor Clone() const;
+
+  /// View with a different shape (same element count, shared storage).
+  /// One dimension may be -1 and is inferred.
+  Tensor Reshape(std::vector<int64_t> dims) const;
+
+  /// Copies `src` (same shape) into this tensor's storage.
+  void CopyFrom(const Tensor& src);
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Copies all elements out as a std::vector.
+  std::vector<float> ToVector() const;
+
+  /// Pretty printer for debugging: shape plus up to `limit` elements.
+  std::string ToString(int64_t limit = 16) const;
+
+  /// True when both tensors share the same storage buffer.
+  bool SharesStorageWith(const Tensor& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_TENSOR_TENSOR_H_

@@ -1,0 +1,85 @@
+// Property test: the im2col-GEMM convolution must match a direct
+// quadruple-loop convolution oracle over a grid of shapes/strides/paddings.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+
+// (in_channels, out_channels, kernel, stride, padding, h, w)
+using ConvCase = std::tuple<int, int, int, int, int, int, int>;
+
+Tensor ReferenceConv(const Tensor& x, const Tensor& w, const Tensor& b,
+                     const tops::Conv2dSpec& spec) {
+  const int64_t n = x.Dim(0), c = x.Dim(1), h = x.Dim(2), ww = x.Dim(3);
+  const int64_t f = spec.out_channels, k = spec.kernel;
+  const int64_t oh = spec.OutDim(h), ow = spec.OutDim(ww);
+  Tensor out(Shape{n, f, oh, ow});
+  for (int64_t bi = 0; bi < n; ++bi) {
+    for (int64_t fo = 0; fo < f; ++fo) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          double acc = b[fo];
+          for (int64_t ci = 0; ci < c; ++ci) {
+            for (int64_t ky = 0; ky < k; ++ky) {
+              for (int64_t kx = 0; kx < k; ++kx) {
+                const int64_t iy = oy * spec.stride + ky - spec.padding;
+                const int64_t ix = ox * spec.stride + kx - spec.padding;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= ww) continue;
+                acc += static_cast<double>(
+                           x.data()[((bi * c + ci) * h + iy) * ww + ix]) *
+                       w.data()[((fo * c + ci) * k + ky) * k + kx];
+              }
+            }
+          }
+          out.data()[((bi * f + fo) * oh + oy) * ow + ox] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class ConvOracleTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvOracleTest, MatchesDirectConvolution) {
+  const auto [ci, co, k, s, p, h, w] = GetParam();
+  tops::Conv2dSpec spec;
+  spec.in_channels = ci;
+  spec.out_channels = co;
+  spec.kernel = k;
+  spec.stride = s;
+  spec.padding = p;
+  Rng rng(static_cast<uint64_t>(ci * 7 + co * 5 + k * 3 + s + p + h + w));
+  Tensor x = Tensor::Randn({2, ci, h, w}, rng);
+  Tensor wt = Tensor::Randn({co, ci, k, k}, rng);
+  Tensor b = Tensor::Randn({co}, rng);
+
+  Variable y = autograd::Conv2d(Variable(x, false), Variable(wt, false),
+                                Variable(b, false), spec);
+  Tensor ref = ReferenceConv(x, wt, b, spec);
+  ASSERT_EQ(y.shape(), ref.shape());
+  for (int64_t i = 0; i < ref.NumElements(); ++i) {
+    ASSERT_NEAR(y.value()[i], ref[i], 1e-3f + 1e-4f * std::fabs(ref[i]))
+        << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, ConvOracleTest,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 4, 4},
+                      ConvCase{2, 3, 3, 1, 1, 6, 6},
+                      ConvCase{3, 2, 3, 2, 1, 7, 5},
+                      ConvCase{1, 4, 5, 1, 2, 8, 8},
+                      ConvCase{2, 2, 3, 3, 0, 9, 9},
+                      ConvCase{4, 1, 3, 1, 0, 5, 7}));
+
+}  // namespace
+}  // namespace mocograd

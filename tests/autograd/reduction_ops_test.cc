@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "testing/gradcheck.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+namespace ag = autograd;
+
+TEST(SumAxisTest, ValuesMatchTensorOps) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Variable v(a, true);
+  Variable s0 = ag::SumAxis(v, 0);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(s0.value()[0], 5.0f);
+  Variable s1k = ag::SumAxis(v, 1, /*keepdims=*/true);
+  EXPECT_EQ(s1k.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(s1k.value()[1], 15.0f);
+  Variable m1 = ag::MeanAxis(v, 1);
+  EXPECT_FLOAT_EQ(m1.value()[0], 2.0f);
+}
+
+TEST(SumAxisTest, BackwardBroadcastsGradient) {
+  Variable v(Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6}), true);
+  ag::SumAll(ag::SumAxis(v, 0)).Backward();
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(v.grad()[i], 1.0f);
+}
+
+// Gradcheck over axes × keepdims.
+class SumAxisGradTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(SumAxisGradTest, MatchesFiniteDifference) {
+  const auto [axis, keepdims] = GetParam();
+  Rng rng(31 + axis);
+  Tensor x = Tensor::Randn({3, 4, 2}, rng);
+  testing::ExpectGradientsClose(
+      [axis = axis, keepdims = keepdims](const std::vector<Variable>& v) {
+        return ag::MeanAll(ag::Tanh(ag::SumAxis(v[0], axis, keepdims)));
+      },
+      {x});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AxesAndKeepdims, SumAxisGradTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(false, true)));
+
+TEST(MeanAxisGradTest, MatchesFiniteDifference) {
+  Rng rng(37);
+  Tensor x = Tensor::Randn({4, 5}, rng);
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::MeanAxis(v[0], 1));
+      },
+      {x});
+}
+
+}  // namespace
+}  // namespace mocograd

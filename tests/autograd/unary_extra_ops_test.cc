@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "testing/gradcheck.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+namespace ag = autograd;
+
+TEST(SoftplusTest, ValuesAndStability) {
+  Tensor x = Tensor::FromVector({4}, {-50.0f, -1.0f, 0.0f, 50.0f});
+  Variable y = ag::Softplus(Variable(x, false));
+  EXPECT_NEAR(y.value()[0], 0.0f, 1e-6);        // large negative → 0
+  EXPECT_NEAR(y.value()[1], std::log1p(std::exp(-1.0f)), 1e-6);
+  EXPECT_NEAR(y.value()[2], std::log(2.0f), 1e-6);
+  EXPECT_NEAR(y.value()[3], 50.0f, 1e-4);       // large positive → x
+  EXPECT_TRUE(std::isfinite(y.value()[3]));
+}
+
+TEST(SoftplusTest, Gradcheck) {
+  Rng rng(71);
+  Tensor x = Tensor::Randn({3, 4}, rng);
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::MeanAll(ag::Softplus(v[0]));
+      },
+      {x});
+}
+
+TEST(PowScalarTest, ValuesAndGradcheck) {
+  Tensor x = Tensor::FromVector({3}, {1.0f, 4.0f, 9.0f});
+  Variable y = ag::PowScalar(Variable(x, false), 0.5f);
+  EXPECT_NEAR(y.value()[1], 2.0f, 1e-6);
+  EXPECT_NEAR(y.value()[2], 3.0f, 1e-6);
+
+  Rng rng(73);
+  Tensor pos = Tensor::Rand({2, 3}, rng, 0.5f, 2.0f);
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::MeanAll(ag::PowScalar(v[0], 1.7f));
+      },
+      {pos});
+}
+
+TEST(ClampOpTest, ValuesAndGradientMask) {
+  Variable x(Tensor::FromVector({4}, {-2.0f, -0.5f, 0.5f, 2.0f}), true);
+  Variable y = ag::Clamp(x, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(y.value()[0], -1.0f);
+  EXPECT_FLOAT_EQ(y.value()[3], 1.0f);
+  ag::SumAll(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);  // clamped: no gradient
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);  // inside: pass-through
+  EXPECT_FLOAT_EQ(x.grad()[2], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[3], 0.0f);
+}
+
+TEST(ClampOpTest, GradcheckInsideInterval) {
+  Rng rng(79);
+  Tensor x = Tensor::Rand({3, 3}, rng, -0.8f, 0.8f);  // strictly inside
+  testing::ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::MeanAll(ag::Clamp(v[0], -1.0f, 1.0f));
+      },
+      {x});
+}
+
+TEST(ClampOpTest, InvalidBoundsAbort) {
+  Variable x(Tensor::Zeros({2}), true);
+  EXPECT_DEATH(ag::Clamp(x, 1.0f, -1.0f), "Clamp bounds");
+}
+
+// End-to-end model-level gradient check: an entire HPS forward + loss must
+// agree with finite differences on every parameter of a small model.
+TEST(ModelLevelGradcheckTest, TwoLayerNetworkMatchesFiniteDifference) {
+  Rng rng(83);
+  Tensor w1 = Tensor::Randn({3, 4}, rng, 0.0f, 0.5f);
+  Tensor b1 = Tensor::Randn({4}, rng, 0.0f, 0.2f);
+  Tensor w2 = Tensor::Randn({4, 2}, rng, 0.0f, 0.5f);
+  Tensor x = Tensor::Randn({5, 3}, rng);
+  Tensor target = Tensor::Randn({5, 2}, rng);
+  testing::ExpectGradientsClose(
+      [&](const std::vector<Variable>& v) {
+        Variable h = ag::Tanh(ag::Add(ag::MatMul(Variable(x, false), v[0]),
+                                      v[1]));
+        Variable out = ag::MatMul(h, v[2]);
+        return ag::MseLoss(out, target);
+      },
+      {w1, b1, w2});
+}
+
+}  // namespace
+}  // namespace mocograd

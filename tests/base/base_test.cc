@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
+#include "base/table.h"
+
+namespace mocograd {
+namespace {
+
+TEST(CheckTest, PassingConditionsAreSilent) {
+  MG_CHECK(true);
+  MG_CHECK_EQ(1, 1);
+  MG_CHECK_NE(1, 2);
+  MG_CHECK_LT(1, 2);
+  MG_CHECK_LE(2, 2);
+  MG_CHECK_GT(3, 2);
+  MG_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailuresAbortWithMessage) {
+  EXPECT_DEATH(MG_CHECK(false, "custom message"), "custom message");
+  EXPECT_DEATH(MG_CHECK_EQ(1, 2), "1 vs 2");
+  EXPECT_DEATH(MG_CHECK_LT(5, 3, "context"), "context");
+  EXPECT_DEATH(MG_FATAL("unreachable branch"), "unreachable branch");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err = Status::NotFound("missing");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> err = Status::Internal("boom");
+  EXPECT_DEATH(err.value(), "boom");
+}
+
+TEST(RngTest, DeterminismAndForkIndependence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  Rng base(9);
+  Rng child = base.Fork();
+  // Child stream differs from the continued parent stream.
+  bool differs = false;
+  Rng parent_copy(9);
+  parent_copy.Fork();
+  for (int i = 0; i < 5; ++i) {
+    if (child.NextUint64() != base.NextUint64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, DistributionsInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const float u = rng.Uniform(2.0f, 3.0f);
+    EXPECT_GE(u, 2.0f);
+    EXPECT_LT(u, 3.0f);
+    const int v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LT(v, 9);
+  }
+  // Bernoulli(1) / Bernoulli(0) are deterministic.
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(1.0f, 2.0f);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.06);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
+              sw.ElapsedMillis() * 0.5);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+TEST(TextTableTest, RendersAlignedTable) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddSeparator();
+  t.AddRow({"long-name", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 2     |"), std::string::npos);
+  // 3 rules (top, under header, bottom) plus the explicit separator:
+  // count lines beginning with '+'.
+  int rules = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    if (s[pos] == '+') ++rules;
+    pos = s.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NE(t.ToString().find("| x |"), std::string::npos);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(std::nan(""), 2), "-");
+  EXPECT_EQ(TextTable::Percent(0.0123), "+1.23%");
+  EXPECT_EQ(TextTable::Percent(-0.5, 1), "-50.0%");
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,104 @@
+#include "core/aligned_mtl.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.h"
+
+namespace mocograd {
+namespace {
+
+using core::AggregationContext;
+using core::AlignedMtl;
+using core::GradMatrix;
+
+GradMatrix MakeGrads(const std::vector<std::vector<float>>& rows) {
+  GradMatrix g(static_cast<int>(rows.size()),
+               static_cast<int64_t>(rows[0].size()));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    g.SetRow(static_cast<int>(i), rows[i]);
+  }
+  return g;
+}
+
+core::AggregationResult RunAgg(core::GradientAggregator& agg,
+                               const GradMatrix& g) {
+  std::vector<float> losses(g.num_tasks(), 1.0f);
+  Rng rng(1);
+  AggregationContext ctx;
+  ctx.task_grads = &g;
+  ctx.losses = &losses;
+  ctx.rng = &rng;
+  return agg.Aggregate(ctx);
+}
+
+TEST(AlignedMtlTest, OrthonormalGradientsAreFixedPoint) {
+  // Already perfectly conditioned (σ identical): Ĝ = G, update = sum.
+  AlignedMtl agg;
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  auto r = RunAgg(agg, g);
+  EXPECT_NEAR(r.shared_grad[0], 1.0f, 1e-5);
+  EXPECT_NEAR(r.shared_grad[1], 1.0f, 1e-5);
+}
+
+TEST(AlignedMtlTest, WhiteningEqualizesComponentScales) {
+  // Orthogonal but badly scaled gradients: whitening makes both components
+  // contribute at the σ_min scale.
+  AlignedMtl agg;
+  GradMatrix g = MakeGrads({{10, 0}, {0, 0.5f}});
+  auto r = RunAgg(agg, g);
+  EXPECT_NEAR(std::fabs(r.shared_grad[0]), 0.5f, 1e-4);
+  EXPECT_NEAR(std::fabs(r.shared_grad[1]), 0.5f, 1e-4);
+}
+
+TEST(AlignedMtlTest, CommonDescentProperty) {
+  // The aligned update must not increase any task's loss.
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    GradMatrix g(3, 6);
+    for (int i = 0; i < 3; ++i) {
+      for (int64_t q = 0; q < 6; ++q) g.Row(i)[q] = rng.Normal();
+    }
+    AlignedMtl agg;
+    auto r = RunAgg(agg, g);
+    for (int i = 0; i < 3; ++i) {
+      double dot = 0.0;
+      for (int64_t q = 0; q < 6; ++q) {
+        dot += double(r.shared_grad[q]) * g.Row(i)[q];
+      }
+      EXPECT_GE(dot, -1e-4) << "task " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(AlignedMtlTest, DegenerateCases) {
+  AlignedMtl agg;
+  // Single task: identity.
+  GradMatrix one = MakeGrads({{2, -1}});
+  auto r1 = RunAgg(agg, one);
+  EXPECT_FLOAT_EQ(r1.shared_grad[0], 2.0f);
+  // All zero: zero output, no NaNs.
+  GradMatrix zeros(2, 4);
+  auto rz = RunAgg(agg, zeros);
+  for (float v : rz.shared_grad) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+  // Colinear gradients (rank 1): finite output along the common direction.
+  GradMatrix col = MakeGrads({{1, 0}, {2, 0}});
+  auto rc = RunAgg(agg, col);
+  EXPECT_TRUE(std::isfinite(rc.shared_grad[0]));
+  EXPECT_NEAR(rc.shared_grad[1], 0.0f, 1e-6);
+}
+
+TEST(AlignedMtlTest, RegisteredAsExtension) {
+  auto agg = core::MakeAggregator("alignedmtl");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg.value()->name(), "alignedmtl");
+  const auto& ext = core::ExtensionMethodNames();
+  EXPECT_NE(std::find(ext.begin(), ext.end(), "alignedmtl"), ext.end());
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,145 @@
+// Tests for the extension baselines (GradNorm, Uncertainty Weighting) and
+// the MoCoGrad ablation switches.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mocograd.h"
+#include "core/registry.h"
+
+namespace mocograd {
+namespace {
+
+using core::AggregationContext;
+using core::GradMatrix;
+
+GradMatrix MakeGrads(const std::vector<std::vector<float>>& rows) {
+  GradMatrix g(static_cast<int>(rows.size()),
+               static_cast<int64_t>(rows[0].size()));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    g.SetRow(static_cast<int>(i), rows[i]);
+  }
+  return g;
+}
+
+core::AggregationResult RunAgg(core::GradientAggregator& agg,
+                               const GradMatrix& g, std::vector<float> losses,
+                               int64_t step = 0, uint64_t seed = 1) {
+  Rng rng(seed);
+  AggregationContext ctx;
+  ctx.task_grads = &g;
+  ctx.losses = &losses;
+  ctx.step = step;
+  ctx.rng = &rng;
+  return agg.Aggregate(ctx);
+}
+
+TEST(RegistryExtensionsTest, BuildsExtensionMethods) {
+  for (const std::string& name : core::ExtensionMethodNames()) {
+    auto agg = core::MakeAggregator(name);
+    ASSERT_TRUE(agg.ok()) << name;
+    EXPECT_EQ(agg.value()->name(), name);
+  }
+}
+
+TEST(GradNormTest, UpweightsSlowTask) {
+  // Task 0's loss stays flat while task 1's halves: GradNorm must grow
+  // task 0's weight relative to task 1's.
+  auto agg = core::MakeAggregator("gradnorm").value();
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  RunAgg(*agg, g, {1.0f, 1.0f}, 0);
+  core::AggregationResult r;
+  for (int s = 1; s <= 20; ++s) {
+    r = RunAgg(*agg, g, {1.0f, 1.0f / (1 + 0.2f * s)}, s);
+  }
+  EXPECT_GT(r.task_weights[0], r.task_weights[1]);
+  const double sum = r.task_weights[0] + r.task_weights[1];
+  EXPECT_NEAR(sum, 2.0, 1e-4);
+}
+
+TEST(GradNormTest, EqualRatesStayBalanced) {
+  auto agg = core::MakeAggregator("gradnorm").value();
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  core::AggregationResult r;
+  for (int s = 0; s < 10; ++s) {
+    r = RunAgg(*agg, g, {0.9f, 0.9f}, s);
+  }
+  EXPECT_NEAR(r.task_weights[0], r.task_weights[1], 1e-4);
+}
+
+TEST(UncertaintyWeightingTest, HighLossTaskGetsLowerWeightAtEquilibrium) {
+  // UW's stationary point sets exp(-s_k) = 1/L_k, so the noisier (higher
+  // loss) task ends with the smaller weight.
+  auto agg = core::MakeAggregator("uw").value();
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  core::AggregationResult r;
+  for (int s = 0; s < 400; ++s) {
+    r = RunAgg(*agg, g, {4.0f, 1.0f}, s);
+  }
+  EXPECT_LT(r.task_weights[0], r.task_weights[1]);
+  EXPECT_NEAR(r.task_weights[0] + r.task_weights[1], 2.0, 1e-4);
+  // Ratio approaches L_1/L_0 = 1/4.
+  EXPECT_NEAR(r.task_weights[0] / r.task_weights[1], 0.25, 0.05);
+}
+
+TEST(MoCoGradAblationTest, RawGradientVariantIgnoresMomentum) {
+  // Build momentum pointing +y for task 1, then feed a conflicting raw
+  // gradient pointing -x. With use_raw_gradient the calibration must follow
+  // g_1 (-x), not m_1 (+y).
+  core::MoCoGradOptions opts;
+  opts.lambda = 1.0f;
+  opts.beta1 = 0.5f;
+  opts.use_raw_gradient = true;
+  core::MoCoGrad agg(opts);
+  GradMatrix warm = MakeGrads({{1, 0}, {0, 1}});
+  RunAgg(agg, warm, {1, 1}, 0);
+  GradMatrix g = MakeGrads({{1, 0}, {-1, 0}});
+  auto r = RunAgg(agg, g, {1, 1}, 1);
+  // ĝ0 = g0 + 1.0*g1 = 0; ĝ1 = g1 + 1.0*g0 = 0 ⇒ sum = 0 (pure raw mode).
+  EXPECT_NEAR(r.shared_grad[0], 0.0f, 1e-5);
+  EXPECT_NEAR(r.shared_grad[1], 0.0f, 1e-5);
+}
+
+TEST(MoCoGradAblationTest, AccumulateAllBreaksTheorem1Bound) {
+  // With K=4 opposed gradients, the accumulate-all variant can exceed the
+  // single-partner variant's norm (and the Theorem 1 bound no longer
+  // applies); the faithful variant stays within K(1+λ)G.
+  core::MoCoGradOptions faithful;
+  faithful.lambda = 1.0f;
+  core::MoCoGradOptions accumulate = faithful;
+  accumulate.accumulate_all_conflicts = true;
+
+  GradMatrix g = MakeGrads({{1, 0, 0},
+                            {-0.9f, 0.1f, 0},
+                            {-0.9f, -0.1f, 0.1f},
+                            {-0.9f, 0, -0.1f}});
+  double gmax = 0;
+  for (int i = 0; i < 4; ++i) gmax = std::max(gmax, g.RowNorm(i));
+
+  core::MoCoGrad a(faithful);
+  auto ra = RunAgg(a, g, {1, 1, 1, 1});
+  double na = 0;
+  for (float v : ra.shared_grad) na += double(v) * v;
+  EXPECT_LE(std::sqrt(na), 4 * (1 + 1.0) * gmax + 1e-4);
+
+  core::MoCoGrad b(accumulate);
+  auto rb = RunAgg(b, g, {1, 1, 1, 1});
+  EXPECT_EQ(ra.num_conflicts, rb.num_conflicts);
+}
+
+TEST(MoCoGradAblationTest, VariantsAgreeWithoutConflicts) {
+  core::MoCoGradOptions opts;
+  opts.accumulate_all_conflicts = true;
+  core::MoCoGrad acc(opts);
+  core::MoCoGrad plain;
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  auto ra = RunAgg(acc, g, {1, 1});
+  auto rb = RunAgg(plain, g, {1, 1});
+  for (size_t i = 0; i < ra.shared_grad.size(); ++i) {
+    EXPECT_FLOAT_EQ(ra.shared_grad[i], rb.shared_grad[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,103 @@
+#include "core/gradvac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocograd {
+namespace {
+
+using core::AggregationContext;
+using core::GradMatrix;
+using core::GradVac;
+using core::GradVacOptions;
+
+GradMatrix MakeGrads(const std::vector<std::vector<float>>& rows) {
+  GradMatrix g(static_cast<int>(rows.size()),
+               static_cast<int64_t>(rows[0].size()));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    g.SetRow(static_cast<int>(i), rows[i]);
+  }
+  return g;
+}
+
+core::AggregationResult Step(GradVac& agg, const GradMatrix& g,
+                             uint64_t seed = 1) {
+  std::vector<float> losses(g.num_tasks(), 1.0f);
+  Rng rng(seed);
+  AggregationContext ctx;
+  ctx.task_grads = &g;
+  ctx.losses = &losses;
+  ctx.rng = &rng;
+  return agg.Aggregate(ctx);
+}
+
+TEST(GradVacTest, InitialTargetZeroActsLikePcGradTrigger) {
+  // With target cosine 0 (initial EMA), only negative-cosine pairs are
+  // vaccinated — same trigger as PCGrad.
+  GradVac agg;
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});  // orthogonal: cos = 0
+  auto r = Step(agg, g);
+  EXPECT_EQ(r.num_conflicts, 0);
+  EXPECT_FLOAT_EQ(r.shared_grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(r.shared_grad[1], 1.0f);
+}
+
+TEST(GradVacTest, Eq7AlignsToTargetCosine) {
+  // Two-task case with a conflict: after vaccination with target cos γ, the
+  // manipulated g_0' must satisfy cos(g_0', g_1) == γ (here γ = 0, the
+  // initial EMA target), i.e. reduce exactly to PCGrad's projection.
+  GradVac agg;
+  GradMatrix g = MakeGrads({{1, 0}, {-0.6f, 0.8f}});
+  auto r = Step(agg, g);
+  EXPECT_EQ(r.num_conflicts, 2);
+  // g0' = g0 + a*g1 with cos(g0', g1) = 0; g1' symmetric.
+  // Therefore both manipulated gradients are orthogonal to their partner:
+  // verify via reconstruction: sum - g1_contribution...
+  // Direct check: compute g0' from Eq. (7) with cos γ = 0:
+  // α = ||g0|| (0*sinφ − cosφ*1)/(||g1||*1) = −||g0|| cosφ / ||g1||.
+  const double cos_phi = -0.6;  // unit vectors here
+  const double alpha = -1.0 * cos_phi / 1.0;
+  const double g0p_x = 1.0 + alpha * -0.6;
+  const double g0p_y = alpha * 0.8;
+  // cos(g0', g1) == 0:
+  EXPECT_NEAR(g0p_x * -0.6 + g0p_y * 0.8, 0.0, 1e-9);
+  // And the aggregate contains g0' + g1' (g1' computed symmetrically).
+  const double g1p_x = -0.6 + alpha * 1.0;
+  const double g1p_y = 0.8;
+  EXPECT_NEAR(r.shared_grad[0], g0p_x + g1p_x, 1e-5);
+  EXPECT_NEAR(r.shared_grad[1], g0p_y + g1p_y, 1e-5);
+}
+
+TEST(GradVacTest, EmaTargetsAdaptTowardObservedCosine) {
+  // Feed consistently positively-correlated gradients: the EMA target
+  // rises, so a later mildly-positive pair can still trigger vaccination.
+  GradVacOptions opts;
+  opts.ema_beta = 0.5f;  // fast adaptation for the test
+  GradVac agg(opts);
+  GradMatrix aligned = MakeGrads({{1, 0}, {0.9f, 0.4359f}});  // cos ≈ 0.9
+  for (int i = 0; i < 6; ++i) Step(agg, aligned);
+  // Now a pair with cos ≈ 0.3 is below the adapted target -> vaccinated.
+  GradMatrix mild = MakeGrads({{1, 0}, {0.3f, 0.954f}});
+  auto r = Step(agg, mild);
+  EXPECT_GT(r.num_conflicts, 0);
+}
+
+TEST(GradVacTest, ZeroGradientRowsAreSkipped) {
+  GradVac agg;
+  GradMatrix g = MakeGrads({{0, 0}, {1, 1}});
+  auto r = Step(agg, g);
+  for (float v : r.shared_grad) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FLOAT_EQ(r.shared_grad[0], 1.0f);
+}
+
+TEST(GradVacTest, TaskCountChangeAborts) {
+  GradVac agg;
+  GradMatrix g2 = MakeGrads({{1, 0}, {0, 1}});
+  Step(agg, g2);
+  GradMatrix g3 = MakeGrads({{1, 0}, {0, 1}, {1, 1}});
+  EXPECT_DEATH(Step(agg, g3), "task count changed");
+}
+
+}  // namespace
+}  // namespace mocograd

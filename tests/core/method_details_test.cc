@@ -1,0 +1,199 @@
+// Deeper per-method properties: Nash-MTL's bargaining fixed point, CAGrad's
+// c parameter, IMTL weight structure, GradDrop purity statistics, and the
+// trainer's gradient clipping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/registry.h"
+#include "mtl/hps.h"
+#include "mtl/trainer.h"
+#include "optim/optimizer.h"
+
+namespace mocograd {
+namespace {
+
+using core::AggregationContext;
+using core::GradMatrix;
+
+GradMatrix RandomGrads(int k, int64_t p, uint64_t seed) {
+  Rng rng(seed);
+  GradMatrix g(k, p);
+  for (int i = 0; i < k; ++i) {
+    for (int64_t q = 0; q < p; ++q) g.Row(i)[q] = rng.Normal();
+  }
+  return g;
+}
+
+core::AggregationResult RunAgg(core::GradientAggregator& agg,
+                               const GradMatrix& g, uint64_t seed = 1) {
+  std::vector<float> losses(g.num_tasks(), 1.0f);
+  Rng rng(seed);
+  AggregationContext ctx;
+  ctx.task_grads = &g;
+  ctx.losses = &losses;
+  ctx.rng = &rng;
+  return agg.Aggregate(ctx);
+}
+
+TEST(NashMtlDetailTest, BargainingStationarityUpToScale) {
+  // The Nash solution satisfies α_i (GGᵀα)_i = const across i (the raw
+  // fixed point is α_i (Mα)_i = 1; the post-hoc sum normalization scales
+  // that constant but keeps it uniform). The fixed point is only feasible
+  // when Mα stays positive — the damped iteration clamps otherwise — so
+  // the check applies to feasible instances; infeasible ones still must
+  // produce positive finite weights.
+  int feasible = 0;
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    GradMatrix g = RandomGrads(4 + trial % 3, 10, 200 + trial);
+    auto agg = core::MakeAggregator("nashmtl").value();
+    auto r = RunAgg(*agg, g, trial);
+    const int k = g.num_tasks();
+    const auto gram = g.Gram();
+    std::vector<double> products(k, 0.0);
+    bool all_positive = true;
+    for (int i = 0; i < k; ++i) {
+      double ma = 0.0;
+      for (int j = 0; j < k; ++j) ma += gram[i][j] * r.task_weights[j];
+      products[i] = r.task_weights[i] * ma;
+      if (products[i] <= 0.0) all_positive = false;
+      EXPECT_GT(r.task_weights[i], 0.0f) << "trial " << trial;
+      EXPECT_TRUE(std::isfinite(r.task_weights[i]));
+    }
+    if (!all_positive) continue;
+    const double mx = *std::max_element(products.begin(), products.end());
+    const double mn = *std::min_element(products.begin(), products.end());
+    if (mx / mn < 1.5) ++feasible;  // near-uniform bargaining products
+  }
+  // A majority of random instances are feasible and near the fixed point.
+  EXPECT_GE(feasible, 8);
+}
+
+TEST(CaGradDetailTest, LargerCMovesFurtherFromAverage) {
+  // c controls how far CAGrad may deviate from the plain average toward the
+  // worst task: the angle to the EW direction must grow with c.
+  GradMatrix g = RandomGrads(3, 8, 33);
+  auto ew_dir = g.SumRows();
+  auto cosine_to_ew = [&](float c) {
+    core::AggregatorOptions opts;
+    opts.cagrad.c = c;
+    auto agg = core::MakeAggregator("cagrad", opts).value();
+    auto r = RunAgg(*agg, g);
+    double dot = 0, na = 0, nb = 0;
+    for (size_t i = 0; i < ew_dir.size(); ++i) {
+      dot += double(r.shared_grad[i]) * ew_dir[i];
+      na += double(r.shared_grad[i]) * r.shared_grad[i];
+      nb += double(ew_dir[i]) * ew_dir[i];
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  const double cos_small = cosine_to_ew(0.1f);
+  const double cos_large = cosine_to_ew(0.8f);
+  EXPECT_GE(cos_small, cos_large - 1e-6);
+  EXPECT_NEAR(cosine_to_ew(0.0f), 1.0, 1e-6);  // c=0 is exactly EW/average
+}
+
+TEST(ImtlDetailTest, WeightsSumToK) {
+  for (uint64_t trial = 0; trial < 10; ++trial) {
+    GradMatrix g = RandomGrads(3 + trial % 4, 9, 300 + trial);
+    auto agg = core::MakeAggregator("imtl").value();
+    auto r = RunAgg(*agg, g);
+    // IMTL-G's α sums to 1 before the K rescale; verify via projections:
+    // combined gradient has equal projections (already covered) and finite
+    // output here.
+    for (float v : r.shared_grad) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(GradDropDetailTest, KeepProbabilityTracksPurity) {
+  // For a coordinate where all tasks agree in sign, purity is 1 and the
+  // positive side is always kept; with exact cancellation purity is 0.5 and
+  // both sides are kept about equally often across seeds.
+  GradMatrix g(2, 2);
+  g.Row(0)[0] = 1.0f;   // coordinate 0: agreement (+1, +2)
+  g.Row(1)[0] = 2.0f;
+  g.Row(0)[1] = 1.0f;   // coordinate 1: exact cancellation (+1, -1)
+  g.Row(1)[1] = -1.0f;
+  auto agg = core::MakeAggregator("graddrop").value();
+  int positive_kept = 0;
+  const int trials = 400;
+  for (int s = 0; s < trials; ++s) {
+    auto r = RunAgg(*agg, g, 1000 + s);
+    EXPECT_FLOAT_EQ(r.shared_grad[0], 3.0f);  // agreement always passes
+    if (r.shared_grad[1] > 0) ++positive_kept;
+  }
+  EXPECT_GT(positive_kept, trials * 0.4);
+  EXPECT_LT(positive_kept, trials * 0.6);
+}
+
+TEST(TrainerClippingTest, GlobalNormClipBoundsTheUpdate) {
+  Rng rng(71);
+  mtl::HpsConfig cfg;
+  cfg.input_dim = 4;
+  cfg.shared_dims = {8};
+  cfg.task_output_dims = {1, 1};
+  mtl::HpsModel model(cfg, rng);
+  // Huge targets force huge gradients.
+  data::Batch b;
+  b.x = Tensor::Randn({8, 4}, rng);
+  b.y = Tensor::Full({8, 1}, 1e4f);
+  core::EqualWeight agg;
+  optim::Sgd opt(model.Parameters(), 1.0f);
+  mtl::MtlTrainer trainer(&model, &agg, &opt,
+                          {data::TaskKind::kRegression,
+                           data::TaskKind::kRegression},
+                          3);
+  trainer.set_max_grad_norm(1.0f);
+
+  std::vector<Tensor> before;
+  for (auto* p : model.Parameters()) before.push_back(p->value().Clone());
+  trainer.Step({b, b});
+  // With lr=1 and global grad norm clipped to 1, the total parameter
+  // movement is at most 1 (+ tiny numerical slack).
+  double moved = 0.0;
+  auto params = model.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (int64_t j = 0; j < params[i]->NumElements(); ++j) {
+      const double d = params[i]->value()[j] - before[i][j];
+      moved += d * d;
+    }
+  }
+  EXPECT_LE(std::sqrt(moved), 1.0 + 1e-4);
+  EXPECT_GT(std::sqrt(moved), 0.5);  // it did move, up to the clip
+}
+
+TEST(TrainerClippingTest, NoClipBelowThreshold) {
+  Rng rng(73);
+  mtl::HpsConfig cfg;
+  cfg.input_dim = 3;
+  cfg.shared_dims = {4};
+  cfg.task_output_dims = {1};
+  mtl::HpsModel a(cfg, rng);
+  Rng rng2(73);
+  mtl::HpsModel b(cfg, rng2);
+
+  data::Batch batch;
+  Rng drng(5);
+  batch.x = Tensor::Randn({4, 3}, drng);
+  batch.y = Tensor::Randn({4, 1}, drng);
+
+  core::EqualWeight agg1, agg2;
+  optim::Sgd oa(a.Parameters(), 0.01f), ob(b.Parameters(), 0.01f);
+  mtl::MtlTrainer ta(&a, &agg1, &oa, {data::TaskKind::kRegression}, 3);
+  mtl::MtlTrainer tb(&b, &agg2, &ob, {data::TaskKind::kRegression}, 3);
+  tb.set_max_grad_norm(1e6f);  // threshold far above actual norms
+  ta.Step({batch});
+  tb.Step({batch});
+  auto pa = a.Parameters(), pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i]->NumElements(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i]->value()[j], pb[i]->value()[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,207 @@
+#include "core/mocograd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/conflict.h"
+
+namespace mocograd {
+namespace {
+
+using core::AggregationContext;
+using core::GradMatrix;
+using core::MoCoGrad;
+using core::MoCoGradOptions;
+
+GradMatrix MakeGrads(const std::vector<std::vector<float>>& rows) {
+  GradMatrix g(static_cast<int>(rows.size()),
+               static_cast<int64_t>(rows[0].size()));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    g.SetRow(static_cast<int>(i), rows[i]);
+  }
+  return g;
+}
+
+core::AggregationResult Step(MoCoGrad& agg, const GradMatrix& g,
+                             Rng& rng, int64_t step = 0) {
+  std::vector<float> losses(g.num_tasks(), 1.0f);
+  AggregationContext ctx;
+  ctx.task_grads = &g;
+  ctx.losses = &losses;
+  ctx.step = step;
+  ctx.rng = &rng;
+  return agg.Aggregate(ctx);
+}
+
+double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += double(a[i]) * b[i];
+  return s;
+}
+
+double Norm(const std::vector<float>& a) { return std::sqrt(Dot(a, a)); }
+
+TEST(MoCoGradTest, NonConflictingGradientsUntouched) {
+  MoCoGrad agg;
+  Rng rng(1);
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  auto r = Step(agg, g, rng);
+  EXPECT_EQ(r.num_conflicts, 0);
+  EXPECT_FLOAT_EQ(r.shared_grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(r.shared_grad[1], 1.0f);
+}
+
+TEST(MoCoGradTest, ColdStartFallsBackToRawGradient) {
+  // First step, conflicting pair, momenta are zero: Eq. (8) must fall back
+  // to λ·g_j. With g1=(1,0), g2=(-1,0.1), λ=0.5:
+  // ĝ1 = g1 + 0.5*g2 ; ĝ2 = g2 + 0.5*g1 ; sum = 1.5*(g1+g2).
+  MoCoGradOptions opts;
+  opts.lambda = 0.5f;
+  MoCoGrad agg(opts);
+  Rng rng(2);
+  GradMatrix g = MakeGrads({{1, 0}, {-1, 0.1f}});
+  auto r = Step(agg, g, rng);
+  EXPECT_EQ(r.num_conflicts, 2);
+  EXPECT_NEAR(r.shared_grad[0], 1.5f * 0.0f, 1e-5);
+  EXPECT_NEAR(r.shared_grad[1], 1.5f * 0.1f, 1e-5);
+}
+
+TEST(MoCoGradTest, MomentumFollowsEq9) {
+  MoCoGradOptions opts;
+  opts.beta1 = 0.9f;
+  MoCoGrad agg(opts);
+  Rng rng(3);
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  Step(agg, g, rng, 0);
+  // m = 0.9*0 + 0.1*g
+  EXPECT_NEAR(agg.momentum(0)[0], 0.1f, 1e-6);
+  EXPECT_NEAR(agg.momentum(1)[1], 0.1f, 1e-6);
+  Step(agg, g, rng, 1);
+  // m = 0.9*0.1 + 0.1*1 = 0.19
+  EXPECT_NEAR(agg.momentum(0)[0], 0.19f, 1e-6);
+}
+
+TEST(MoCoGradTest, CalibrationUsesMomentumNotCurrentGradient) {
+  // Warm up momentum of task 1 along +y, then present a conflicting current
+  // gradient for task 1 along -x. The calibration applied to task 0 must
+  // point along the *momentum* (+y-ish), not along the raw g_1.
+  MoCoGradOptions opts;
+  opts.lambda = 1.0f;
+  opts.beta1 = 0.5f;
+  MoCoGrad agg(opts);
+  Rng rng(4);
+  // Step 1: no conflict; builds momenta. g0=+x, g1=+y.
+  GradMatrix warm = MakeGrads({{1, 0}, {0, 1}});
+  Step(agg, warm, rng, 0);
+  // Step 2: g0=+x, g1=-x (conflict with g0). m_1 before this step = (0, .5).
+  GradMatrix g = MakeGrads({{1, 0}, {-1, 0}});
+  auto r = Step(agg, g, rng, 1);
+  EXPECT_GE(r.num_conflicts, 1);
+  // ĝ0 = g0 + 1.0*(||g1||/||m1||)*m1 = (1,0) + (0,1)*2*0.5 = (1, 1).
+  // ĝ1: conflict detected vs g0; m_0 = (0.5, 0) -> ĝ1 = (-1,0)+(1,0)=(0,0).
+  EXPECT_NEAR(r.shared_grad[0], 1.0f, 1e-5);
+  EXPECT_NEAR(r.shared_grad[1], 1.0f, 1e-5);
+}
+
+TEST(MoCoGradTest, Theorem1NormBound) {
+  // ‖ĝ‖ ≤ K(1+λ)G where G bounds the task-gradient norms (Theorem 1).
+  Rng data_rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int k = 2 + trial % 5;
+    const int64_t p = 12;
+    MoCoGradOptions opts;
+    opts.lambda = 0.05f + 0.9f * (trial % 10) / 10.0f;
+    MoCoGrad agg(opts);
+    Rng rng(trial);
+    GradMatrix g(k, p);
+    double gmax = 0.0;
+    for (int i = 0; i < k; ++i) {
+      for (int64_t q = 0; q < p; ++q) {
+        g.Row(i)[q] = data_rng.Normal(0.0f, 2.0f);
+      }
+      gmax = std::max(gmax, g.RowNorm(i));
+    }
+    // Run several steps so momenta are non-trivial.
+    for (int s = 0; s < 5; ++s) {
+      auto r = Step(agg, g, rng, s);
+      EXPECT_LE(Norm(r.shared_grad),
+                k * (1.0 + opts.lambda) * gmax + 1e-4)
+          << "k=" << k << " lambda=" << opts.lambda;
+      EXPECT_LE(Norm(r.shared_grad), 2.0 * k * gmax + 1e-4);
+    }
+  }
+}
+
+TEST(MoCoGradTest, CalibrationPullsConflictingPairCloser) {
+  // The manipulated gradients must have a larger cosine (smaller GCD) than
+  // the originals when a conflict is calibrated.
+  MoCoGradOptions opts;
+  opts.lambda = 0.5f;
+  MoCoGrad agg(opts);
+  Rng rng(6);
+  // Build momentum roughly aligned with each task's gradient first.
+  GradMatrix warm = MakeGrads({{1.0f, 0.3f}, {-0.8f, 0.6f}});
+  Step(agg, warm, rng, 0);
+  GradMatrix g = MakeGrads({{1.0f, 0.3f}, {-0.8f, 0.6f}});
+  const double gcd_before =
+      core::Gcd(g.Row(0), g.Row(1), g.dim());
+  ASSERT_GT(gcd_before, 1.0);
+
+  // Manually compute ĝ_0 and ĝ_1 via one more aggregate and compare the
+  // pairwise geometry of the *summed* output with the EW sum: MoCoGrad's sum
+  // must align better with both tasks than the EW sum does with its worse
+  // task.
+  auto r = Step(agg, g, rng, 1);
+  auto ew = g.SumRows();
+  double worst_moco = 1e9, worst_ew = 1e9;
+  for (int i = 0; i < 2; ++i) {
+    const auto gi = g.RowVector(i);
+    worst_moco = std::min(
+        worst_moco, Dot(r.shared_grad, gi) / (Norm(r.shared_grad) * Norm(gi)));
+    worst_ew = std::min(worst_ew, Dot(ew, gi) / (Norm(ew) * Norm(gi)));
+  }
+  EXPECT_GE(worst_moco, worst_ew - 1e-6);
+}
+
+TEST(MoCoGradTest, ResetClearsMomenta) {
+  MoCoGrad agg;
+  Rng rng(7);
+  GradMatrix g = MakeGrads({{1, 0}, {0, 1}});
+  Step(agg, g, rng, 0);
+  EXPECT_GT(std::fabs(agg.momentum(0)[0]), 0.0f);
+  agg.Reset();
+  GradMatrix g3 = MakeGrads({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+  // After reset a different task count must be accepted.
+  auto r = Step(agg, g3, rng, 0);
+  EXPECT_EQ(r.shared_grad.size(), 3u);
+}
+
+TEST(MoCoGradTest, LambdaValidation) {
+  EXPECT_DEATH(MoCoGrad(MoCoGradOptions{.lambda = 0.0f}), "lambda");
+  EXPECT_DEATH(MoCoGrad(MoCoGradOptions{.lambda = 1.5f}), "lambda");
+  EXPECT_DEATH((MoCoGrad(MoCoGradOptions{.lambda = 0.5f, .beta1 = 1.0f})),
+               "");
+}
+
+TEST(MoCoGradTest, DeterministicGivenSeed) {
+  MoCoGradOptions opts;
+  auto run = [&](uint64_t seed) {
+    MoCoGrad agg(opts);
+    Rng rng(seed);
+    Rng data(17);
+    GradMatrix g(4, 10);
+    for (int i = 0; i < 4; ++i) {
+      for (int64_t q = 0; q < 10; ++q) g.Row(i)[q] = data.Normal();
+    }
+    std::vector<float> out;
+    for (int s = 0; s < 3; ++s) out = Step(agg, g, rng, s).shared_grad;
+    return out;
+  };
+  auto a = run(5);
+  auto b = run(5);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/aliexpress.h"
+#include "data/dataset.h"
+#include "data/movielens.h"
+#include "data/office_home.h"
+#include "data/qm9.h"
+#include "data/scene.h"
+
+namespace mocograd {
+namespace {
+
+using data::Batch;
+using data::TaskKind;
+
+TEST(DatasetHelpersTest, GatherDim0OnImages) {
+  Tensor t = Tensor::Arange(2 * 3 * 2 * 2).Reshape({2, 3, 2, 2});
+  Tensor g = data::GatherDim0(t, {1, 0, 1});
+  EXPECT_EQ(g.shape(), (Shape{3, 3, 2, 2}));
+  EXPECT_FLOAT_EQ(g[0], 12.0f);   // first element of original row 1
+  EXPECT_FLOAT_EQ(g[12], 0.0f);   // row 0
+}
+
+TEST(DatasetHelpersTest, SubsetBatchWithPixelLabels) {
+  Batch full;
+  full.x = Tensor::Arange(3 * 4).Reshape({3, 4});
+  full.labels = {0, 1, 2, 3, 4, 5};  // 2 labels per row
+  Batch sub = data::SubsetBatch(full, {2, 0}, /*labels_per_row=*/2);
+  EXPECT_EQ(sub.x.shape(), (Shape{2, 4}));
+  EXPECT_EQ(sub.labels, (std::vector<int64_t>{4, 5, 0, 1}));
+}
+
+TEST(DatasetHelpersTest, SampleIndicesUniqueWhenPossible) {
+  Rng rng(1);
+  auto idx = data::SampleIndices(100, 50, rng);
+  std::set<int64_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 50u);
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 100);
+  }
+  // With replacement when count > n.
+  auto big = data::SampleIndices(5, 20, rng);
+  EXPECT_EQ(big.size(), 20u);
+}
+
+TEST(MovieLensSimTest, ShapesSplitsAndDeterminism) {
+  data::MovieLensConfig cfg;
+  cfg.num_genres = 3;
+  cfg.train_per_task = 100;
+  cfg.test_per_task = 40;
+  data::MovieLensSim ds(cfg);
+  EXPECT_EQ(ds.num_tasks(), 3);
+  EXPECT_FALSE(ds.single_input());
+  EXPECT_EQ(ds.task_kind(0), TaskKind::kRegression);
+
+  auto test = ds.TestBatches();
+  ASSERT_EQ(test.size(), 3u);
+  EXPECT_EQ(test[0].x.shape(), (Shape{40, 16}));
+  EXPECT_EQ(test[0].y.shape(), (Shape{40, 1}));
+  // Ratings live in [1, 5].
+  for (int64_t i = 0; i < test[0].y.NumElements(); ++i) {
+    EXPECT_GE(test[0].y[i], 1.0f);
+    EXPECT_LE(test[0].y[i], 5.0f);
+  }
+  // Multi-input: per-task batches are distinct tensors.
+  EXPECT_FALSE(test[0].x.SharesStorageWith(test[1].x));
+
+  // Determinism: same config → same data.
+  data::MovieLensSim ds2(cfg);
+  auto test2 = ds2.TestBatches();
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_FLOAT_EQ(test[1].y[i], test2[1].y[i]);
+  }
+
+  Rng rng(3);
+  auto batches = ds.SampleTrainBatches(16, rng);
+  EXPECT_EQ(batches[2].x.Dim(0), 16);
+}
+
+TEST(MovieLensSimTest, RelatednessControlsTaskSimilarity) {
+  // With relatedness 1 every genre has the same transform: expected ratings
+  // for the same (user,item) pair should correlate strongly across genres.
+  data::MovieLensConfig hi;
+  hi.num_genres = 2;
+  hi.relatedness = 1.0f;
+  hi.noise = 0.0f;
+  hi.outlier_fraction = 0.0f;
+  hi.train_per_task = 10;
+  hi.test_per_task = 400;
+  data::MovieLensSim rel(hi);
+  // Genre transforms identical -> only bias differs; variance of y across
+  // tasks driven by the same bilinear term. Proxy check: std of targets is
+  // comparable and nonzero.
+  auto t = rel.TestBatches();
+  double m0 = 0, m1 = 0;
+  for (int i = 0; i < 400; ++i) {
+    m0 += t[0].y[i];
+    m1 += t[1].y[i];
+  }
+  EXPECT_NEAR(m0 / 400, 3.0, 0.5);
+  EXPECT_NEAR(m1 / 400, 3.0, 0.5);
+}
+
+TEST(AliExpressSimTest, FunnelAndSingleInput) {
+  data::AliExpressConfig cfg;
+  cfg.num_train = 500;
+  cfg.num_test = 2000;
+  data::AliExpressSim ds(cfg);
+  EXPECT_TRUE(ds.single_input());
+  EXPECT_EQ(ds.num_tasks(), 2);
+  auto test = ds.TestBatches();
+  // Both tasks share the same impressions.
+  EXPECT_TRUE(test[0].x.SharesStorageWith(test[1].x));
+  // Funnel: a conversion implies a click, so ctcvr <= ctr per row.
+  double clicks = 0, convs = 0;
+  for (int64_t i = 0; i < test[0].y.NumElements(); ++i) {
+    EXPECT_GE(test[0].y[i], test[1].y[i]);
+    clicks += test[0].y[i];
+    convs += test[1].y[i];
+  }
+  // Imbalanced labels: clicks a minority, conversions rarer still.
+  EXPECT_GT(clicks / 2000, 0.02);
+  EXPECT_LT(clicks / 2000, 0.6);
+  EXPECT_LT(convs, clicks);
+  // Categorical id columns are integral and in range.
+  const int d = cfg.dense_dim;
+  for (int64_t i = 0; i < 50; ++i) {
+    const float seg = test[0].x.At(i, d);
+    EXPECT_FLOAT_EQ(seg, std::round(seg));
+    EXPECT_LT(seg, cfg.num_user_segments);
+  }
+}
+
+TEST(AliExpressSimTest, CountriesDiffer) {
+  data::AliExpressConfig es;
+  es.country = "ES";
+  es.num_train = 100;
+  es.num_test = 100;
+  data::AliExpressConfig us = es;
+  us.country = "US";
+  data::AliExpressSim a(es), b(us);
+  bool differs = false;
+  auto ta = a.TestBatches(), tb = b.TestBatches();
+  for (int64_t i = 0; i < 50 && !differs; ++i) {
+    if (ta[0].x[i] != tb[0].x[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Qm9SimTest, NormalizationAndScales) {
+  data::Qm9Config cfg;
+  cfg.num_properties = 5;
+  cfg.train_per_task = 400;
+  cfg.test_per_task = 100;
+  data::Qm9Sim ds(cfg);
+  EXPECT_EQ(ds.num_tasks(), 5);
+  EXPECT_EQ(ds.task_kind(0), TaskKind::kRegressionMae);
+  EXPECT_FALSE(ds.single_input());
+  auto test = ds.TestBatches();
+  // Scale-only normalization: train std ≈ 1 per property, mean retained
+  // (nonzero — properties have mean >> 0).
+  for (int p = 0; p < 5; ++p) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < test[p].y.NumElements(); ++i) {
+      mean += test[p].y[i];
+    }
+    mean /= test[p].y.NumElements();
+    EXPECT_GT(std::fabs(mean), 0.5) << "property mean should be retained";
+  }
+  EXPECT_GT(ds.property_scale(2), ds.property_scale(1));
+}
+
+TEST(SceneSimTest, NyuStructure) {
+  data::SceneConfig cfg;
+  cfg.mode = data::SceneMode::kNyu;
+  cfg.num_train = 10;
+  cfg.num_test = 6;
+  cfg.hw = 12;
+  data::SceneSim ds(cfg);
+  EXPECT_EQ(ds.num_tasks(), 3);
+  EXPECT_TRUE(ds.single_input());
+  EXPECT_EQ(ds.ClassCount(0), 13);
+  auto test = ds.TestBatches();
+  EXPECT_EQ(test[0].x.shape(), (Shape{6, 3, 12, 12}));
+  EXPECT_EQ(test[0].labels.size(), 6u * 12 * 12);
+  EXPECT_EQ(test[1].y.shape(), (Shape{6, 1, 12, 12}));
+  EXPECT_EQ(test[2].y.shape(), (Shape{6, 3, 12, 12}));
+  // Labels within range.
+  for (int64_t l : test[0].labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 13);
+  }
+  // Normals are unit vectors.
+  const Tensor& n = test[2].y;
+  const int64_t hw2 = 12 * 12;
+  for (int64_t p = 0; p < hw2; ++p) {
+    const double nx = n[0 * hw2 + p], ny = n[1 * hw2 + p],
+                 nz = n[2 * hw2 + p];
+    EXPECT_NEAR(nx * nx + ny * ny + nz * nz, 1.0, 1e-4);
+  }
+  // Sampling keeps x identical across tasks (single-input) and slices
+  // pixel labels per image.
+  Rng rng(5);
+  auto batches = ds.SampleTrainBatches(4, rng);
+  ASSERT_EQ(batches[0].x.NumElements(), batches[1].x.NumElements());
+  for (int64_t i = 0; i < batches[0].x.NumElements(); ++i) {
+    ASSERT_FLOAT_EQ(batches[0].x[i], batches[1].x[i]);
+  }
+  EXPECT_EQ(batches[0].labels.size(), 4u * 12 * 12);
+}
+
+TEST(SceneSimTest, CityscapesHasTwoTasks) {
+  data::SceneConfig cfg;
+  cfg.mode = data::SceneMode::kCityscapes;
+  cfg.num_train = 4;
+  cfg.num_test = 4;
+  data::SceneSim ds(cfg);
+  EXPECT_EQ(ds.num_tasks(), 2);
+  EXPECT_EQ(ds.num_classes(), 7);
+  EXPECT_DEATH(ds.task_kind(2), "normals are NYU-only");
+}
+
+TEST(ScenePixelDatasetTest, WindowsAndTargets) {
+  data::SceneConfig cfg;
+  cfg.mode = data::SceneMode::kNyu;
+  cfg.num_train = 6;
+  cfg.num_test = 4;
+  data::SceneSim scene(cfg);
+  data::ScenePixelDataset px(scene, /*window=*/3, /*pixels_per_image=*/10);
+  EXPECT_EQ(px.num_tasks(), 3);
+  EXPECT_EQ(px.input_dim(), 27);  // 3 channels x 3x3 window
+  EXPECT_EQ(px.ClassCount(0), 13);
+  auto test = px.TestBatches();
+  EXPECT_EQ(test[0].x.shape(), (Shape{40, 27}));
+  EXPECT_EQ(test[0].labels.size(), 40u);
+  EXPECT_EQ(test[1].y.shape(), (Shape{40, 1}));
+  EXPECT_EQ(test[2].y.shape(), (Shape{40, 3}));
+}
+
+TEST(OfficeHomeSimTest, DomainsAndLabels) {
+  data::OfficeHomeConfig cfg;
+  cfg.num_classes = 10;
+  cfg.train_per_class_per_domain = 4;
+  cfg.test_per_class_per_domain = 2;
+  cfg.label_noise = 0.0f;
+  data::OfficeHomeSim ds(cfg);
+  EXPECT_EQ(ds.num_tasks(), 4);
+  EXPECT_FALSE(ds.single_input());
+  EXPECT_EQ(std::string(data::OfficeHomeSim::DomainName(0)), "Art");
+  auto test = ds.TestBatches();
+  EXPECT_EQ(test[0].x.shape(), (Shape{20, cfg.feature_dim}));
+  // Without label noise every class appears exactly test_per_class times.
+  std::vector<int> counts(10, 0);
+  for (int64_t l : test[0].labels) counts[l]++;
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(OfficeHomeSimTest, LabelNoiseInjectsMislabels) {
+  data::OfficeHomeConfig clean;
+  clean.num_classes = 10;
+  clean.train_per_class_per_domain = 30;
+  clean.label_noise = 0.0f;
+  data::OfficeHomeConfig noisy = clean;
+  noisy.label_noise = 0.5f;
+  data::OfficeHomeSim a(clean), b(noisy);
+  // Under 50% label noise, a sizeable fraction of train labels differ from
+  // the class index implied by generation order.
+  const auto& labels = b.TestBatches()[0].labels;
+  int mismatches = 0;
+  int row = 0;
+  for (int cls = 0; cls < 10; ++cls) {
+    for (int s = 0; s < 6; ++s, ++row) {
+      if (labels[row] != cls) ++mismatches;
+    }
+  }
+  EXPECT_GT(mismatches, 5);
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,134 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace mocograd {
+namespace {
+
+TEST(AucTest, PerfectRankingIsOne) {
+  Tensor scores = Tensor::FromVector({4}, {0.1f, 0.4f, 0.6f, 0.9f});
+  Tensor labels = Tensor::FromVector({4}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(eval::Auc(scores, labels), 1.0);
+}
+
+TEST(AucTest, ReversedRankingIsZero) {
+  Tensor scores = Tensor::FromVector({4}, {0.9f, 0.8f, 0.2f, 0.1f});
+  Tensor labels = Tensor::FromVector({4}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(eval::Auc(scores, labels), 0.0);
+}
+
+TEST(AucTest, TiesGetHalfCredit) {
+  Tensor scores = Tensor::FromVector({4}, {0.5f, 0.5f, 0.5f, 0.5f});
+  Tensor labels = Tensor::FromVector({4}, {0, 1, 0, 1});
+  EXPECT_NEAR(eval::Auc(scores, labels), 0.5, 1e-9);
+}
+
+TEST(AucTest, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // pairs: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) => 3/4.
+  Tensor scores = Tensor::FromVector({4}, {0.8f, 0.4f, 0.6f, 0.2f});
+  Tensor labels = Tensor::FromVector({4}, {1, 1, 0, 0});
+  EXPECT_NEAR(eval::Auc(scores, labels), 0.75, 1e-9);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  Tensor scores = Tensor::FromVector({3}, {0.1f, 0.5f, 0.9f});
+  EXPECT_DOUBLE_EQ(eval::Auc(scores, Tensor::Ones({3})), 0.5);
+  EXPECT_DOUBLE_EQ(eval::Auc(scores, Tensor::Zeros({3})), 0.5);
+}
+
+TEST(AucTest, InvariantToMonotoneTransform) {
+  Rng rng(3);
+  Tensor scores = Tensor::Randn({50}, rng);
+  Tensor labels(Shape{50});
+  for (int i = 0; i < 50; ++i) labels[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+  Tensor sig(Shape{50});
+  for (int i = 0; i < 50; ++i) {
+    sig[i] = 1.0f / (1.0f + std::exp(-scores[i]));
+  }
+  EXPECT_NEAR(eval::Auc(scores, labels), eval::Auc(sig, labels), 1e-9);
+}
+
+TEST(RegressionMetricsTest, RmseMaeAbsRel) {
+  Tensor pred = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor target = Tensor::FromVector({3}, {2, 2, 5});
+  EXPECT_NEAR(eval::Mae(pred, target), 1.0, 1e-6);
+  EXPECT_NEAR(eval::Rmse(pred, target), std::sqrt(5.0 / 3.0), 1e-6);
+  EXPECT_NEAR(eval::AbsErr(pred, target), 1.0, 1e-6);
+  // RelErr: mean of |e|/|t| * 100 = (0.5 + 0 + 0.4)/3 * 100.
+  EXPECT_NEAR(eval::RelErr(pred, target), (0.5 + 0.0 + 0.4) / 3 * 100, 1e-4);
+}
+
+TEST(AccuracyTest, TopOneArgmax) {
+  Tensor logits = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 2, 1});
+  EXPECT_NEAR(eval::Accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(PixelMetricsTest, PerfectPrediction) {
+  // [1, 2, 2, 2] logits map: class = pixel index pattern.
+  Tensor logits = Tensor::Zeros({1, 2, 2, 2});
+  // pixel (0,0) -> class 0, others class 1.
+  logits.data()[0 * 4 + 0] = 5.0f;  // channel 0, pixel 0
+  for (int p = 1; p < 4; ++p) logits.data()[1 * 4 + p] = 5.0f;
+  std::vector<int64_t> labels = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(eval::PixelAccuracy(logits, labels), 1.0);
+  EXPECT_DOUBLE_EQ(eval::MeanIou(logits, labels, 2), 1.0);
+}
+
+TEST(PixelMetricsTest, MeanIouHandComputed) {
+  // One class predicted everywhere, labels half/half:
+  // class0: inter 2, union 4 -> 0.5 ; class1: inter 0, union 2 -> 0.
+  Tensor logits = Tensor::Zeros({1, 2, 2, 2});
+  for (int p = 0; p < 4; ++p) logits.data()[0 * 4 + p] = 5.0f;
+  std::vector<int64_t> labels = {0, 0, 1, 1};
+  EXPECT_NEAR(eval::PixelAccuracy(logits, labels), 0.5, 1e-9);
+  EXPECT_NEAR(eval::MeanIou(logits, labels, 2), (0.5 + 0.0) / 2, 1e-9);
+}
+
+TEST(NormalAnglesTest, IdenticalNormalsZeroAngle) {
+  Rng rng(4);
+  Tensor n = Tensor::Randn({2, 3, 2, 2}, rng);
+  auto stats = eval::NormalAngles(n, n);
+  EXPECT_NEAR(stats.mean_deg, 0.0, 1e-3);
+  EXPECT_NEAR(stats.median_deg, 0.0, 1e-3);
+  EXPECT_NEAR(stats.within_11, 1.0, 1e-9);
+}
+
+TEST(NormalAnglesTest, OrthogonalIsNinety) {
+  Tensor a = Tensor::Zeros({1, 3, 1, 1});
+  Tensor b = Tensor::Zeros({1, 3, 1, 1});
+  a.data()[0] = 1.0f;  // x axis
+  b.data()[1] = 1.0f;  // y axis
+  auto stats = eval::NormalAngles(a, b);
+  EXPECT_NEAR(stats.mean_deg, 90.0, 1e-4);
+  EXPECT_NEAR(stats.within_30, 0.0, 1e-9);
+}
+
+TEST(NormalAnglesTest, ScaleInvariantInPrediction) {
+  // Predictions are normalized, so scaling them must not change angles.
+  Rng rng(5);
+  Tensor t = Tensor::Randn({1, 3, 2, 2}, rng);
+  Tensor p = Tensor::Randn({1, 3, 2, 2}, rng);
+  Tensor p2 = p.Clone();
+  for (int64_t i = 0; i < p2.NumElements(); ++i) p2[i] *= 7.5f;
+  auto s1 = eval::NormalAngles(p, t);
+  auto s2 = eval::NormalAngles(p2, t);
+  EXPECT_NEAR(s1.mean_deg, s2.mean_deg, 1e-4);
+  EXPECT_NEAR(s1.median_deg, s2.median_deg, 1e-4);
+}
+
+TEST(NormalAnglesTest, WithinThresholdsMonotone) {
+  Rng rng(6);
+  Tensor t = Tensor::Randn({2, 3, 4, 4}, rng);
+  Tensor p = Tensor::Randn({2, 3, 4, 4}, rng);
+  auto s = eval::NormalAngles(p, t);
+  EXPECT_LE(s.within_11, s.within_22);
+  EXPECT_LE(s.within_22, s.within_30);
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,130 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/movielens.h"
+#include "data/office_home.h"
+
+namespace mocograd {
+namespace {
+
+harness::TrainConfig FastConfig() {
+  harness::TrainConfig cfg;
+  cfg.steps = 30;
+  cfg.batch_size = 16;
+  cfg.lr = 1e-2f;
+  cfg.seed = 5;
+  return cfg;
+}
+
+data::MovieLensConfig SmallMl() {
+  data::MovieLensConfig dc;
+  dc.num_genres = 3;
+  dc.train_per_task = 120;
+  dc.test_per_task = 60;
+  return dc;
+}
+
+TEST(TaskOutputDimsTest, PerKindWidths) {
+  data::MovieLensSim ml(SmallMl());
+  auto dims = harness::TaskOutputDims(ml, {0, 2});
+  EXPECT_EQ(dims, (std::vector<int64_t>{1, 1}));
+
+  data::OfficeHomeConfig oc;
+  oc.num_classes = 7;
+  oc.train_per_class_per_domain = 2;
+  oc.test_per_class_per_domain = 2;
+  data::OfficeHomeSim oh(oc);
+  auto cls_dims = harness::TaskOutputDims(oh, {0, 1, 2, 3});
+  EXPECT_EQ(cls_dims, (std::vector<int64_t>{7, 7, 7, 7}));
+}
+
+TEST(HigherIsBetterTest, MetricDirections) {
+  EXPECT_TRUE(harness::HigherIsBetter("auc"));
+  EXPECT_TRUE(harness::HigherIsBetter("acc"));
+  EXPECT_TRUE(harness::HigherIsBetter("miou"));
+  EXPECT_TRUE(harness::HigherIsBetter("pixacc"));
+  EXPECT_TRUE(harness::HigherIsBetter("within_11.25"));
+  EXPECT_FALSE(harness::HigherIsBetter("rmse"));
+  EXPECT_FALSE(harness::HigherIsBetter("mae"));
+  EXPECT_FALSE(harness::HigherIsBetter("abs_err"));
+  EXPECT_FALSE(harness::HigherIsBetter("normal_mean"));
+}
+
+TEST(RunMethodTest, ProducesMetricsAndRisks) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  auto r = harness::RunMethod(ml, {0, 1}, "mocograd", factory, FastConfig());
+  ASSERT_EQ(r.task_metrics.size(), 2u);
+  EXPECT_EQ(r.task_metrics[0][0].name, "rmse");
+  EXPECT_GT(r.task_metrics[0][0].value, 0.0);
+  EXPECT_EQ(r.test_risks.size(), 2u);
+  EXPECT_EQ(r.final_losses.size(), 2u);
+  EXPECT_GE(r.mean_gcd, 0.0);
+  EXPECT_GT(r.mean_backward_seconds, 0.0);
+}
+
+TEST(RunMethodTest, DeterministicGivenSeed) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  auto a = harness::RunMethod(ml, {0, 1}, "pcgrad", factory, FastConfig());
+  auto b = harness::RunMethod(ml, {0, 1}, "pcgrad", factory, FastConfig());
+  EXPECT_DOUBLE_EQ(a.task_metrics[0][0].value, b.task_metrics[0][0].value);
+  EXPECT_DOUBLE_EQ(a.mean_gcd, b.mean_gcd);
+}
+
+TEST(RunMethodTest, TaskSubsetSelection) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  auto r = harness::RunMethod(ml, {2}, "ew", factory, FastConfig());
+  EXPECT_EQ(r.task_metrics.size(), 1u);
+}
+
+TEST(RunMethodTest, LossCurveRecording) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  harness::TrainConfig cfg = FastConfig();
+  cfg.loss_curve_every = 10;
+  auto r = harness::RunMethod(ml, {0, 1}, "ew", factory, cfg);
+  EXPECT_EQ(r.loss_curve.size(), 3u);  // steps 0, 10, 20
+  EXPECT_EQ(r.loss_curve[0].size(), 2u);
+}
+
+TEST(StlBaselineTest, OneModelPerTask) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  auto stl = harness::StlBaseline(ml, {0, 1, 2}, factory, FastConfig());
+  EXPECT_EQ(stl.task_metrics.size(), 3u);
+  // Single-task runs have no gradient conflicts by construction.
+  EXPECT_DOUBLE_EQ(stl.mean_gcd, 0.0);
+}
+
+TEST(ComputeDeltaMTest, SignsAndMagnitude) {
+  harness::TaskMetrics better_auc = {{"auc", 0.88}};
+  harness::TaskMetrics base_auc = {{"auc", 0.80}};
+  harness::TaskMetrics worse_rmse = {{"rmse", 1.1}};
+  harness::TaskMetrics base_rmse = {{"rmse", 1.0}};
+  const double dm = harness::ComputeDeltaM({better_auc, worse_rmse},
+                                           {base_auc, base_rmse});
+  EXPECT_NEAR(dm, (0.08 / 0.80 - 0.1) / 2.0, 1e-9);
+}
+
+TEST(ArchitectureFactoryTest, BuildsAllFiveArchitectures) {
+  Rng rng(3);
+  for (const std::string& arch : harness::AllArchitectureNames()) {
+    auto factory = harness::ArchitectureFactory(arch, 8);
+    auto model = factory({1, 2}, rng);
+    EXPECT_EQ(model->num_tasks(), 2) << arch;
+    EXPECT_FALSE(model->SharedParameters().empty()) << arch;
+    // Forward smoke test.
+    Tensor x = Tensor::Randn({3, 8}, rng);
+    auto outs = model->Forward(
+        {autograd::Variable(x, false), autograd::Variable(x, false)});
+    EXPECT_EQ(outs[0].shape(), (Shape{3, 1})) << arch;
+    EXPECT_EQ(outs[1].shape(), (Shape{3, 2})) << arch;
+  }
+  EXPECT_EQ(harness::AllArchitectureNames().size(), 5u);
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "data/movielens.h"
+#include "harness/experiment.h"
+
+namespace mocograd {
+namespace {
+
+data::MovieLensConfig SmallMl() {
+  data::MovieLensConfig dc;
+  dc.num_genres = 2;
+  dc.train_per_task = 120;
+  dc.test_per_task = 60;
+  return dc;
+}
+
+TEST(HarnessScheduleTest, AllSchedulesRunAndLearn) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  for (const std::string& sched :
+       {std::string("constant"), std::string("cosine"),
+        std::string("invsqrt"), std::string("step")}) {
+    harness::TrainConfig cfg;
+    cfg.steps = 60;
+    cfg.batch_size = 16;
+    cfg.lr = 1e-2f;
+    cfg.seed = 3;
+    cfg.lr_schedule = sched;
+    auto r = harness::RunMethod(ml, {0, 1}, "mocograd", factory, cfg);
+    EXPECT_GT(r.task_metrics[0][0].value, 0.0) << sched;
+    EXPECT_LT(r.task_metrics[0][0].value, 3.0) << sched;
+  }
+}
+
+TEST(HarnessScheduleTest, ScheduleChangesTheResult) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  harness::TrainConfig cfg;
+  cfg.steps = 60;
+  cfg.batch_size = 16;
+  cfg.lr = 1e-2f;
+  cfg.seed = 3;
+  auto constant = harness::RunMethod(ml, {0, 1}, "ew", factory, cfg);
+  cfg.lr_schedule = "invsqrt";
+  auto decayed = harness::RunMethod(ml, {0, 1}, "ew", factory, cfg);
+  EXPECT_NE(constant.task_metrics[0][0].value,
+            decayed.task_metrics[0][0].value);
+}
+
+TEST(HarnessScheduleDeathTest, UnknownScheduleAborts) {
+  data::MovieLensSim ml(SmallMl());
+  auto factory = harness::MlpHpsFactory(ml.input_dim(), {16});
+  harness::TrainConfig cfg;
+  cfg.steps = 5;
+  cfg.lr_schedule = "warmup";  // not implemented
+  EXPECT_DEATH(harness::RunMethod(ml, {0, 1}, "ew", factory, cfg),
+               "unknown lr_schedule");
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "autograd/ops.h"
+#include "mtl/cgc.h"
+#include "mtl/cross_stitch.h"
+#include "mtl/embedding_hps.h"
+#include "mtl/hps.h"
+#include "mtl/mmoe.h"
+#include "mtl/mtan.h"
+#include "mtl/scene_model.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+namespace ag = autograd;
+
+std::vector<Variable> SameInput(const Tensor& x, int k) {
+  std::vector<Variable> v;
+  for (int i = 0; i < k; ++i) v.emplace_back(x, false);
+  return v;
+}
+
+// Common checks for every MtlModel: forward shapes, disjoint shared/task
+// parameter sets covering all parameters, and per-task gradient isolation
+// (task k's loss must not touch task j's specific parameters).
+void CheckModelContract(mtl::MtlModel& model, const Tensor& x,
+                        const std::vector<int64_t>& out_dims) {
+  const int k = model.num_tasks();
+  auto outs = model.Forward(SameInput(x, k));
+  ASSERT_EQ(static_cast<int>(outs.size()), k);
+  for (int t = 0; t < k; ++t) {
+    EXPECT_EQ(outs[t].shape().Dim(0), x.Dim(0));
+    EXPECT_EQ(outs[t].shape().Dim(1), out_dims[t]);
+  }
+
+  // Shared + task parameter sets partition Parameters().
+  const auto all_params = model.Parameters();
+  std::set<Variable*> all(all_params.begin(), all_params.end());
+  std::set<Variable*> seen;
+  for (Variable* p : model.SharedParameters()) {
+    EXPECT_TRUE(all.count(p));
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate shared param";
+  }
+  for (int t = 0; t < k; ++t) {
+    for (Variable* p : model.TaskParameters(t)) {
+      EXPECT_TRUE(all.count(p));
+      EXPECT_TRUE(seen.insert(p).second)
+          << "param in two task sets / shared+task overlap";
+    }
+  }
+  EXPECT_EQ(seen.size(), all.size()) << "params not covered by shared+task";
+
+  // Gradient isolation: backprop task 0's output only.
+  model.ZeroGrad();
+  ag::MeanAll(outs[0]).Backward();
+  for (Variable* p : model.SharedParameters()) {
+    EXPECT_TRUE(p->has_grad());
+  }
+  if (k > 1) {
+    for (Variable* p : model.TaskParameters(k - 1)) {
+      const bool zero =
+          !p->has_grad() || tops::Norm(p->grad()) == 0.0f;
+      EXPECT_TRUE(zero) << "task " << k - 1
+                        << " params touched by task 0 loss";
+    }
+  }
+}
+
+TEST(HpsModelTest, ContractAndShapes) {
+  Rng rng(1);
+  mtl::HpsConfig cfg;
+  cfg.input_dim = 6;
+  cfg.shared_dims = {16, 8};
+  cfg.task_output_dims = {1, 3};
+  mtl::HpsModel model(cfg, rng);
+  EXPECT_EQ(model.num_tasks(), 2);
+  Tensor x = Tensor::Randn({4, 6}, rng);
+  auto outs = model.Forward(SameInput(x, 2));
+  EXPECT_EQ(outs[0].shape(), (Shape{4, 1}));
+  EXPECT_EQ(outs[1].shape(), (Shape{4, 3}));
+  CheckModelContract(model, x, cfg.task_output_dims);
+}
+
+TEST(HpsModelTest, MultiInputForward) {
+  Rng rng(2);
+  mtl::HpsConfig cfg;
+  cfg.input_dim = 5;
+  cfg.shared_dims = {8};
+  cfg.task_output_dims = {1, 1};
+  mtl::HpsModel model(cfg, rng);
+  Tensor xa = Tensor::Randn({3, 5}, rng);
+  Tensor xb = Tensor::Randn({7, 5}, rng);
+  auto outs = model.Forward({Variable(xa, false), Variable(xb, false)});
+  EXPECT_EQ(outs[0].shape().Dim(0), 3);
+  EXPECT_EQ(outs[1].shape().Dim(0), 7);
+}
+
+TEST(MmoeModelTest, ContractAndGateMixing) {
+  Rng rng(3);
+  mtl::MmoeConfig cfg;
+  cfg.input_dim = 6;
+  cfg.num_experts = 3;
+  cfg.expert_dims = {8};
+  cfg.task_output_dims = {1, 2};
+  mtl::MmoeModel model(cfg, rng);
+  Tensor x = Tensor::Randn({4, 6}, rng);
+  CheckModelContract(model, x, cfg.task_output_dims);
+  // Shared params = 3 experts x (W,b).
+  EXPECT_EQ(model.SharedParameters().size(), 6u);
+  // Task params = gate (W,b) + head (W,b).
+  EXPECT_EQ(model.TaskParameters(0).size(), 4u);
+}
+
+TEST(CrossStitchModelTest, ContractAndStitchShape) {
+  Rng rng(4);
+  mtl::CrossStitchConfig cfg;
+  cfg.input_dim = 6;
+  cfg.tower_dims = {8, 8};
+  cfg.task_output_dims = {1, 1, 2};
+  mtl::CrossStitchModel model(cfg, rng);
+  Tensor x = Tensor::Randn({4, 6}, rng);
+  CheckModelContract(model, x, cfg.task_output_dims);
+  // Shared: 3 towers x 2 layers x (W,b) + 2 stitch matrices = 14.
+  EXPECT_EQ(model.SharedParameters().size(), 14u);
+}
+
+TEST(CrossStitchModelTest, NearDiagonalInitBehavesLikeTowers) {
+  // With stitch_self_init = 1.0, the stitch is the identity and the model
+  // equals independent towers.
+  Rng rng(5);
+  mtl::CrossStitchConfig cfg;
+  cfg.input_dim = 4;
+  cfg.tower_dims = {6};
+  cfg.task_output_dims = {1, 1};
+  cfg.stitch_self_init = 1.0f;
+  mtl::CrossStitchModel model(cfg, rng);
+  Tensor x = Tensor::Randn({2, 4}, rng);
+  auto out1 = model.Forward(SameInput(x, 2));
+  // Changing the input of task 1 must not affect task 0's output when the
+  // stitch is the identity.
+  Tensor x2 = Tensor::Randn({2, 4}, rng);
+  auto out2 = model.Forward({Variable(x, false), Variable(x2, false)});
+  for (int64_t i = 0; i < out1[0].NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(out1[0].value()[i], out2[0].value()[i]);
+  }
+}
+
+TEST(MtanModelTest, Contract) {
+  Rng rng(6);
+  mtl::MtanConfig cfg;
+  cfg.input_dim = 6;
+  cfg.shared_dims = {12, 8};
+  cfg.task_output_dims = {2, 1};
+  mtl::MtanModel model(cfg, rng);
+  Tensor x = Tensor::Randn({4, 6}, rng);
+  CheckModelContract(model, x, cfg.task_output_dims);
+}
+
+TEST(CgcModelTest, Contract) {
+  Rng rng(7);
+  mtl::CgcConfig cfg;
+  cfg.input_dim = 6;
+  cfg.num_shared_experts = 2;
+  cfg.num_task_experts = 1;
+  cfg.expert_dims = {8};
+  cfg.task_output_dims = {1, 1};
+  mtl::CgcModel model(cfg, rng);
+  Tensor x = Tensor::Randn({4, 6}, rng);
+  CheckModelContract(model, x, cfg.task_output_dims);
+  // Shared = 2 shared experts x (W,b).
+  EXPECT_EQ(model.SharedParameters().size(), 4u);
+  // Task = 1 private expert (W,b) + gate (W,b) + head (W,b).
+  EXPECT_EQ(model.TaskParameters(1).size(), 6u);
+}
+
+TEST(SceneConvModelTest, DensePredictionShapes) {
+  Rng rng(8);
+  mtl::SceneConvConfig cfg;
+  cfg.in_channels = 3;
+  cfg.width = 8;
+  cfg.num_encoder_layers = 2;
+  cfg.task_out_channels = {13, 1, 3};
+  mtl::SceneConvModel model(cfg, rng);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  auto outs = model.Forward(SameInput(x, 3));
+  EXPECT_EQ(outs[0].shape(), (Shape{2, 13, 8, 8}));
+  EXPECT_EQ(outs[1].shape(), (Shape{2, 1, 8, 8}));
+  EXPECT_EQ(outs[2].shape(), (Shape{2, 3, 8, 8}));
+  // Gradient isolation across heads.
+  model.ZeroGrad();
+  ag::MeanAll(outs[1]).Backward();
+  for (Variable* p : model.TaskParameters(0)) {
+    EXPECT_TRUE(!p->has_grad() || tops::Norm(p->grad()) == 0.0f);
+  }
+  for (Variable* p : model.SharedParameters()) {
+    EXPECT_TRUE(p->has_grad());
+  }
+}
+
+TEST(EmbeddingHpsModelTest, CategoricalColumnsRouteToEmbeddings) {
+  Rng rng(9);
+  mtl::EmbeddingHpsConfig cfg;
+  cfg.dense_dim = 4;
+  cfg.cat_specs = {{10, 3}, {6, 2}};
+  cfg.shared_dims = {8};
+  cfg.task_output_dims = {1, 1};
+  mtl::EmbeddingHpsModel model(cfg, rng);
+  // Input: 4 dense + 2 id columns.
+  Tensor x = Tensor::Zeros({2, 6});
+  x.At(0, 4) = 3.0f;  // user segment ids
+  x.At(1, 4) = 9.0f;
+  x.At(0, 5) = 0.0f;  // item category ids
+  x.At(1, 5) = 5.0f;
+  auto outs = model.Forward(SameInput(x, 2));
+  EXPECT_EQ(outs[0].shape(), (Shape{2, 1}));
+
+  // Backward reaches the embedding tables (shared params include them).
+  model.ZeroGrad();
+  ag::MeanAll(outs[0]).Backward();
+  auto shared = model.SharedParameters();
+  // First shared params are the two embedding tables.
+  EXPECT_EQ(shared[0]->shape(), (Shape{10, 3}));
+  EXPECT_EQ(shared[1]->shape(), (Shape{6, 2}));
+  EXPECT_TRUE(shared[0]->has_grad());
+  // Only the selected rows of the table receive gradient.
+  EXPECT_NE(tops::Norm(tops::SliceCols(
+                tops::Transpose2D(shared[0]->grad()), 3, 1)),
+            0.0f);
+}
+
+TEST(EmbeddingHpsModelTest, OutOfRangeIdAborts) {
+  Rng rng(10);
+  mtl::EmbeddingHpsConfig cfg;
+  cfg.dense_dim = 2;
+  cfg.cat_specs = {{4, 2}};
+  cfg.shared_dims = {4};
+  cfg.task_output_dims = {1};
+  mtl::EmbeddingHpsModel model(cfg, rng);
+  Tensor x = Tensor::Zeros({1, 3});
+  x.At(0, 2) = 99.0f;  // id out of range
+  EXPECT_DEATH(model.Forward({Variable(x, false)}), "out of range");
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,199 @@
+#include "mtl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/mocograd.h"
+#include "core/registry.h"
+#include "mtl/hps.h"
+#include "optim/optimizer.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+using data::Batch;
+using data::TaskKind;
+
+// Builds a tiny 2-task regression problem with a known shared structure.
+struct TinyProblem {
+  std::unique_ptr<mtl::HpsModel> model;
+  std::vector<Batch> batches;
+
+  explicit TinyProblem(uint64_t seed) {
+    Rng rng(seed);
+    mtl::HpsConfig cfg;
+    cfg.input_dim = 4;
+    cfg.shared_dims = {8};
+    cfg.task_output_dims = {1, 1};
+    model = std::make_unique<mtl::HpsModel>(cfg, rng);
+
+    Tensor x = Tensor::Randn({16, 4}, rng);
+    Tensor y1(Shape{16, 1});
+    Tensor y2(Shape{16, 1});
+    for (int i = 0; i < 16; ++i) {
+      y1[i] = x.At(i, 0) + 0.5f * x.At(i, 1);
+      y2[i] = x.At(i, 0) - 0.5f * x.At(i, 2);
+    }
+    batches = {Batch{.x = x, .y = y1, .labels = {}},
+               Batch{.x = x, .y = y2, .labels = {}}};
+  }
+};
+
+TEST(TaskLossTest, SelectsCorrectLoss) {
+  Tensor pred2 = Tensor::Zeros({2, 1});
+  Batch reg{.x = Tensor(), .y = Tensor::Ones({2, 1}), .labels = {}};
+  EXPECT_NEAR(mtl::TaskLoss(TaskKind::kRegression, Variable(pred2, false),
+                            reg)
+                  .value()
+                  .Item(),
+              1.0f, 1e-6);
+  EXPECT_NEAR(mtl::TaskLoss(TaskKind::kRegressionL1, Variable(pred2, false),
+                            reg)
+                  .value()
+                  .Item(),
+              1.0f, 1e-6);
+  EXPECT_NEAR(mtl::TaskLoss(TaskKind::kRegressionMae, Variable(pred2, false),
+                            reg)
+                  .value()
+                  .Item(),
+              1.0f, 1e-6);  // trained with MSE; 1^2 == 1
+  EXPECT_NEAR(mtl::TaskLoss(TaskKind::kBinaryLogistic,
+                            Variable(pred2, false), reg)
+                  .value()
+                  .Item(),
+              std::log(2.0f), 1e-5);
+
+  Batch cls{.x = Tensor(), .y = Tensor(), .labels = {0, 1}};
+  Tensor logits = Tensor::Zeros({2, 3});
+  EXPECT_NEAR(mtl::TaskLoss(TaskKind::kClassification,
+                            Variable(logits, false), cls)
+                  .value()
+                  .Item(),
+              std::log(3.0f), 1e-5);
+
+  Batch px{.x = Tensor(), .y = Tensor(), .labels = {0, 1, 2, 0}};
+  Tensor maps = Tensor::Zeros({1, 3, 2, 2});
+  EXPECT_NEAR(mtl::TaskLoss(TaskKind::kPixelClassification,
+                            Variable(maps, false), px)
+                  .value()
+                  .Item(),
+              std::log(3.0f), 1e-5);
+}
+
+TEST(MtlTrainerTest, StepReducesLosses) {
+  TinyProblem prob(1);
+  core::EqualWeight agg;
+  optim::Adam opt(prob.model->Parameters(), 5e-2f);
+  mtl::MtlTrainer trainer(prob.model.get(), &agg, &opt,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  auto first = trainer.Step(prob.batches);
+  mtl::StepStats last;
+  for (int i = 0; i < 120; ++i) last = trainer.Step(prob.batches);
+  EXPECT_LT(last.losses[0], first.losses[0] * 0.2f);
+  EXPECT_LT(last.losses[1], first.losses[1] * 0.2f);
+  EXPECT_EQ(trainer.steps_done(), 121);
+}
+
+TEST(MtlTrainerTest, EwStepMatchesPlainJointBackward) {
+  // The trainer with EqualWeight must produce exactly the same parameter
+  // update as naive backprop through the summed loss.
+  TinyProblem a(7), b(7);
+  // Trainer path.
+  core::EqualWeight agg;
+  optim::Sgd opt_a(a.model->Parameters(), 0.1f);
+  mtl::MtlTrainer trainer(a.model.get(), &agg, &opt_a,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  trainer.Step(a.batches);
+
+  // Manual path on an identical model.
+  b.model->ZeroGrad();
+  std::vector<Variable> inputs = {Variable(b.batches[0].x, false),
+                                  Variable(b.batches[1].x, false)};
+  auto outs = b.model->Forward(inputs);
+  auto l1 = mtl::TaskLoss(TaskKind::kRegression, outs[0], b.batches[0]);
+  auto l2 = mtl::TaskLoss(TaskKind::kRegression, outs[1], b.batches[1]);
+  l1.Backward();
+  l2.Backward();
+  optim::Sgd opt_b(b.model->Parameters(), 0.1f);
+  opt_b.Step();
+
+  auto pa = a.model->Parameters();
+  auto pb = b.model->Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i]->NumElements(); ++j) {
+      EXPECT_NEAR(pa[i]->value()[j], pb[i]->value()[j], 1e-6)
+          << "param " << i << " elem " << j;
+    }
+  }
+}
+
+TEST(MtlTrainerTest, TaskWeightsScaleTaskSpecificGrads) {
+  // An aggregator with task weight 0 for task 1 must freeze task 1's head.
+  class ZeroSecondTask : public core::GradientAggregator {
+   public:
+    std::string name() const override { return "zero2"; }
+    core::AggregationResult Aggregate(
+        const core::AggregationContext& ctx) override {
+      core::AggregationResult r;
+      r.shared_grad = ctx.task_grads->SumRows();
+      r.task_weights = {1.0f, 0.0f};
+      return r;
+    }
+  };
+  TinyProblem prob(11);
+  auto head1_before = prob.model->TaskParameters(1)[0]->value().Clone();
+  ZeroSecondTask agg;
+  optim::Sgd opt(prob.model->Parameters(), 0.1f);
+  mtl::MtlTrainer trainer(prob.model.get(), &agg, &opt,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  trainer.Step(prob.batches);
+  const Tensor& head1_after = prob.model->TaskParameters(1)[0]->value();
+  for (int64_t i = 0; i < head1_after.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(head1_after[i], head1_before[i]);
+  }
+}
+
+TEST(MtlTrainerTest, ConflictStatsReported) {
+  TinyProblem prob(13);
+  core::MoCoGrad agg;
+  optim::Adam opt(prob.model->Parameters(), 1e-2f);
+  mtl::MtlTrainer trainer(prob.model.get(), &agg, &opt,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  auto stats = trainer.Step(prob.batches);
+  EXPECT_EQ(stats.conflicts.num_pairs, 1);
+  EXPECT_GE(stats.backward_seconds, 0.0);
+  EXPECT_EQ(stats.losses.size(), 2u);
+}
+
+TEST(MtlTrainerTest, PredictMatchesForwardValues) {
+  TinyProblem prob(17);
+  core::EqualWeight agg;
+  optim::Adam opt(prob.model->Parameters(), 1e-2f);
+  mtl::MtlTrainer trainer(prob.model.get(), &agg, &opt,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  auto preds = trainer.Predict(prob.batches);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0].shape(), (Shape{16, 1}));
+  // Predict must not mutate parameters or leave gradients behind.
+  auto preds2 = trainer.Predict(prob.batches);
+  for (int64_t i = 0; i < preds[0].NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(preds[0][i], preds2[0][i]);
+  }
+}
+
+TEST(MtlTrainerTest, MismatchedBatchCountAborts) {
+  TinyProblem prob(19);
+  core::EqualWeight agg;
+  optim::Adam opt(prob.model->Parameters(), 1e-2f);
+  mtl::MtlTrainer trainer(prob.model.get(), &agg, &opt,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  std::vector<Batch> one = {prob.batches[0]};
+  EXPECT_DEATH(trainer.Step(one), "one batch per task");
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/embedding.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/sequential.h"
+#include "testing/gradcheck.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+namespace ag = autograd;
+
+TEST(InitTest, GlorotUniformRange) {
+  Rng rng(1);
+  Tensor w = nn::GlorotUniform({100, 50}, 100, 50, rng);
+  const float a = std::sqrt(6.0f / 150.0f);
+  float mx = 0.0f;
+  for (int64_t i = 0; i < w.NumElements(); ++i) {
+    mx = std::max(mx, std::fabs(w[i]));
+  }
+  EXPECT_LE(mx, a);
+  EXPECT_GT(mx, 0.5f * a);  // not degenerate
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(2);
+  Tensor w = nn::HeNormal({200, 100}, 200, rng);
+  double var = 0.0;
+  for (int64_t i = 0; i < w.NumElements(); ++i) var += double(w[i]) * w[i];
+  var /= w.NumElements();
+  EXPECT_NEAR(var, 2.0 / 200.0, 2e-3);
+}
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(3);
+  nn::Linear fc(4, 3, rng);
+  Variable x(Tensor::Ones({2, 4}), false);
+  Variable y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_EQ(fc.Parameters().size(), 2u);
+  EXPECT_EQ(fc.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(4);
+  nn::Linear fc(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(fc.Parameters().size(), 1u);
+  EXPECT_EQ(fc.bias(), nullptr);
+}
+
+TEST(LinearTest, GradientFlowsToWeightAndBias) {
+  Rng rng(5);
+  nn::Linear fc(3, 2, rng);
+  Variable x(Tensor::Ones({4, 3}), false);
+  Variable loss = ag::MeanAll(fc.Forward(x));
+  loss.Backward();
+  EXPECT_TRUE(fc.weight()->has_grad());
+  EXPECT_TRUE(fc.bias()->has_grad());
+  // d mean / d bias_j = 1/ (4*2) * 4 = 0.5
+  EXPECT_NEAR(fc.bias()->grad()[0], 0.5f, 1e-5);
+}
+
+TEST(EmbeddingTest, LookupAndScatterGrad) {
+  Rng rng(6);
+  nn::Embedding emb(10, 4, rng);
+  Variable out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.shape(), (Shape{3, 4}));
+  ag::SumAll(out).Backward();
+  const Tensor& g = emb.table()->grad();
+  EXPECT_FLOAT_EQ(g.At(3, 0), 2.0f);
+  EXPECT_FLOAT_EQ(g.At(7, 0), 1.0f);
+  EXPECT_FLOAT_EQ(g.At(0, 0), 0.0f);
+}
+
+TEST(MlpTest, HiddenReluShapes) {
+  Rng rng(7);
+  nn::Mlp mlp({5, 8, 8, 2}, rng);
+  Variable x(Tensor::Ones({3, 5}), false);
+  Variable y = mlp.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  EXPECT_EQ(mlp.Parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(MlpTest, CanFitLinearFunction) {
+  // Tiny sanity training: y = 2x - 1 with plain SGD on MSE.
+  Rng rng(8);
+  nn::Mlp mlp({1, 16, 1}, rng);
+  Tensor xs(Shape{32, 1});
+  Tensor ys(Shape{32, 1});
+  for (int i = 0; i < 32; ++i) {
+    xs[i] = -1.0f + 2.0f * i / 31.0f;
+    ys[i] = 2.0f * xs[i] - 1.0f;
+  }
+  auto params = mlp.Parameters();
+  float last = 1e9f;
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    mlp.ZeroGrad();
+    Variable loss = ag::MseLoss(mlp.Forward(Variable(xs, false)), ys);
+    loss.Backward();
+    for (Variable* p : params) {
+      if (!p->has_grad()) continue;
+      tops::Axpy(-0.05f, p->grad(), p->mutable_value());
+    }
+    last = loss.value().Item();
+  }
+  EXPECT_LT(last, 1e-2f);
+}
+
+TEST(SequentialTest, ChainsLayers) {
+  Rng rng(9);
+  nn::Sequential seq;
+  seq.Add(std::make_unique<nn::Linear>(4, 8, rng));
+  seq.Add(std::make_unique<nn::ReluLayer>());
+  seq.Add(std::make_unique<nn::Linear>(8, 2, rng));
+  EXPECT_EQ(seq.size(), 3);
+  Variable y = seq.Forward(Variable(Tensor::Ones({5, 4}), false));
+  EXPECT_EQ(y.shape(), (Shape{5, 2}));
+  EXPECT_EQ(seq.Parameters().size(), 4u);
+}
+
+TEST(Conv2dLayerTest, ShapeAndGradcheck) {
+  Rng rng(10);
+  nn::Conv2d conv(2, 4, 3, 1, 1, rng);
+  Variable x(Tensor::Randn({1, 2, 6, 6}, rng, 0.0f, 0.5f), true);
+  Variable y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 6, 6}));
+  ag::MeanAll(y).Backward();
+  EXPECT_TRUE(x.has_grad());
+  for (Variable* p : conv.Parameters()) EXPECT_TRUE(p->has_grad());
+}
+
+TEST(Conv2dLayerTest, StridedOutputShape) {
+  Rng rng(11);
+  nn::Conv2d conv(1, 2, 3, 2, 1, rng);
+  Variable x(Tensor::Zeros({2, 1, 8, 8}), false);
+  EXPECT_EQ(conv.Forward(x).shape(), (Shape{2, 2, 4, 4}));
+}
+
+TEST(ModuleTest, ParameterOrderIsDeterministic) {
+  Rng rng1(12), rng2(12);
+  nn::Mlp m1({3, 4, 2}, rng1);
+  nn::Mlp m2({3, 4, 2}, rng2);
+  auto p1 = m1.Parameters();
+  auto p2 = m2.Parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    ASSERT_EQ(p1[i]->shape(), p2[i]->shape());
+    for (int64_t j = 0; j < p1[i]->NumElements(); ++j) {
+      EXPECT_FLOAT_EQ(p1[i]->value()[j], p2[i]->value()[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

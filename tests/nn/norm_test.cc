@@ -1,0 +1,120 @@
+#include "nn/norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "testing/gradcheck.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+namespace ag = autograd;
+
+TEST(LayerNormTest, NormalizesRows) {
+  nn::LayerNorm ln(4);
+  Tensor x = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Variable y = ln.Forward(Variable(x, false));
+  // With γ=1, β=0 each output row has mean ≈ 0 and variance ≈ 1.
+  for (int r = 0; r < 2; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int c = 0; c < 4; ++c) mean += y.value().At(r, c);
+    mean /= 4;
+    for (int c = 0; c < 4; ++c) {
+      var += (y.value().At(r, c) - mean) * (y.value().At(r, c) - mean);
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, GammaBetaAffineApplied) {
+  nn::LayerNorm ln(2);
+  ln.gamma()->mutable_value().Fill(3.0f);
+  ln.beta()->mutable_value().Fill(-1.0f);
+  Tensor x = Tensor::FromVector({1, 2}, {0, 2});  // normalized: {-1, +1}
+  Variable y = ln.Forward(Variable(x, false));
+  EXPECT_NEAR(y.value()[0], -4.0f, 1e-3);
+  EXPECT_NEAR(y.value()[1], 2.0f, 1e-3);
+}
+
+TEST(LayerNormTest, GradcheckThroughNormalization) {
+  Rng rng(41);
+  nn::LayerNorm ln(5);
+  Tensor x = Tensor::Randn({3, 5}, rng);
+  Tensor w = Tensor::Randn({3, 5}, rng);
+  testing::ExpectGradientsClose(
+      [&](const std::vector<Variable>& v) {
+        return ag::MeanAll(ag::Mul(ln.Forward(v[0]), Variable(w, false)));
+      },
+      {x});
+}
+
+TEST(LayerNormTest, ParametersReceiveGradients) {
+  Rng rng(43);
+  nn::LayerNorm ln(3);
+  Variable x(Tensor::Randn({4, 3}, rng), true);
+  ag::MeanAll(ag::Mul(ln.Forward(x), ln.Forward(x))).Backward();
+  EXPECT_TRUE(ln.gamma()->has_grad());
+  EXPECT_TRUE(ln.beta()->has_grad());
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(47);
+  nn::Dropout drop(0.5f, rng);
+  drop.set_training(false);
+  Tensor x = Tensor::Randn({4, 4}, rng);
+  Variable y = drop.Forward(Variable(x, false));
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(y.value()[i], x[i]);
+  }
+}
+
+TEST(DropoutTest, TrainingZerosAndRescales) {
+  Rng rng(53);
+  nn::Dropout drop(0.5f, rng);
+  Tensor x = Tensor::Ones({100, 10});
+  Variable y = drop.Forward(Variable(x, false));
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.NumElements(); ++i) {
+    const float v = y.value()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6);
+    if (v == 0.0f) ++zeros;
+  }
+  // ~50% dropped.
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+  // Expectation preserved: mean ≈ 1.
+  double mean = 0.0;
+  for (int64_t i = 0; i < y.NumElements(); ++i) mean += y.value()[i];
+  EXPECT_NEAR(mean / y.NumElements(), 1.0, 0.12);
+}
+
+TEST(DropoutTest, MaskBlocksGradient) {
+  Rng rng(59);
+  nn::Dropout drop(0.5f, rng);
+  Variable x(Tensor::Ones({50, 1}), true);
+  Variable y = drop.Forward(x);
+  ag::SumAll(y).Backward();
+  for (int64_t i = 0; i < 50; ++i) {
+    // Gradient matches the mask: 0 where dropped, 2 where kept.
+    EXPECT_TRUE(x.grad()[i] == 0.0f || std::fabs(x.grad()[i] - 2.0f) < 1e-6);
+    EXPECT_FLOAT_EQ(x.grad()[i], y.value()[i]);
+  }
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityEvenInTraining) {
+  Rng rng(61);
+  nn::Dropout drop(0.0f, rng);
+  Tensor x = Tensor::Randn({3, 3}, rng);
+  Variable y = drop.Forward(Variable(x, false));
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(y.value()[i], x[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

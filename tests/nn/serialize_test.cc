@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "nn/mlp.h"
+
+namespace mocograd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng1(1), rng2(2);
+  nn::Mlp a({4, 8, 2}, rng1);
+  nn::Mlp b({4, 8, 2}, rng2);  // different init
+
+  const std::string path = TempPath("mlp.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(a, path).ok());
+  ASSERT_TRUE(nn::LoadParameters(b, path).ok());
+
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i]->NumElements(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i]->value()[j], pb[i]->value()[j]);
+    }
+  }
+
+  // Loaded model computes identical outputs.
+  Rng rng3(3);
+  Tensor x = Tensor::Randn({5, 4}, rng3);
+  auto ya = a.Forward(autograd::Variable(x, false));
+  auto yb = b.Forward(autograd::Variable(x, false));
+  for (int64_t i = 0; i < ya.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(ya.value()[i], yb.value()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(1);
+  nn::Mlp m({2, 2}, rng);
+  auto s = nn::LoadParameters(m, TempPath("does_not_exist.ckpt"));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, ArchitectureMismatchRejected) {
+  Rng rng(1);
+  nn::Mlp small({2, 2}, rng);
+  nn::Mlp big({2, 4, 2}, rng);
+  const std::string path = TempPath("small.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(small, path).ok());
+  auto s = nn::LoadParameters(big, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(1);
+  nn::Mlp a({2, 3}, rng);
+  nn::Mlp b({3, 2}, rng);  // same param count, different shapes
+  const std::string path = TempPath("shape.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(a, path).ok());
+  auto s = nn::LoadParameters(b, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptHeaderRejected) {
+  const std::string path = TempPath("garbage.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "not a checkpoint";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  Rng rng(1);
+  nn::Mlp m({2, 2}, rng);
+  auto s = nn::LoadParameters(m, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mocograd

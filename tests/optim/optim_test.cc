@@ -1,0 +1,99 @@
+#include "optim/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "autograd/ops.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+namespace ag = autograd;
+
+// Minimizes f(x) = ||x - c||^2 with the given optimizer; returns final x.
+template <typename Opt, typename... Args>
+float FinalDistance(float lr, int steps, Args... args) {
+  Variable x(Tensor::FromVector({2}, {5.0f, -3.0f}), true);
+  Tensor c = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Opt opt(std::vector<Variable*>{&x}, lr, args...);
+  for (int i = 0; i < steps; ++i) {
+    opt.ZeroGrad();
+    Variable diff = ag::Sub(x, Variable(c, false));
+    ag::SumAll(ag::Mul(diff, diff)).Backward();
+    opt.Step();
+  }
+  const float dx = x.value()[0] - 1.0f;
+  const float dy = x.value()[1] - 2.0f;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  EXPECT_LT(FinalDistance<optim::Sgd>(0.1f, 100), 1e-3f);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  EXPECT_LT(FinalDistance<optim::Sgd>(0.05f, 200, 0.9f), 1e-2f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  EXPECT_LT(FinalDistance<optim::Adam>(0.3f, 200), 1e-2f);
+}
+
+TEST(AdagradTest, ConvergesOnQuadratic) {
+  EXPECT_LT(FinalDistance<optim::Adagrad>(1.0f, 300), 1e-2f);
+}
+
+TEST(SgdTest, SingleStepMatchesHandComputed) {
+  Variable x(Tensor::FromVector({1}, {2.0f}), true);
+  optim::Sgd opt({&x}, /*lr=*/0.5f);
+  // f = x^2, grad = 4 at x=2.
+  ag::SumAll(ag::Mul(x, x)).Backward();
+  opt.Step();
+  EXPECT_FLOAT_EQ(x.value()[0], 0.0f);  // 2 - 0.5*4
+}
+
+TEST(SgdTest, WeightDecayShrinksParams) {
+  Variable x(Tensor::FromVector({1}, {1.0f}), true);
+  optim::Sgd opt({&x}, /*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/1.0f);
+  x.mutable_grad();  // zero gradient: only decay acts
+  opt.Step();
+  EXPECT_FLOAT_EQ(x.value()[0], 0.9f);
+}
+
+TEST(OptimizerTest, SkipsParamsWithoutGrad) {
+  Variable x(Tensor::FromVector({1}, {3.0f}), true);
+  optim::Adam opt({&x}, 0.1f);
+  opt.Step();  // no grad buffer: must not touch x
+  EXPECT_FLOAT_EQ(x.value()[0], 3.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Variable x(Tensor::FromVector({1}, {1.0f}), true);
+  optim::Sgd opt({&x}, 0.1f);
+  ag::SumAll(ag::Mul(x, x)).Backward();
+  EXPECT_NE(x.grad()[0], 0.0f);
+  opt.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(OptimizerTest, LearningRateIsMutable) {
+  Variable x(Tensor::FromVector({1}, {1.0f}), true);
+  optim::Sgd opt({&x}, 0.1f);
+  opt.set_learning_rate(0.01f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.01f);
+}
+
+TEST(AdamTest, BiasCorrectionFirstStep) {
+  // With grad g on step 1, Adam moves by ~lr * sign(g) regardless of |g|.
+  Variable x(Tensor::FromVector({1}, {0.0f}), true);
+  optim::Adam opt({&x}, 0.1f);
+  x.mutable_grad()[0] = 1e-3f;
+  opt.Step();
+  EXPECT_NEAR(x.value()[0], -0.1f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,66 @@
+#include "optim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+
+struct SchedFixture {
+  Variable x{Tensor::Zeros({1}), true};
+  optim::Sgd opt{{&x}, 1.0f};
+};
+
+TEST(ConstantLrTest, HoldsRate) {
+  SchedFixture f;
+  optim::ConstantLr sched(&f.opt);
+  for (int i = 0; i < 5; ++i) sched.Step();
+  EXPECT_FLOAT_EQ(f.opt.learning_rate(), 1.0f);
+}
+
+TEST(StepDecayLrTest, DecaysEveryPeriod) {
+  SchedFixture f;
+  optim::StepDecayLr sched(&f.opt, /*period=*/3, /*gamma=*/0.5f);
+  for (int i = 0; i < 2; ++i) sched.Step();
+  EXPECT_FLOAT_EQ(f.opt.learning_rate(), 1.0f);  // steps 1,2 < period
+  sched.Step();                                  // step 3
+  EXPECT_FLOAT_EQ(f.opt.learning_rate(), 0.5f);
+  for (int i = 0; i < 3; ++i) sched.Step();      // step 6
+  EXPECT_FLOAT_EQ(f.opt.learning_rate(), 0.25f);
+}
+
+TEST(InverseSqrtLrTest, MatchesCorollary1Schedule) {
+  SchedFixture f;
+  optim::InverseSqrtLr sched(&f.opt);
+  sched.Step();  // t = 1
+  EXPECT_NEAR(f.opt.learning_rate(), 1.0f / std::sqrt(2.0f), 1e-6);
+  for (int i = 0; i < 7; ++i) sched.Step();  // t = 8
+  EXPECT_NEAR(f.opt.learning_rate(), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(CosineLrTest, EndsAtMinLr) {
+  SchedFixture f;
+  optim::CosineLr sched(&f.opt, /*total_steps=*/10, /*min_lr=*/0.1f);
+  for (int i = 0; i < 10; ++i) sched.Step();
+  EXPECT_NEAR(f.opt.learning_rate(), 0.1f, 1e-5);
+  // Past the horizon the rate stays clamped at min.
+  for (int i = 0; i < 5; ++i) sched.Step();
+  EXPECT_NEAR(f.opt.learning_rate(), 0.1f, 1e-5);
+}
+
+TEST(CosineLrTest, MonotoneNonIncreasing) {
+  SchedFixture f;
+  optim::CosineLr sched(&f.opt, 20);
+  float prev = f.opt.learning_rate();
+  for (int i = 0; i < 20; ++i) {
+    sched.Step();
+    EXPECT_LE(f.opt.learning_rate(), prev + 1e-7);
+    prev = f.opt.learning_rate();
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

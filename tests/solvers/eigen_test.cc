@@ -1,0 +1,84 @@
+#include "solvers/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace mocograd {
+namespace {
+
+using solvers::JacobiEigenSymmetric;
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  auto e = JacobiEigenSymmetric({{3.0, 0.0}, {0.0, 1.0}});
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  EXPECT_NEAR(std::fabs(e.vectors[0][0]), 1.0, 1e-10);
+  EXPECT_NEAR(std::fabs(e.vectors[1][1]), 1.0, 1e-10);
+}
+
+TEST(JacobiEigenTest, HandComputed2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+  auto e = JacobiEigenSymmetric({{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::fabs(e.vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::fabs(e.vectors[0][1]), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+class JacobiPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiPropertyTest, ReconstructionAndOrthonormality) {
+  Rng rng(100 + GetParam());
+  const int n = 2 + GetParam() % 7;
+  // Random symmetric PSD-ish matrix A = B Bᵀ + small diagonal.
+  std::vector<std::vector<double>> b(n, std::vector<double>(n));
+  for (auto& row : b) {
+    for (double& v : row) v = rng.Normal();
+  }
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) a[i][j] += b[i][k] * b[j][k];
+    }
+    a[i][i] += 0.1;
+  }
+
+  auto e = JacobiEigenSymmetric(a);
+  // Sorted descending, all positive (PSD + 0.1 I).
+  for (int i = 0; i + 1 < n; ++i) EXPECT_GE(e.values[i], e.values[i + 1]);
+  for (int i = 0; i < n; ++i) EXPECT_GT(e.values[i], 0.0);
+
+  // A v_i == λ_i v_i.
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r < n; ++r) {
+      double av = 0.0;
+      for (int c = 0; c < n; ++c) av += a[r][c] * e.vectors[i][c];
+      EXPECT_NEAR(av, e.values[i] * e.vectors[i][r],
+                  1e-8 * (1.0 + std::fabs(e.values[i])))
+          << "eigpair " << i << " row " << r;
+    }
+  }
+  // Orthonormality.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (int c = 0; c < n; ++c) dot += e.vectors[i][c] * e.vectors[j][c];
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  // Trace preserved.
+  double trace = 0.0, sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    trace += a[i][i];
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-8 * std::fabs(trace));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JacobiPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace mocograd

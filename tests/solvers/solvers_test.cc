@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "solvers/linear_solve.h"
+#include "solvers/min_norm.h"
+#include "solvers/simplex.h"
+
+namespace mocograd {
+namespace {
+
+using solvers::MinNormWeights;
+using solvers::ProjectToSimplex;
+using solvers::SolveLinear;
+
+TEST(SimplexTest, AlreadyOnSimplexIsFixed) {
+  auto w = ProjectToSimplex({0.2, 0.3, 0.5});
+  EXPECT_NEAR(w[0], 0.2, 1e-9);
+  EXPECT_NEAR(w[1], 0.3, 1e-9);
+  EXPECT_NEAR(w[2], 0.5, 1e-9);
+}
+
+TEST(SimplexTest, NegativeEntriesClippedToZero) {
+  auto w = ProjectToSimplex({1.0, -5.0});
+  EXPECT_NEAR(w[0], 1.0, 1e-9);
+  EXPECT_NEAR(w[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, UniformFromEqualInput) {
+  auto w = ProjectToSimplex({7.0, 7.0, 7.0, 7.0});
+  for (double x : w) EXPECT_NEAR(x, 0.25, 1e-9);
+}
+
+// Property sweep: output is on the simplex and is the closest point.
+class SimplexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPropertyTest, KktConditionsHold) {
+  Rng rng(GetParam());
+  const int n = 2 + GetParam() % 7;
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal(0.0, 2.0);
+  auto w = ProjectToSimplex(v);
+
+  double sum = 0.0;
+  for (double x : w) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  // KKT: v_i - w_i is constant (=theta) across active coordinates, and
+  // v_i <= theta on inactive ones.
+  double theta = -1e18;
+  for (int i = 0; i < n; ++i) {
+    if (w[i] > 1e-12) theta = std::max(theta, v[i] - w[i]);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (w[i] > 1e-12) {
+      EXPECT_NEAR(v[i] - w[i], theta, 1e-9);
+    } else {
+      EXPECT_LE(v[i], theta + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest, ::testing::Range(0, 20));
+
+TEST(MinNormTest, SingleTaskIsTrivial) {
+  auto w = MinNormWeights({{4.0}});
+  EXPECT_NEAR(w[0], 1.0, 1e-9);
+}
+
+TEST(MinNormTest, TwoOpposedVectorsClosedForm) {
+  // g1 = (1, 0), g2 = (-1, 1): min-norm combination known analytically.
+  // M = [[1, -1], [-1, 2]]; optimum w1 solves min (w,1-w):
+  // f(w) = w^2 - 2w(1-w)(1) ... easier: gamma* for PCA pair formula:
+  // w1 = (g2.g2 - g1.g2) / ||g1 - g2||^2 = (2+1)/(1+2+2*1)= 3/5.
+  auto w = MinNormWeights({{1.0, -1.0}, {-1.0, 2.0}});
+  EXPECT_NEAR(w[0], 0.6, 1e-4);
+  EXPECT_NEAR(w[1], 0.4, 1e-4);
+}
+
+TEST(MinNormTest, IdenticalVectorsGiveAnyConvexCombo) {
+  // All Gram entries equal: every w on the simplex has the same norm; the
+  // solver must return a valid simplex point.
+  auto w = MinNormWeights({{1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-9);
+  EXPECT_GE(w[0], 0.0);
+  EXPECT_GE(w[1], 0.0);
+}
+
+// Property: the returned point has norm no larger than any vertex and any
+// random simplex point (approximate optimality check).
+class MinNormPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinNormPropertyTest, NoRandomPointBeatsSolver) {
+  Rng rng(100 + GetParam());
+  const int k = 2 + GetParam() % 5;
+  const int d = 6;
+  std::vector<std::vector<double>> g(k, std::vector<double>(d));
+  for (auto& row : g) {
+    for (double& x : row) x = rng.Normal(0.0, 1.0);
+  }
+  std::vector<std::vector<double>> gram(k, std::vector<double>(k, 0.0));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      for (int c = 0; c < d; ++c) gram[i][j] += g[i][c] * g[j][c];
+    }
+  }
+  auto w = MinNormWeights(gram);
+  auto norm2 = [&](const std::vector<double>& u) {
+    double s = 0.0;
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) s += u[i] * u[j] * gram[i][j];
+    }
+    return s;
+  };
+  const double solver_norm = norm2(w);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> u(k);
+    double sum = 0.0;
+    for (double& x : u) {
+      x = -std::log(std::max(1e-12f, rng.Uniform()));
+      sum += x;
+    }
+    for (double& x : u) x /= sum;
+    EXPECT_LE(solver_norm, norm2(u) + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinNormPropertyTest, ::testing::Range(0, 15));
+
+TEST(LinearSolveTest, HandComputed2x2) {
+  auto x = SolveLinear({{2.0, 1.0}, {1.0, 3.0}}, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-9);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-9);
+}
+
+TEST(LinearSolveTest, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  auto x = SolveLinear({{0.0, 1.0}, {1.0, 0.0}}, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 3.0, 1e-9);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-9);
+}
+
+TEST(LinearSolveTest, SingularReturnsError) {
+  auto x = SolveLinear({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LinearSolveTest, RandomSystemsRoundTrip) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + trial % 4;
+    std::vector<std::vector<double>> a(n, std::vector<double>(n));
+    std::vector<double> x_true(n);
+    for (auto& row : a) {
+      for (double& v : row) v = rng.Normal(0.0, 1.0);
+    }
+    for (int i = 0; i < n; ++i) {
+      a[i][i] += 3.0;  // keep well-conditioned
+      x_true[i] = rng.Normal(0.0, 1.0);
+    }
+    std::vector<double> b(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) b[i] += a[i][j] * x_true[j];
+    }
+    auto x = SolveLinear(a, b);
+    ASSERT_TRUE(x.ok());
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x.value()[i], x_true[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,109 @@
+// Property-based sweep of the broadcasting semantics: for a grid of shape
+// pairs, elementwise ops must match an independent index-arithmetic oracle,
+// and SumToShape must be the exact adjoint of broadcasting.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "base/rng.h"
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace {
+
+namespace t = tops;
+
+using ShapePair = std::tuple<std::vector<int64_t>, std::vector<int64_t>>;
+
+class BroadcastPropertyTest : public ::testing::TestWithParam<ShapePair> {};
+
+// Oracle: resolve the broadcast value of tensor `x` (shape padded to the
+// output rank) at output coordinate `coord`.
+float At(const Tensor& x, const Shape& out, const std::vector<int64_t>& coord) {
+  const int off = out.Rank() - x.Rank();
+  int64_t flat = 0;
+  const auto strides = x.shape().Strides();
+  for (int d = 0; d < x.Rank(); ++d) {
+    const int64_t c = x.shape().Dim(d) == 1 ? 0 : coord[d + off];
+    flat += c * strides[d];
+  }
+  return x.data()[flat];
+}
+
+TEST_P(BroadcastPropertyTest, AddMulMatchOracle) {
+  const auto& [da, db] = GetParam();
+  Rng rng(static_cast<uint64_t>(da.size() * 100 + db.size()));
+  Tensor a = Tensor::Randn(Shape(da), rng);
+  Tensor b = Tensor::Randn(Shape(db), rng);
+  Tensor sum = t::Add(a, b);
+  Tensor prod = t::Mul(a, b);
+  const Shape& out = sum.shape();
+  EXPECT_EQ(out, Shape::Broadcast(a.shape(), b.shape()));
+
+  std::vector<int64_t> coord(out.Rank(), 0);
+  for (int64_t flat = 0; flat < out.NumElements(); ++flat) {
+    int64_t rem = flat;
+    const auto strides = out.Strides();
+    for (int d = 0; d < out.Rank(); ++d) {
+      coord[d] = rem / strides[d];
+      rem -= coord[d] * strides[d];
+    }
+    const float av = At(a, out, coord);
+    const float bv = At(b, out, coord);
+    ASSERT_FLOAT_EQ(sum[flat], av + bv) << "flat " << flat;
+    ASSERT_FLOAT_EQ(prod[flat], av * bv) << "flat " << flat;
+  }
+}
+
+TEST_P(BroadcastPropertyTest, SumToShapeIsAdjointOfBroadcast) {
+  // <broadcast(a), g> == <a, SumToShape(g, a.shape)> for all a, g.
+  const auto& [da, db] = GetParam();
+  Rng rng(17);
+  Tensor a = Tensor::Randn(Shape(da), rng);
+  Tensor b = Tensor::Randn(Shape(db), rng);
+  const Shape out = Shape::Broadcast(a.shape(), b.shape());
+  Tensor g = Tensor::Randn(out, rng);
+
+  // broadcast(a) realized via a + zeros(out).
+  Tensor a_bc = t::Add(a, Tensor::Zeros(out));
+  const double lhs = t::Dot(a_bc, g);
+  Tensor reduced = t::SumToShape(g, a.shape());
+  const double rhs = t::Dot(a, reduced);
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (1.0 + std::fabs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, BroadcastPropertyTest,
+    ::testing::Values(
+        ShapePair{{3, 4}, {3, 4}},
+        ShapePair{{3, 4}, {4}},
+        ShapePair{{3, 1}, {1, 4}},
+        ShapePair{{2, 3, 4}, {3, 4}},
+        ShapePair{{2, 3, 4}, {1, 4}},
+        ShapePair{{2, 1, 4}, {3, 1}},
+        ShapePair{{5}, {1}},
+        ShapePair{{1}, {4, 5}},
+        ShapePair{{2, 2, 2, 2}, {2, 2}},
+        ShapePair{{6, 1, 3}, {6, 2, 1}}));
+
+TEST(BroadcastFailureTest, IncompatibleShapesAbort) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({2, 4});
+  EXPECT_DEATH(tops::Add(a, b), "cannot broadcast");
+  EXPECT_DEATH(Shape::Broadcast({3}, {4}), "cannot broadcast");
+}
+
+TEST(ShapeFailureTest, OutOfRangeAndMismatches) {
+  Tensor a = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(a.Dim(5), "");
+  EXPECT_DEATH(a.Reshape({4, 2}), "Reshape");
+  EXPECT_DEATH(tops::MatMul(a, Tensor::Zeros({4, 2})), "inner dims");
+  EXPECT_DEATH(tops::SliceCols(a, 2, 5), "out of range");
+  EXPECT_DEATH(tops::Dot(a, Tensor::Zeros({5})), "size mismatch");
+  EXPECT_DEATH(tops::GatherRows(a, {7}), "out of range");
+}
+
+}  // namespace
+}  // namespace mocograd

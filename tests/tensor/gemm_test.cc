@@ -1,0 +1,93 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace mocograd {
+namespace {
+
+// Naive triple-loop reference for C = alpha*op(A)*op(B) + beta*C.
+void ReferenceGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+                   float alpha, const std::vector<float>& a, int64_t lda,
+                   const std::vector<float>& b, int64_t ldb, float beta,
+                   std::vector<float>& c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * lda + i] : a[i * lda + p];
+        const float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] = alpha * static_cast<float>(acc) + beta * c[i * ldc + j];
+    }
+  }
+}
+
+// (m, n, k, trans_a, trans_b, alpha, beta)
+using GemmCase = std::tuple<int, int, int, bool, bool, float, float>;
+
+class GemmPropertyTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmPropertyTest, MatchesNaiveReference) {
+  const auto [m, n, k, ta, tb, alpha, beta] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 131 + n * 17 + k + ta * 3 + tb * 5));
+
+  const int64_t lda = ta ? m : k;
+  const int64_t ldb = tb ? k : n;
+  std::vector<float> a(static_cast<size_t>(ta ? k * m : m * k));
+  std::vector<float> b(static_cast<size_t>(tb ? n * k : k * n));
+  for (float& v : a) v = rng.Normal();
+  for (float& v : b) v = rng.Normal();
+  std::vector<float> c0(static_cast<size_t>(m) * n);
+  for (float& v : c0) v = rng.Normal();
+
+  std::vector<float> c_fast = c0, c_ref = c0;
+  Gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+       c_fast.data(), n);
+  ReferenceGemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c_ref, n);
+
+  for (size_t i = 0; i < c_fast.size(); ++i) {
+    EXPECT_NEAR(c_fast[i], c_ref[i], 1e-3f + 1e-4f * std::fabs(c_ref[i]))
+        << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTransposes, GemmPropertyTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, false, false, 1.0f, 0.0f},
+        GemmCase{3, 4, 5, false, false, 1.0f, 0.0f},
+        GemmCase{3, 4, 5, true, false, 1.0f, 0.0f},
+        GemmCase{3, 4, 5, false, true, 1.0f, 0.0f},
+        GemmCase{3, 4, 5, true, true, 1.0f, 0.0f},
+        GemmCase{7, 2, 9, false, false, 2.5f, 1.0f},
+        GemmCase{2, 8, 3, true, false, -1.0f, 0.5f},
+        GemmCase{16, 16, 16, false, true, 1.0f, 1.0f},
+        GemmCase{1, 17, 6, true, true, 0.5f, 2.0f},
+        GemmCase{13, 1, 13, false, false, 1.0f, 0.0f}));
+
+TEST(GemmTest, ZeroSizedDimensionsAreNoOps) {
+  std::vector<float> a(4, 1.0f), b(4, 1.0f), c(4, 7.0f);
+  Gemm(false, false, 0, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 1.0f, c.data(),
+       2);
+  EXPECT_FLOAT_EQ(c[0], 7.0f);
+  // k == 0: C scaled by beta only.
+  Gemm(false, false, 2, 2, 0, 1.0f, a.data(), 0, b.data(), 2, 0.5f, c.data(),
+       2);
+  EXPECT_FLOAT_EQ(c[0], 3.5f);
+}
+
+TEST(GemmTest, AlphaZeroOnlyScalesC) {
+  std::vector<float> a(4, 3.0f), b(4, 3.0f), c(4, 2.0f);
+  Gemm(false, false, 2, 2, 2, 0.0f, a.data(), 2, b.data(), 2, 2.0f, c.data(),
+       2);
+  for (float v : c) EXPECT_FLOAT_EQ(v, 4.0f);
+}
+
+}  // namespace
+}  // namespace mocograd

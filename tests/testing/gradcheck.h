@@ -1,0 +1,60 @@
+#ifndef MOCOGRAD_TESTS_TESTING_GRADCHECK_H_
+#define MOCOGRAD_TESTS_TESTING_GRADCHECK_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace mocograd {
+namespace testing {
+
+/// Checks autograd gradients against central finite differences.
+///
+/// `f` maps leaf Variables (built from `inputs`, all requires_grad) to a
+/// scalar ([1]) Variable. Tolerances are sized for float32 kernels.
+inline void ExpectGradientsClose(
+    const std::function<autograd::Variable(
+        const std::vector<autograd::Variable>&)>& f,
+    const std::vector<Tensor>& inputs, float eps = 1e-2f, float atol = 2e-2f,
+    float rtol = 5e-2f) {
+  using autograd::Variable;
+
+  std::vector<Variable> vars;
+  vars.reserve(inputs.size());
+  for (const Tensor& t : inputs) {
+    vars.emplace_back(t.Clone(), /*requires_grad=*/true);
+  }
+  Variable out = f(vars);
+  ASSERT_EQ(out.NumElements(), 1) << "gradcheck target must be scalar";
+  out.Backward();
+
+  for (size_t vi = 0; vi < vars.size(); ++vi) {
+    ASSERT_TRUE(vars[vi].has_grad()) << "no grad for input " << vi;
+    const Tensor& analytic = vars[vi].grad();
+    Tensor& x = vars[vi].mutable_value();
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+      const float orig = x[i];
+      x[i] = orig + eps;
+      const float up = f(vars).value().Item();
+      x[i] = orig - eps;
+      const float down = f(vars).value().Item();
+      x[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float a = analytic[i];
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(a, numeric, tol)
+          << "input " << vi << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_TESTS_TESTING_GRADCHECK_H_
