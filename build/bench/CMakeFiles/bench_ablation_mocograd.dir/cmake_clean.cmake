@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mocograd.dir/bench_ablation_mocograd.cc.o"
+  "CMakeFiles/bench_ablation_mocograd.dir/bench_ablation_mocograd.cc.o.d"
+  "bench_ablation_mocograd"
+  "bench_ablation_mocograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mocograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

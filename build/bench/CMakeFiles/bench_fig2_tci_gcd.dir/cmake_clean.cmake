@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tci_gcd.dir/bench_fig2_tci_gcd.cc.o"
+  "CMakeFiles/bench_fig2_tci_gcd.dir/bench_fig2_tci_gcd.cc.o.d"
+  "bench_fig2_tci_gcd"
+  "bench_fig2_tci_gcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tci_gcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_officehome.dir/bench_fig5_officehome.cc.o"
+  "CMakeFiles/bench_fig5_officehome.dir/bench_fig5_officehome.cc.o.d"
+  "bench_fig5_officehome"
+  "bench_fig5_officehome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_officehome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_aliexpress.dir/bench_table1_aliexpress.cc.o"
+  "CMakeFiles/bench_table1_aliexpress.dir/bench_table1_aliexpress.cc.o.d"
+  "bench_table1_aliexpress"
+  "bench_table1_aliexpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_aliexpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

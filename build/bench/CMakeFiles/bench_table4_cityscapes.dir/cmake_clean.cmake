@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cityscapes.dir/bench_table4_cityscapes.cc.o"
+  "CMakeFiles/bench_table4_cityscapes.dir/bench_table4_cityscapes.cc.o.d"
+  "bench_table4_cityscapes"
+  "bench_table4_cityscapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cityscapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

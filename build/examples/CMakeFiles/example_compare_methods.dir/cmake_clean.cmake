@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_methods.dir/compare_methods.cc.o"
+  "CMakeFiles/example_compare_methods.dir/compare_methods.cc.o.d"
+  "example_compare_methods"
+  "example_compare_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

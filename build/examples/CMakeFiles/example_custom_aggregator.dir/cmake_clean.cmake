@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_aggregator.dir/custom_aggregator.cc.o"
+  "CMakeFiles/example_custom_aggregator.dir/custom_aggregator.cc.o.d"
+  "example_custom_aggregator"
+  "example_custom_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

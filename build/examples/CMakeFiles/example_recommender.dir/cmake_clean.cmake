@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recommender.dir/recommender.cc.o"
+  "CMakeFiles/example_recommender.dir/recommender.cc.o.d"
+  "example_recommender"
+  "example_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_research_workflow.dir/research_workflow.cc.o"
+  "CMakeFiles/example_research_workflow.dir/research_workflow.cc.o.d"
+  "example_research_workflow"
+  "example_research_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_research_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

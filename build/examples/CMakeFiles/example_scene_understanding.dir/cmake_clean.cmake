@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scene_understanding.dir/scene_understanding.cc.o"
+  "CMakeFiles/example_scene_understanding.dir/scene_understanding.cc.o.d"
+  "example_scene_understanding"
+  "example_scene_understanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scene_understanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/mocograd.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/mocograd.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/base/check.cc" "src/CMakeFiles/mocograd.dir/base/check.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/base/check.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/mocograd.dir/base/status.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/base/status.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/mocograd.dir/base/table.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/base/table.cc.o.d"
+  "/root/repo/src/core/aggregator.cc" "src/CMakeFiles/mocograd.dir/core/aggregator.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/aggregator.cc.o.d"
+  "/root/repo/src/core/aligned_mtl.cc" "src/CMakeFiles/mocograd.dir/core/aligned_mtl.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/aligned_mtl.cc.o.d"
+  "/root/repo/src/core/analysis.cc" "src/CMakeFiles/mocograd.dir/core/analysis.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/analysis.cc.o.d"
+  "/root/repo/src/core/cagrad.cc" "src/CMakeFiles/mocograd.dir/core/cagrad.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/cagrad.cc.o.d"
+  "/root/repo/src/core/conflict.cc" "src/CMakeFiles/mocograd.dir/core/conflict.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/conflict.cc.o.d"
+  "/root/repo/src/core/dwa.cc" "src/CMakeFiles/mocograd.dir/core/dwa.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/dwa.cc.o.d"
+  "/root/repo/src/core/grad_matrix.cc" "src/CMakeFiles/mocograd.dir/core/grad_matrix.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/grad_matrix.cc.o.d"
+  "/root/repo/src/core/graddrop.cc" "src/CMakeFiles/mocograd.dir/core/graddrop.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/graddrop.cc.o.d"
+  "/root/repo/src/core/gradnorm.cc" "src/CMakeFiles/mocograd.dir/core/gradnorm.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/gradnorm.cc.o.d"
+  "/root/repo/src/core/gradvac.cc" "src/CMakeFiles/mocograd.dir/core/gradvac.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/gradvac.cc.o.d"
+  "/root/repo/src/core/imtl.cc" "src/CMakeFiles/mocograd.dir/core/imtl.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/imtl.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/mocograd.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/mgda.cc" "src/CMakeFiles/mocograd.dir/core/mgda.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/mgda.cc.o.d"
+  "/root/repo/src/core/mocograd.cc" "src/CMakeFiles/mocograd.dir/core/mocograd.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/mocograd.cc.o.d"
+  "/root/repo/src/core/nash_mtl.cc" "src/CMakeFiles/mocograd.dir/core/nash_mtl.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/nash_mtl.cc.o.d"
+  "/root/repo/src/core/pcgrad.cc" "src/CMakeFiles/mocograd.dir/core/pcgrad.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/pcgrad.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/mocograd.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/rlw.cc" "src/CMakeFiles/mocograd.dir/core/rlw.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/rlw.cc.o.d"
+  "/root/repo/src/core/uncertainty_weighting.cc" "src/CMakeFiles/mocograd.dir/core/uncertainty_weighting.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/core/uncertainty_weighting.cc.o.d"
+  "/root/repo/src/data/aliexpress.cc" "src/CMakeFiles/mocograd.dir/data/aliexpress.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/data/aliexpress.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mocograd.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/movielens.cc" "src/CMakeFiles/mocograd.dir/data/movielens.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/data/movielens.cc.o.d"
+  "/root/repo/src/data/office_home.cc" "src/CMakeFiles/mocograd.dir/data/office_home.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/data/office_home.cc.o.d"
+  "/root/repo/src/data/qm9.cc" "src/CMakeFiles/mocograd.dir/data/qm9.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/data/qm9.cc.o.d"
+  "/root/repo/src/data/scene.cc" "src/CMakeFiles/mocograd.dir/data/scene.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/data/scene.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/mocograd.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/mocograd.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/mocograd.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/harness/report.cc.o.d"
+  "/root/repo/src/mtl/cgc.cc" "src/CMakeFiles/mocograd.dir/mtl/cgc.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/cgc.cc.o.d"
+  "/root/repo/src/mtl/cross_stitch.cc" "src/CMakeFiles/mocograd.dir/mtl/cross_stitch.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/cross_stitch.cc.o.d"
+  "/root/repo/src/mtl/embedding_hps.cc" "src/CMakeFiles/mocograd.dir/mtl/embedding_hps.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/embedding_hps.cc.o.d"
+  "/root/repo/src/mtl/hps.cc" "src/CMakeFiles/mocograd.dir/mtl/hps.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/hps.cc.o.d"
+  "/root/repo/src/mtl/mmoe.cc" "src/CMakeFiles/mocograd.dir/mtl/mmoe.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/mmoe.cc.o.d"
+  "/root/repo/src/mtl/mtan.cc" "src/CMakeFiles/mocograd.dir/mtl/mtan.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/mtan.cc.o.d"
+  "/root/repo/src/mtl/scene_model.cc" "src/CMakeFiles/mocograd.dir/mtl/scene_model.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/scene_model.cc.o.d"
+  "/root/repo/src/mtl/trainer.cc" "src/CMakeFiles/mocograd.dir/mtl/trainer.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/mtl/trainer.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/mocograd.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/mocograd.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/mocograd.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/mocograd.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/mocograd.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/mocograd.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/CMakeFiles/mocograd.dir/nn/norm.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/norm.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/mocograd.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/mocograd.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/optim/scheduler.cc" "src/CMakeFiles/mocograd.dir/optim/scheduler.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/optim/scheduler.cc.o.d"
+  "/root/repo/src/solvers/eigen.cc" "src/CMakeFiles/mocograd.dir/solvers/eigen.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/solvers/eigen.cc.o.d"
+  "/root/repo/src/solvers/linear_solve.cc" "src/CMakeFiles/mocograd.dir/solvers/linear_solve.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/solvers/linear_solve.cc.o.d"
+  "/root/repo/src/solvers/min_norm.cc" "src/CMakeFiles/mocograd.dir/solvers/min_norm.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/solvers/min_norm.cc.o.d"
+  "/root/repo/src/solvers/simplex.cc" "src/CMakeFiles/mocograd.dir/solvers/simplex.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/solvers/simplex.cc.o.d"
+  "/root/repo/src/tensor/gemm.cc" "src/CMakeFiles/mocograd.dir/tensor/gemm.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/tensor/gemm.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/mocograd.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/mocograd.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/mocograd.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/mocograd.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

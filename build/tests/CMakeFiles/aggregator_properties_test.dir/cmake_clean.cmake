@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregator_properties_test.dir/core/aggregator_properties_test.cc.o"
+  "CMakeFiles/aggregator_properties_test.dir/core/aggregator_properties_test.cc.o.d"
+  "aggregator_properties_test"
+  "aggregator_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregator_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aligned_mtl_test.dir/core/aligned_mtl_test.cc.o"
+  "CMakeFiles/aligned_mtl_test.dir/core/aligned_mtl_test.cc.o.d"
+  "aligned_mtl_test"
+  "aligned_mtl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aligned_mtl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

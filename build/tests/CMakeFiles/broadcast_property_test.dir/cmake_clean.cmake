@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_property_test.dir/tensor/broadcast_property_test.cc.o"
+  "CMakeFiles/broadcast_property_test.dir/tensor/broadcast_property_test.cc.o.d"
+  "broadcast_property_test"
+  "broadcast_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_oracle_test.dir/autograd/conv_oracle_test.cc.o"
+  "CMakeFiles/conv_oracle_test.dir/autograd/conv_oracle_test.cc.o.d"
+  "conv_oracle_test"
+  "conv_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradvac_test.dir/core/gradvac_test.cc.o"
+  "CMakeFiles/gradvac_test.dir/core/gradvac_test.cc.o.d"
+  "gradvac_test"
+  "gradvac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradvac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

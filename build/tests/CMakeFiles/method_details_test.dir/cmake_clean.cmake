@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_details_test.dir/core/method_details_test.cc.o"
+  "CMakeFiles/method_details_test.dir/core/method_details_test.cc.o.d"
+  "method_details_test"
+  "method_details_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

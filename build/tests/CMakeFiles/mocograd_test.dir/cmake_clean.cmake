@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocograd_test.dir/core/mocograd_test.cc.o"
+  "CMakeFiles/mocograd_test.dir/core/mocograd_test.cc.o.d"
+  "mocograd_test"
+  "mocograd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

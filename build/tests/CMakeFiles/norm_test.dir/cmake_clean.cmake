@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/norm_test.dir/nn/norm_test.cc.o"
+  "CMakeFiles/norm_test.dir/nn/norm_test.cc.o.d"
+  "norm_test"
+  "norm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/norm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

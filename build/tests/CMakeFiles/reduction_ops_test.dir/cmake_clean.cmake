@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_ops_test.dir/autograd/reduction_ops_test.cc.o"
+  "CMakeFiles/reduction_ops_test.dir/autograd/reduction_ops_test.cc.o.d"
+  "reduction_ops_test"
+  "reduction_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_pipeline_test.dir/integration/scene_pipeline_test.cc.o"
+  "CMakeFiles/scene_pipeline_test.dir/integration/scene_pipeline_test.cc.o.d"
+  "scene_pipeline_test"
+  "scene_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_gradients_test.dir/mtl/trainer_gradients_test.cc.o"
+  "CMakeFiles/trainer_gradients_test.dir/mtl/trainer_gradients_test.cc.o.d"
+  "trainer_gradients_test"
+  "trainer_gradients_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_gradients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unary_extra_ops_test.dir/autograd/unary_extra_ops_test.cc.o"
+  "CMakeFiles/unary_extra_ops_test.dir/autograd/unary_extra_ops_test.cc.o.d"
+  "unary_extra_ops_test"
+  "unary_extra_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unary_extra_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
