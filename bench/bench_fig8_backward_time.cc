@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "base/thread_pool.h"
 #include "core/registry.h"
 #include "data/aliexpress.h"
 #include "harness/experiment.h"
@@ -19,8 +20,17 @@
 namespace mocograd {
 namespace {
 
-// One fixture per method: build model/trainer once, then time Step().
-void BM_BackwardStep(benchmark::State& state, const std::string& method) {
+// Thread-pool sizes for the threads column: how the per-step backward cost
+// scales when the K per-task sweeps and the GEMMs inside them go parallel.
+// Wall-clock speedup obviously requires the host to actually have that many
+// cores; on a single-core machine the column only measures pool overhead.
+const int kThreadCounts[] = {1, 2, 4};
+
+// One fixture per method and pool size: build model/trainer once, then time
+// Step().
+void BM_BackwardStep(benchmark::State& state, const std::string& method,
+                     int num_threads) {
+  ThreadPool::SetGlobalNumThreads(num_threads);
   data::AliExpressConfig dc;
   dc.num_train = 2000;
   dc.num_test = 100;
@@ -51,6 +61,8 @@ void BM_BackwardStep(benchmark::State& state, const std::string& method) {
   }
   state.counters["backward_ms_per_iter"] =
       benchmark::Counter(1e3 * backward_seconds / std::max<int64_t>(steps, 1));
+  state.counters["threads"] = benchmark::Counter(num_threads);
+  ThreadPool::SetGlobalNumThreads(1);
 }
 
 // Aggregation-only cost at QM9 scale (K = 11 tasks) over a larger
@@ -81,12 +93,16 @@ void BM_AggregateOnly(benchmark::State& state, const std::string& method,
 
 void RegisterAll() {
   for (const std::string& m : core::PaperMethodNames()) {
-    benchmark::RegisterBenchmark(("Fig8/backward_time/" + m).c_str(),
-                                 [m](benchmark::State& st) {
-                                   BM_BackwardStep(st, m);
-                                 })
-        ->Unit(benchmark::kMillisecond)
-        ->MinTime(0.5);
+    for (int threads : kThreadCounts) {
+      benchmark::RegisterBenchmark(
+          ("Fig8/backward_time/" + m + "/threads:" + std::to_string(threads))
+              .c_str(),
+          [m, threads](benchmark::State& st) {
+            BM_BackwardStep(st, m, threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.5);
+    }
   }
   for (const std::string& m : core::PaperMethodNames()) {
     benchmark::RegisterBenchmark(

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "tensor/gemm.h"
 
 namespace mocograd {
@@ -438,23 +439,26 @@ Variable Conv2d(const Variable& input, const Variable& weight,
   const int64_t patch = c * spec.kernel * spec.kernel;
   const int64_t f = spec.out_channels;
 
-  // Cache the im2col buffers for the backward pass.
+  // Cache the im2col buffers for the backward pass. Samples write disjoint
+  // `cols` and `out` slices, so the batch loop parallelizes bit-identically.
   auto cols = std::make_shared<std::vector<float>>(
       static_cast<size_t>(n) * patch * l);
   Tensor out(Shape{n, f, oh, ow});
-  for (int64_t b = 0; b < n; ++b) {
-    float* col = cols->data() + b * patch * l;
-    tops::Im2Col(xv.data() + b * c * h * w, spec, h, w, col);
-    // out_b [f, l] = W [f, patch] * col [patch, l]
-    Gemm(false, false, f, l, patch, 1.0f, wv.data(), patch, col, l, 0.0f,
-         out.data() + b * f * l, l);
-    // add bias
-    float* ob = out.data() + b * f * l;
-    for (int64_t ch = 0; ch < f; ++ch) {
-      const float bval = bv.data()[ch];
-      for (int64_t i = 0; i < l; ++i) ob[ch * l + i] += bval;
+  ParallelFor(0, n, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      float* col = cols->data() + b * patch * l;
+      tops::Im2Col(xv.data() + b * c * h * w, spec, h, w, col);
+      // out_b [f, l] = W [f, patch] * col [patch, l]
+      Gemm(false, false, f, l, patch, 1.0f, wv.data(), patch, col, l, 0.0f,
+           out.data() + b * f * l, l);
+      // add bias
+      float* ob = out.data() + b * f * l;
+      for (int64_t ch = 0; ch < f; ++ch) {
+        const float bval = bv.data()[ch];
+        for (int64_t i = 0; i < l; ++i) ob[ch * l + i] += bval;
+      }
     }
-  }
+  });
 
   return Variable::MakeOp(
       "Conv2d", out, {input, weight, bias},
@@ -462,7 +466,23 @@ Variable Conv2d(const Variable& input, const Variable& weight,
         Tensor dx(Shape{n, c, h, w});
         Tensor dw(Shape{f, c, spec.kernel, spec.kernel});
         Tensor db(Shape{f});
-        std::vector<float> col_grad(static_cast<size_t>(patch) * l);
+        // dx: each sample owns a disjoint [c,h,w] slice and its own local
+        // col_grad scratch, so the batch loop parallelizes bit-identically.
+        ParallelFor(0, n, 1, [&](int64_t b0, int64_t b1) {
+          std::vector<float> col_grad(static_cast<size_t>(patch) * l);
+          for (int64_t b = b0; b < b1; ++b) {
+            const float* gb = g.data() + b * f * l;
+            // col_grad = W^T [patch, f] * g_b [f, l]
+            std::fill(col_grad.begin(), col_grad.end(), 0.0f);
+            Gemm(true, false, patch, l, f, 1.0f, wv.data(), patch, gb, l,
+                 0.0f, col_grad.data(), l);
+            tops::Col2Im(col_grad.data(), spec, h, w,
+                         dx.data() + b * c * h * w);
+          }
+        });
+        // dW/db accumulate across samples; the loop stays serial in b so the
+        // accumulation order is fixed (bit-reproducible for any pool size),
+        // while each sample's GEMM still parallelizes over its rows.
         for (int64_t b = 0; b < n; ++b) {
           const float* gb = g.data() + b * f * l;
           const float* col = cols->data() + b * patch * l;
@@ -475,12 +495,6 @@ Variable Conv2d(const Variable& input, const Variable& weight,
             for (int64_t i = 0; i < l; ++i) s += gb[ch * l + i];
             db.data()[ch] += static_cast<float>(s);
           }
-          // col_grad = W^T [patch, f] * g_b [f, l]
-          std::fill(col_grad.begin(), col_grad.end(), 0.0f);
-          Gemm(true, false, patch, l, f, 1.0f, wv.data(), patch, gb, l, 0.0f,
-               col_grad.data(), l);
-          tops::Col2Im(col_grad.data(), spec, h, w,
-                       dx.data() + b * c * h * w);
         }
         return std::vector<Tensor>{std::move(dx), std::move(dw),
                                    std::move(db)};

@@ -74,6 +74,19 @@ void Variable::Backward() const {
 }
 
 void Variable::Backward(const Tensor& seed) const {
+  BackwardImpl(seed, /*sink=*/nullptr);
+}
+
+void Variable::BackwardInto(GradSink* sink) const {
+  BackwardInto(Tensor::Ones(value().shape()), sink);
+}
+
+void Variable::BackwardInto(const Tensor& seed, GradSink* sink) const {
+  MG_CHECK(sink != nullptr, "BackwardInto requires a sink");
+  BackwardImpl(seed, sink);
+}
+
+void Variable::BackwardImpl(const Tensor& seed, GradSink* sink) const {
   MG_CHECK(defined(), "Backward on undefined Variable");
   MG_CHECK(seed.shape() == value().shape(), "Backward seed shape ",
            seed.shape().ToString(), " vs value ", value().shape().ToString());
@@ -119,9 +132,18 @@ void Variable::Backward(const Tensor& seed) const {
     Tensor& g = found->second;
 
     // Leaves (and anything a user may later inspect) accumulate into the
-    // persistent grad buffer.
-    if (!n->grad.defined()) n->grad = Tensor::Zeros(n->value.shape());
-    tops::AddInPlace(n->grad, g);
+    // persistent grad buffer — or, in sink mode, leaf gradients go into the
+    // caller's map and the tape stays untouched (so concurrent sweeps over
+    // one tape never write shared state). Both start from zeros and add in
+    // the same sweep order, so the values are bit-identical.
+    if (sink == nullptr) {
+      if (!n->grad.defined()) n->grad = Tensor::Zeros(n->value.shape());
+      tops::AddInPlace(n->grad, g);
+    } else if (!n->grad_fn) {
+      Tensor& slot = (*sink)[n];
+      if (!slot.defined()) slot = Tensor::Zeros(n->value.shape());
+      tops::AddInPlace(slot, g);
+    }
 
     if (!n->grad_fn) continue;
     std::vector<Tensor> parent_grads = n->grad_fn(g);

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -69,10 +70,29 @@ class Variable {
   /// Reverse-mode sweep with an explicit seed of the same shape.
   void Backward(const Tensor& seed) const;
 
+  /// Gradient destination for BackwardInto: one accumulator per reached
+  /// leaf, keyed by tape node.
+  using GradSink = std::unordered_map<const Node*, Tensor>;
+
+  /// Reverse-mode sweep like Backward(), but leaf gradients accumulate into
+  /// `*sink` (keyed by node) instead of the nodes' persistent grad buffers;
+  /// the tape itself is never written. Because sweeps only read the tape,
+  /// several BackwardInto calls over the *same* tape may run concurrently
+  /// from different threads with distinct sinks — this is what the trainer's
+  /// parallel per-task backward builds on. Each sweep is internally
+  /// sequential, so a sink's contents are bit-identical to what Backward()
+  /// would have left in the leaves' grad buffers (from a zeroed state).
+  void BackwardInto(GradSink* sink) const;
+  void BackwardInto(const Tensor& seed, GradSink* sink) const;
+
   /// Underlying tape node (for the op library and tests).
   const std::shared_ptr<Node>& node() const { return node_; }
 
  private:
+  /// Shared sweep behind Backward/BackwardInto; sink == nullptr selects the
+  /// persistent node->grad destination.
+  void BackwardImpl(const Tensor& seed, GradSink* sink) const;
+
   std::shared_ptr<Node> node_;
 };
 

@@ -1,0 +1,174 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "base/check.h"
+
+namespace mocograd {
+
+namespace {
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("MOCOGRAD_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+// Heap-allocated and never freed: workers must not outlive their pool's
+// synchronization primitives during static destruction.
+ThreadPool*& GlobalPoolSlot() {
+  static ThreadPool* pool = nullptr;
+  return pool;
+}
+
+// One ParallelFor invocation. Chunks are claimed by atomically advancing
+// `next`; the caller and any helpers drawn from the pool all run
+// RunChunks(), so the caller never blocks while work remains and nested
+// loops always make progress (the wait graph follows loop nesting, which is
+// acyclic).
+struct LoopState {
+  int64_t end = 0;
+  int64_t chunk = 1;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+
+  std::atomic<int64_t> next{0};
+  std::atomic<bool> canceled{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t chunks_left = 0;       // guarded by mu
+  std::exception_ptr error;      // guarded by mu; first failure wins
+
+  void RunChunks() {
+    for (;;) {
+      const int64_t b = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (b >= end) return;
+      const int64_t e = std::min(end, b + chunk);
+      if (!canceled.load(std::memory_order_relaxed)) {
+        try {
+          (*body)(b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mu);
+          if (!error) error = std::current_exception();
+          canceled.store(true, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      if (--chunks_left == 0) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  MG_CHECK_GE(num_threads, 1, "ThreadPool size");
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lk(GlobalPoolMutex());
+  ThreadPool*& pool = GlobalPoolSlot();
+  if (pool == nullptr) pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+void ThreadPool::SetGlobalNumThreads(int n) {
+  MG_CHECK_GE(n, 1, "SetGlobalNumThreads");
+  std::lock_guard<std::mutex> lk(GlobalPoolMutex());
+  ThreadPool*& pool = GlobalPoolSlot();
+  if (pool != nullptr && pool->num_threads() == n) return;
+  delete pool;  // drains and joins the old workers
+  pool = new ThreadPool(n);
+}
+
+int ThreadPool::GlobalNumThreads() { return Global().num_threads(); }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+
+  ThreadPool& pool = ThreadPool::Global();
+  const int threads = pool.num_threads();
+  if (threads <= 1 || n <= grain) {
+    body(begin, end);  // serial fallback: no state, no synchronization
+    return;
+  }
+
+  // A few chunks per participant gives dynamic load balancing without
+  // dropping below the grain. Chunking never affects results (see the
+  // determinism contract in thread_pool.h).
+  const int64_t max_chunks = static_cast<int64_t>(threads) * 4;
+  const int64_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
+  const int64_t num_chunks = (n + chunk - 1) / chunk;
+
+  auto state = std::make_shared<LoopState>();
+  state->end = end;
+  state->chunk = chunk;
+  state->body = &body;
+  state->next.store(begin, std::memory_order_relaxed);
+  state->chunks_left = num_chunks;
+
+  const int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(threads) - 1, num_chunks - 1);
+  for (int64_t i = 0; i < helpers; ++i) {
+    pool.Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->done_cv.wait(lk, [&] { return state->chunks_left == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace mocograd

@@ -1,0 +1,91 @@
+#ifndef MOCOGRAD_BASE_THREAD_POOL_H_
+#define MOCOGRAD_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mocograd {
+
+/// Fixed-size worker pool behind ParallelFor — the parallel-execution layer
+/// every compute kernel (GEMM, elementwise ops, im2col convolution, the
+/// trainer's per-task backward) shares.
+///
+/// One process-wide instance (Global()) is created on first use. Its size
+/// comes from the MOCOGRAD_NUM_THREADS environment variable when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency(), and can
+/// be changed at runtime with SetGlobalNumThreads().
+///
+/// `num_threads` counts *participants*: the thread calling ParallelFor
+/// always executes loop chunks itself, so a pool of size N spawns N−1
+/// workers and a pool of size 1 spawns none — ParallelFor then degenerates
+/// to a plain serial loop with zero synchronization.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues a task for the workers. Internal plumbing — ParallelFor below
+  /// is the intended API.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, created on first use (see class comment for
+  /// sizing). The instance is intentionally never destroyed so that worker
+  /// threads cannot race static destruction at process exit.
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `n` participants (n >= 1). The
+  /// previous pool drains and joins first. Must not be called while a
+  /// ParallelFor is in flight (e.g. from inside a loop body).
+  static void SetGlobalNumThreads(int n);
+
+  /// Size of the global pool (creates it on first call).
+  static int GlobalNumThreads();
+
+ private:
+  void WorkerMain();
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(chunk_begin, chunk_end)` over a disjoint partition of
+/// [begin, end) using the global pool. Blocks until every chunk finished.
+///
+/// - `grain` is the minimum number of iterations per chunk; ranges of at
+///   most `grain` iterations (or a pool of size 1) run inline on the caller
+///   with no synchronization at all.
+/// - Nesting is allowed and is how task-level and kernel-level parallelism
+///   compose: a loop body may itself call ParallelFor (e.g. a per-task
+///   backward whose grad_fns call the parallel GEMM). The inner loop's
+///   chunks are offered to idle workers, and the inner *caller* keeps
+///   claiming its own chunks instead of blocking on the queue, so nested
+///   waits always make progress and cannot deadlock.
+/// - If a body throws, the first exception is captured, remaining chunks
+///   are skipped, and the exception is rethrown on the calling thread after
+///   the loop drains.
+///
+/// Determinism contract: chunk boundaries and thread assignment never
+/// influence results. Kernels built on ParallelFor either write each output
+/// index independently or (for reductions) use a fixed block decomposition
+/// whose partials are combined in block order — see tensor/ops.cc — so any
+/// pool size, including 1, produces bit-identical output.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_THREAD_POOL_H_

@@ -1,9 +1,25 @@
 #include "core/grad_matrix.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "base/thread_pool.h"
 
 namespace mocograd {
 namespace core {
+
+namespace {
+
+// Fixed block length for the dot-product reductions, mirroring the scheme
+// in tensor/ops.cc: each block is summed sequentially and the per-block
+// partials are combined in block order, so the result is bit-identical for
+// any thread-pool size (including the serial path).
+constexpr int64_t kReduceBlock = 1 << 15;
+
+// Minimum columns per chunk for the column-parallel row combinations.
+constexpr int64_t kColGrain = 1 << 14;
+
+}  // namespace
 
 void GradMatrix::SetRow(int k, const std::vector<float>& src) {
   MG_CHECK_EQ(static_cast<int64_t>(src.size()), dim_, "SetRow size");
@@ -18,8 +34,22 @@ std::vector<float> GradMatrix::RowVector(int k) const {
 double GradMatrix::RowDot(int i, int j) const {
   const float* a = Row(i);
   const float* b = Row(j);
+  const int64_t num_blocks = (dim_ + kReduceBlock - 1) / kReduceBlock;
+  auto block_sum = [a, b](int64_t p0, int64_t p1) {
+    double s = 0.0;
+    for (int64_t p = p0; p < p1; ++p) s += static_cast<double>(a[p]) * b[p];
+    return s;
+  };
+  if (num_blocks <= 1) return block_sum(0, dim_);
+  std::vector<double> partials(num_blocks);
+  ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t blk = b0; blk < b1; ++blk) {
+      partials[blk] = block_sum(blk * kReduceBlock,
+                                std::min(dim_, (blk + 1) * kReduceBlock));
+    }
+  });
   double s = 0.0;
-  for (int64_t p = 0; p < dim_; ++p) s += static_cast<double>(a[p]) * b[p];
+  for (double p : partials) s += p;
   return s;
 }
 
@@ -38,10 +68,15 @@ std::vector<std::vector<double>> GradMatrix::Gram() const {
 
 std::vector<float> GradMatrix::SumRows() const {
   std::vector<float> out(dim_, 0.0f);
-  for (int k = 0; k < num_tasks_; ++k) {
-    const float* r = Row(k);
-    for (int64_t p = 0; p < dim_; ++p) out[p] += r[p];
-  }
+  float* po = out.data();
+  // Column ranges are disjoint; every output element accumulates its K
+  // contributions in fixed task order, so any partition is bit-identical.
+  ParallelFor(0, dim_, kColGrain, [&](int64_t p0, int64_t p1) {
+    for (int k = 0; k < num_tasks_; ++k) {
+      const float* r = Row(k);
+      for (int64_t p = p0; p < p1; ++p) po[p] += r[p];
+    }
+  });
   return out;
 }
 
@@ -49,11 +84,14 @@ std::vector<float> GradMatrix::WeightedSumRows(
     const std::vector<double>& w) const {
   MG_CHECK_EQ(static_cast<int>(w.size()), num_tasks_, "weight count");
   std::vector<float> out(dim_, 0.0f);
-  for (int k = 0; k < num_tasks_; ++k) {
-    const float* r = Row(k);
-    const float wk = static_cast<float>(w[k]);
-    for (int64_t p = 0; p < dim_; ++p) out[p] += wk * r[p];
-  }
+  float* po = out.data();
+  ParallelFor(0, dim_, kColGrain, [&](int64_t p0, int64_t p1) {
+    for (int k = 0; k < num_tasks_; ++k) {
+      const float* r = Row(k);
+      const float wk = static_cast<float>(w[k]);
+      for (int64_t p = p0; p < p1; ++p) po[p] += wk * r[p];
+    }
+  });
   return out;
 }
 

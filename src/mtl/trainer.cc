@@ -5,6 +5,7 @@
 
 #include "autograd/ops.h"
 #include "base/stopwatch.h"
+#include "base/thread_pool.h"
 #include "core/grad_matrix.h"
 
 namespace mocograd {
@@ -70,32 +71,47 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
 
   Stopwatch backward_timer;
 
-  // One backward per task; harvest flattened shared grads and stash each
-  // task's specific-parameter grads (zeroed between tasks).
+  // One backward per task. Each task's tape walk only *reads* the shared
+  // tape — leaf gradients are routed into a per-task sink instead of the
+  // nodes' grad buffers — so the K sweeps run on K pool workers, with each
+  // task's flattened gradients written straight into its own GradMatrix row
+  // (a merge that is deterministic by construction: row t belongs to task
+  // t). When the pool has spare workers beyond K, the GEMMs inside each
+  // sweep's grad_fns parallelize too (nested ParallelFor). Results are
+  // bit-identical to a serial ZeroGrad+Backward loop for any pool size.
   std::vector<Variable*> shared = model_->SharedParameters();
   int64_t shared_dim = 0;
   for (Variable* p : shared) shared_dim += p->NumElements();
   core::GradMatrix task_grads(k, shared_dim);
   std::vector<std::vector<Tensor>> task_specific_grads(k);
 
-  for (int t = 0; t < k; ++t) {
-    model_->ZeroGrad();
-    losses[t].Backward();
-    float* row = task_grads.Row(t);
-    int64_t off = 0;
-    for (Variable* p : shared) {
-      const int64_t n = p->NumElements();
-      if (p->has_grad()) {
-        std::memcpy(row + off, p->grad().data(), n * sizeof(float));
-      } else {
-        std::memset(row + off, 0, n * sizeof(float));
+  {
+    std::vector<Variable::GradSink> sinks(k);
+    ParallelFor(0, k, 1, [&](int64_t t0, int64_t t1) {
+      for (int64_t t = t0; t < t1; ++t) {
+        Variable::GradSink& sink = sinks[t];
+        losses[t].BackwardInto(&sink);
+        float* row = task_grads.Row(static_cast<int>(t));
+        int64_t off = 0;
+        for (Variable* p : shared) {
+          const int64_t n = p->NumElements();
+          auto it = sink.find(p->node().get());
+          if (it != sink.end()) {
+            std::memcpy(row + off, it->second.data(), n * sizeof(float));
+          } else {
+            std::memset(row + off, 0, n * sizeof(float));
+          }
+          off += n;
+        }
+        for (Variable* p : model_->TaskParameters(static_cast<int>(t))) {
+          auto it = sink.find(p->node().get());
+          // The sink tensor is freshly allocated per sweep, so sharing its
+          // storage (no Clone) is safe.
+          task_specific_grads[t].push_back(
+              it != sink.end() ? it->second : Tensor::Zeros(p->shape()));
+        }
       }
-      off += n;
-    }
-    for (Variable* p : model_->TaskParameters(t)) {
-      task_specific_grads[t].push_back(
-          p->has_grad() ? p->grad().Clone() : Tensor::Zeros(p->shape()));
-    }
+    });
   }
 
   stats.conflicts = core::ComputeConflictStats(task_grads);

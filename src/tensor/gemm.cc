@@ -1,22 +1,35 @@
 #include "tensor/gemm.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace mocograd {
 
 namespace {
 
-// Core kernel for row-major C[m,n] += alpha * A[m,k] * B[k,n]. The i-k-j
-// loop order streams B and C rows sequentially, which vectorizes well and is
-// cache-friendly for the small-to-medium matrices this library works with.
-void GemmNoTrans(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t ldb, float* c,
-                 int64_t ldc) {
-  for (int64_t i = 0; i < m; ++i) {
+// Minimum multiply-adds a parallel chunk should amortize; below this the
+// row range runs on the calling thread.
+constexpr int64_t kMinFlopsPerChunk = 1 << 16;
+
+// Core kernel for rows [i0, i1) of row-major C[m,n] += alpha * A[m,k] *
+// B[k,n]. The i-k-j loop order streams B and C rows sequentially, which
+// vectorizes well and is cache-friendly for the small-to-medium matrices
+// this library works with. Every C row depends only on its own A row, so
+// disjoint row ranges can run on different threads with no shared writes —
+// and because the per-row j/k order never changes, the result is
+// bit-identical for any partition.
+void GemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
+              const float* a, int64_t lda, const float* b, int64_t ldb,
+              float beta, float* c, int64_t ldc) {
+  for (int64_t i = i0; i < i1; ++i) {
     const float* a_row = a + i * lda;
     float* c_row = c + i * ldc;
+    if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
     for (int64_t p = 0; p < k; ++p) {
       const float av = alpha * a_row[p];
       if (av == 0.0f) continue;
@@ -51,13 +64,20 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   MG_CHECK_GE(m, 0);
   MG_CHECK_GE(n, 0);
   MG_CHECK_GE(k, 0);
-  if (beta != 1.0f) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* c_row = c + i * ldc;
-      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // Pure C-scaling; rows are independent.
+    if (beta != 1.0f) {
+      const int64_t grain = std::max<int64_t>(1, kMinFlopsPerChunk / n);
+      ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          float* c_row = c + i * ldc;
+          for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+        }
+      });
     }
+    return;
   }
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
   // Transposed operands are packed once so the hot loop is always the
   // no-transpose kernel; for this library's sizes the packing cost is noise.
@@ -77,7 +97,15 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     b_eff = b_packed.data();
     ldb_eff = n;
   }
-  GemmNoTrans(m, n, k, alpha, a_eff, lda_eff, b_eff, ldb_eff, c, ldc);
+
+  // Row-blocked parallel kernel: disjoint C row ranges per chunk, each
+  // handling its own beta-scaling so per-row work stays contiguous.
+  const int64_t grain =
+      std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(1, n * k));
+  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    GemmRows(i0, i1, n, k, alpha, a_eff, lda_eff, b_eff, ldb_eff, beta, c,
+             ldc);
+  });
 }
 
 }  // namespace mocograd

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.h"
 #include "tensor/gemm.h"
 
 namespace mocograd {
@@ -10,8 +11,38 @@ namespace tops {
 
 namespace {
 
+// Minimum elements per parallel chunk for elementwise loops; smaller
+// tensors run inline on the caller.
+constexpr int64_t kElemGrain = 1 << 14;
+
+// Fixed block length for reductions. Every reduction below sums each block
+// sequentially and then combines the per-block partials in block order —
+// the same decomposition regardless of thread count — so serial and
+// parallel runs are bit-identical for any pool size.
+constexpr int64_t kReduceBlock = 1 << 15;
+
+// Blocked reduction over [0, n): `block_fn(begin, end)` returns one block's
+// partial (computed sequentially); partials are combined in block order.
+template <typename BlockFn>
+double BlockedReduce(int64_t n, BlockFn block_fn) {
+  const int64_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  if (num_blocks <= 1) return n > 0 ? block_fn(int64_t{0}, n) : 0.0;
+  std::vector<double> partials(num_blocks);
+  ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      partials[b] =
+          block_fn(b * kReduceBlock, std::min(n, (b + 1) * kReduceBlock));
+    }
+  });
+  double s = 0.0;
+  for (double p : partials) s += p;
+  return s;
+}
+
 // Applies `fn` elementwise over the broadcast of a and b. Shapes are padded
-// to a common rank; strides of broadcast (size-1) axes are zero.
+// to a common rank; strides of broadcast (size-1) axes are zero. Every
+// output element is written independently, so flat-index ranges parallelize
+// with bit-identical results.
 template <typename Fn>
 Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   MG_CHECK(a.defined() && b.defined());
@@ -24,7 +55,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     const float* pb = b.data();
     float* po = out.data();
     const int64_t n = out.NumElements();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) po[i] = fn(pa[i], pb[i]);
+    });
     return out;
   }
 
@@ -46,18 +79,19 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   const float* pb = b.data();
   float* po = out.data();
   const int64_t n = out.NumElements();
-  std::vector<int64_t> idx(rank, 0);
-  for (int64_t flat = 0; flat < n; ++flat) {
-    int64_t oa = 0, ob = 0;
-    int64_t rem = flat;
-    for (int d = 0; d < rank; ++d) {
-      const int64_t i = rem / so[d];
-      rem -= i * so[d];
-      oa += i * sa[d];
-      ob += i * sb[d];
+  ParallelFor(0, n, kElemGrain, [&](int64_t f0, int64_t f1) {
+    for (int64_t flat = f0; flat < f1; ++flat) {
+      int64_t oa = 0, ob = 0;
+      int64_t rem = flat;
+      for (int d = 0; d < rank; ++d) {
+        const int64_t i = rem / so[d];
+        rem -= i * so[d];
+        oa += i * sa[d];
+        ob += i * sb[d];
+      }
+      po[flat] = fn(pa[oa], pb[ob]);
     }
-    po[flat] = fn(pa[oa], pb[ob]);
-  }
+  });
   return out;
 }
 
@@ -68,7 +102,9 @@ Tensor Unary(const Tensor& a, Fn fn) {
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.NumElements();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = fn(pa[i]);
+  });
   return out;
 }
 
@@ -136,13 +172,17 @@ void Axpy(float alpha, const Tensor& x, Tensor& y) {
   const float* px = x.data();
   float* py = y.data();
   const int64_t n = x.NumElements();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) py[i] += alpha * px[i];
+  });
 }
 
 void ScaleInPlace(Tensor& y, float s) {
   float* py = y.data();
   const int64_t n = y.NumElements();
-  for (int64_t i = 0; i < n; ++i) py[i] *= s;
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) py[i] *= s;
+  });
 }
 
 void AddInPlace(Tensor& y, const Tensor& x) { Axpy(1.0f, x, y); }
@@ -170,18 +210,24 @@ Tensor Transpose2D(const Tensor& a) {
   Tensor out(Shape{c, r});
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < r; ++i) {
-    for (int64_t j = 0; j < c; ++j) po[j * r + i] = pa[i * c + j];
-  }
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, c));
+  ParallelFor(0, r, grain, [&](int64_t r0, int64_t r1) {
+    // Each source row scatters into its own output column — disjoint writes.
+    for (int64_t i = r0; i < r1; ++i) {
+      for (int64_t j = 0; j < c; ++j) po[j * r + i] = pa[i * c + j];
+    }
+  });
   return out;
 }
 
 float SumAll(const Tensor& a) {
   const float* p = a.data();
-  const int64_t n = a.NumElements();
-  double s = 0.0;
-  for (int64_t i = 0; i < n; ++i) s += p[i];
-  return static_cast<float>(s);
+  return static_cast<float>(
+      BlockedReduce(a.NumElements(), [p](int64_t b, int64_t e) {
+        double s = 0.0;
+        for (int64_t i = b; i < e; ++i) s += p[i];
+        return s;
+      }));
 }
 
 float MeanAll(const Tensor& a) {
@@ -197,20 +243,25 @@ float MaxAll(const Tensor& a) {
 
 float Norm(const Tensor& a) {
   const float* p = a.data();
-  const int64_t n = a.NumElements();
-  double s = 0.0;
-  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
-  return static_cast<float>(std::sqrt(s));
+  return static_cast<float>(
+      std::sqrt(BlockedReduce(a.NumElements(), [p](int64_t b, int64_t e) {
+        double s = 0.0;
+        for (int64_t i = b; i < e; ++i) s += static_cast<double>(p[i]) * p[i];
+        return s;
+      })));
 }
 
 float Dot(const Tensor& a, const Tensor& b) {
   MG_CHECK_EQ(a.NumElements(), b.NumElements(), "Dot size mismatch");
   const float* pa = a.data();
   const float* pb = b.data();
-  const int64_t n = a.NumElements();
-  double s = 0.0;
-  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(pa[i]) * pb[i];
-  return static_cast<float>(s);
+  return static_cast<float>(
+      BlockedReduce(a.NumElements(), [pa, pb](int64_t b, int64_t e) {
+        double s = 0.0;
+        for (int64_t i = b; i < e; ++i)
+          s += static_cast<double>(pa[i]) * pb[i];
+        return s;
+      }));
 }
 
 Tensor Sum(const Tensor& a, int axis, bool keepdims) {
@@ -233,15 +284,20 @@ Tensor Sum(const Tensor& a, int axis, bool keepdims) {
   Tensor out(Shape(std::move(out_dims)));
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t in = 0; in < inner; ++in) {
+  // One independent reduction per output element (fixed m-order), so output
+  // ranges parallelize bit-identically.
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, mid));
+  ParallelFor(0, outer * inner, grain, [&](int64_t f0, int64_t f1) {
+    for (int64_t flat = f0; flat < f1; ++flat) {
+      const int64_t o = flat / inner;
+      const int64_t in = flat - o * inner;
       double s = 0.0;
       for (int64_t m = 0; m < mid; ++m) {
         s += pa[(o * mid + m) * inner + in];
       }
-      po[o * inner + in] = static_cast<float>(s);
+      po[flat] = static_cast<float>(s);
     }
-  }
+  });
   return out;
 }
 
@@ -275,10 +331,13 @@ std::vector<int64_t> ArgMaxRows(const Tensor& a) {
   const int64_t n = a.Dim(0), c = a.Dim(1);
   std::vector<int64_t> out(n);
   const float* p = a.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * c;
-    out[i] = std::max_element(row, row + c) - row;
-  }
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, c));
+  ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* row = p + i * c;
+      out[i] = std::max_element(row, row + c) - row;
+    }
+  });
   return out;
 }
 
@@ -288,18 +347,21 @@ Tensor SoftmaxRows(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * c;
-    float* orow = po + i * c;
-    const float mx = *std::max_element(row, row + c);
-    double denom = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, c));
+  ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* row = p + i * c;
+      float* orow = po + i * c;
+      const float mx = *std::max_element(row, row + c);
+      double denom = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -309,15 +371,18 @@ Tensor LogSoftmaxRows(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = p + i * c;
-    float* orow = po + i * c;
-    const float mx = *std::max_element(row, row + c);
-    double denom = 0.0;
-    for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(denom));
-    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
-  }
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, c));
+  ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* row = p + i * c;
+      float* orow = po + i * c;
+      const float mx = *std::max_element(row, row + c);
+      double denom = 0.0;
+      for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+      const float lse = mx + static_cast<float>(std::log(denom));
+      for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+    }
+  });
   return out;
 }
 
@@ -327,12 +392,16 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
   Tensor out(Shape{static_cast<int64_t>(indices.size()), d});
   const float* pa = a.data();
   float* po = out.data();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t r = indices[i];
-    MG_CHECK_GE(r, 0);
-    MG_CHECK_LT(r, a.Dim(0), "GatherRows index out of range");
-    std::copy(pa + r * d, pa + (r + 1) * d, po + i * d);
-  }
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, d));
+  ParallelFor(0, static_cast<int64_t>(indices.size()), grain,
+              [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  const int64_t r = indices[i];
+                  MG_CHECK_GE(r, 0);
+                  MG_CHECK_LT(r, a.Dim(0), "GatherRows index out of range");
+                  std::copy(pa + r * d, pa + (r + 1) * d, po + i * d);
+                }
+              });
   return out;
 }
 
@@ -344,6 +413,10 @@ Tensor ScatterAddRows(const Tensor& g, const std::vector<int64_t>& indices,
   Tensor out(Shape{num_rows, d});
   const float* pg = g.data();
   float* po = out.data();
+  // Deliberately serial: duplicate indices make output rows race under a
+  // naive parallel split, and a deterministic parallel scatter would need a
+  // sort-by-destination pass that costs more than it saves at this
+  // library's embedding sizes.
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t r = indices[i];
     MG_CHECK_GE(r, 0);

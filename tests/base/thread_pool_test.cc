@@ -1,0 +1,141 @@
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mocograd {
+namespace {
+
+TEST(ThreadPoolTest, SetGlobalNumThreadsTakesEffect) {
+  ThreadPool::SetGlobalNumThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalNumThreads(), 3);
+  ThreadPool::SetGlobalNumThreads(1);
+  EXPECT_EQ(ThreadPool::GlobalNumThreads(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  ThreadPool::SetGlobalNumThreads(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, PoolSize1RunsInlineInOneChunk) {
+  ThreadPool::SetGlobalNumThreads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  int64_t b = -1, e = -1;
+  ParallelFor(3, 103, 1, [&](int64_t cb, int64_t ce) {
+    ++calls;
+    b = cb;
+    e = ce;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(b, 3);
+  EXPECT_EQ(e, 103);
+}
+
+TEST(ParallelForTest, RangeAtMostGrainRunsInline) {
+  ThreadPool::SetGlobalNumThreads(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelFor(0, 64, 64, [&](int64_t cb, int64_t ce) {
+    ++calls;
+    EXPECT_EQ(cb, 0);
+    EXPECT_EQ(ce, 64);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool::SetGlobalNumThreads(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, kN, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ChunksRespectGrainAndDisjointness) {
+  ThreadPool::SetGlobalNumThreads(4);
+  std::atomic<int64_t> total{0};
+  std::atomic<int> chunks{0};
+  ParallelFor(0, 1000, 10, [&](int64_t b, int64_t e) {
+    EXPECT_GE(e - b, 1);
+    // Every chunk except possibly the last must hold at least the grain.
+    if (e != 1000) EXPECT_GE(e - b, 10);
+    total.fetch_add(e - b);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 1000);
+  EXPECT_GT(chunks.load(), 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ThreadPool::SetGlobalNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [&](int64_t b, int64_t) {
+                    if (b == 0) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+
+  // The pool survives a failed loop and keeps running new ones.
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelForTest, NestedLoopsComposeWithoutDeadlock) {
+  ThreadPool::SetGlobalNumThreads(4);
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 500;
+  std::atomic<int64_t> count{0};
+  ParallelFor(0, kOuter, 1, [&](int64_t b, int64_t e) {
+    for (int64_t o = b; o < e; ++o) {
+      ParallelFor(0, kInner, 1, [&](int64_t ib, int64_t ie) {
+        count.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(count.load(), kOuter * kInner);
+}
+
+TEST(ParallelForTest, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool::SetGlobalNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 4, 1,
+                  [&](int64_t, int64_t) {
+                    ParallelFor(0, 100, 1, [&](int64_t ib, int64_t) {
+                      if (ib == 0) throw std::runtime_error("inner boom");
+                    });
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ManySmallLoopsStress) {
+  ThreadPool::SetGlobalNumThreads(4);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<int64_t> total{0};
+    ParallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+      total.fetch_add(e - b);
+    });
+    ASSERT_EQ(total.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -1,0 +1,215 @@
+// The parallel compute layer's core guarantee: for ANY pool size, every
+// kernel and the trainer's parallel per-task backward produce output
+// bit-identical to the serial (1-thread) path. Chunk boundaries never
+// influence results, and reductions use a fixed block decomposition whose
+// partials combine in block order (see base/thread_pool.h, tensor/ops.cc).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "core/grad_matrix.h"
+#include "core/registry.h"
+#include "mtl/hps.h"
+#include "mtl/trainer.h"
+#include "optim/optimizer.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+using data::Batch;
+using data::TaskKind;
+
+const int kThreadCounts[] = {1, 2, 8};
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  return a.NumElements() == b.NumElements() &&
+         std::memcmp(a.data(), b.data(),
+                     a.NumElements() * sizeof(float)) == 0;
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  // Leave a serial pool behind so other binaries' expectations about the
+  // default environment still hold if this process forks more work.
+  void TearDown() override { ThreadPool::SetGlobalNumThreads(1); }
+};
+
+TEST_F(ParallelDeterminismTest, GemmBitIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  const int64_t m = 67, n = 83, k = 129;
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor c0 = Tensor::Randn({m, n}, rng);
+
+  std::vector<Tensor> results;
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    Tensor c = c0.Clone();
+    Gemm(false, false, m, n, k, 1.3f, a.data(), k, b.data(), n, 0.7f,
+         c.data(), n);
+    results.push_back(c);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(results[0], results[i]))
+        << "Gemm differs at " << kThreadCounts[i] << " threads";
+  }
+
+  // Transposed operands go through the packing path; check it too.
+  results.clear();
+  Tensor at = tops::Transpose2D(a);  // [k, m] stored
+  Tensor bt = tops::Transpose2D(b);  // [n, k] stored
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    Tensor c = c0.Clone();
+    Gemm(true, true, m, n, k, 1.0f, at.data(), m, bt.data(), k, 1.0f,
+         c.data(), n);
+    results.push_back(c);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(results[0], results[i]))
+        << "transposed Gemm differs at " << kThreadCounts[i] << " threads";
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ReductionsBitIdenticalAcrossThreadCounts) {
+  Rng rng(7);
+  // Large enough for several fixed reduction blocks.
+  Tensor a = Tensor::Randn({100003}, rng);
+  Tensor b = Tensor::Randn({100003}, rng);
+
+  float sum1 = 0, norm1 = 0, dot1 = 0;
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    const float sum = tops::SumAll(a);
+    const float norm = tops::Norm(a);
+    const float dot = tops::Dot(a, b);
+    if (threads == 1) {
+      sum1 = sum;
+      norm1 = norm;
+      dot1 = dot;
+    } else {
+      EXPECT_EQ(std::memcmp(&sum, &sum1, sizeof(float)), 0);
+      EXPECT_EQ(std::memcmp(&norm, &norm1, sizeof(float)), 0);
+      EXPECT_EQ(std::memcmp(&dot, &dot1, sizeof(float)), 0);
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, GradMatrixOpsBitIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const int kTasks = 3;
+  const int64_t dim = 120001;
+  core::GradMatrix grads(kTasks, dim);
+  for (int t = 0; t < kTasks; ++t) {
+    float* row = grads.Row(t);
+    for (int64_t p = 0; p < dim; ++p) row[p] = rng.Normal();
+  }
+
+  double dot1 = 0;
+  std::vector<float> sum1, wsum1;
+  const std::vector<double> w = {0.2, 1.7, -0.4};
+  for (int threads : kThreadCounts) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    const double dot = grads.RowDot(0, 1);
+    std::vector<float> sum = grads.SumRows();
+    std::vector<float> wsum = grads.WeightedSumRows(w);
+    if (threads == 1) {
+      dot1 = dot;
+      sum1 = sum;
+      wsum1 = wsum;
+    } else {
+      EXPECT_EQ(std::memcmp(&dot, &dot1, sizeof(double)), 0);
+      EXPECT_EQ(std::memcmp(sum.data(), sum1.data(),
+                            sum.size() * sizeof(float)),
+                0);
+      EXPECT_EQ(std::memcmp(wsum.data(), wsum1.data(),
+                            wsum.size() * sizeof(float)),
+                0);
+    }
+  }
+}
+
+// BackwardInto must leave exactly the bits in its sink that Backward()
+// leaves in the leaves' grad buffers (from a zeroed state).
+TEST_F(ParallelDeterminismTest, BackwardIntoMatchesBackwardBitwise) {
+  ThreadPool::SetGlobalNumThreads(1);
+  Rng rng(5);
+  Variable w(Tensor::Randn({32, 16}, rng), /*requires_grad=*/true);
+  Variable x(Tensor::Randn({48, 32}, rng), /*requires_grad=*/false);
+  Variable y = autograd::Tanh(autograd::MatMul(x, w));
+  Variable loss = autograd::MseLoss(y, Tensor::Zeros(y.shape()));
+
+  loss.Backward();
+  Tensor reference = w.grad().Clone();
+
+  Variable::GradSink sink;
+  loss.BackwardInto(&sink);
+  auto it = sink.find(w.node().get());
+  ASSERT_NE(it, sink.end());
+  EXPECT_TRUE(BitIdentical(reference, it->second));
+}
+
+// End to end: the trainer's parallel per-task backward (K sweeps on K
+// workers, nested parallel GEMMs) must leave bit-identical parameters after
+// several optimization steps, for any pool size.
+TEST_F(ParallelDeterminismTest, TrainerStepsBitIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    ThreadPool::SetGlobalNumThreads(threads);
+    Rng rng(123);
+    mtl::HpsConfig cfg;
+    cfg.input_dim = 48;
+    cfg.shared_dims = {96, 64};
+    cfg.task_output_dims = {1, 1, 1};
+    mtl::HpsModel model(cfg, rng);
+
+    Tensor x = Tensor::Randn({64, 48}, rng);
+    std::vector<Batch> batches;
+    for (int t = 0; t < 3; ++t) {
+      Tensor y = Tensor::Randn({64, 1}, rng);
+      batches.push_back(Batch{.x = x, .y = y, .labels = {}});
+    }
+
+    auto aggregator = core::MakeAggregator("mocograd").value();
+    optim::Adam opt(model.Parameters(), 1e-2f);
+    mtl::MtlTrainer trainer(&model, aggregator.get(), &opt,
+                            {TaskKind::kRegression, TaskKind::kRegression,
+                             TaskKind::kRegression},
+                            /*seed=*/17);
+    std::vector<float> losses;
+    for (int step = 0; step < 4; ++step) {
+      mtl::StepStats stats = trainer.Step(batches);
+      losses.insert(losses.end(), stats.losses.begin(), stats.losses.end());
+    }
+
+    std::vector<Tensor> params;
+    for (Variable* p : model.Parameters()) params.push_back(p->value().Clone());
+    return std::make_pair(params, losses);
+  };
+
+  auto [params1, losses1] = run(1);
+  for (int threads : {2, 8}) {
+    auto [params, losses] = run(threads);
+    ASSERT_EQ(params.size(), params1.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_TRUE(BitIdentical(params1[i], params[i]))
+          << "parameter " << i << " differs at " << threads << " threads";
+    }
+    ASSERT_EQ(losses.size(), losses1.size());
+    EXPECT_EQ(std::memcmp(losses.data(), losses1.data(),
+                          losses.size() * sizeof(float)),
+              0)
+        << "losses differ at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

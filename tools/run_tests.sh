@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Build the repository and run the full test suite twice: once with the
+# thread pool forced serial (MOCOGRAD_NUM_THREADS=1) and once at 4
+# threads. The two runs must both pass — the parallel compute layer's
+# contract is that pool size never changes results (bit-identical; see
+# docs/ARCHITECTURE.md and tests/integration/parallel_determinism_test.cc).
+#
+# Usage: tools/run_tests.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+
+for threads in 1 4; do
+  echo "==> ctest with MOCOGRAD_NUM_THREADS=$threads"
+  (cd "$build_dir" && MOCOGRAD_NUM_THREADS=$threads ctest --output-on-failure -j)
+done
+
+echo "OK: all tests passed at pool sizes 1 and 4"
