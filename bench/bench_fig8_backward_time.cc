@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "base/stopwatch.h"
 #include "base/thread_pool.h"
 #include "core/registry.h"
 #include "data/aliexpress.h"
@@ -49,18 +50,46 @@ void BM_BackwardStep(benchmark::State& state, const std::string& method,
                            data::TaskKind::kBinaryLogistic},
                           /*seed=*/11);
 
+  // This benchmark only reads losses / backward_seconds / phase times, so
+  // the O(K²·P) conflict-stats analysis pass is switched off (it would
+  // otherwise show up as method-independent overhead in every row).
+  trainer.set_conflict_stats_enabled(false);
+
   Rng data_rng(13);
   double backward_seconds = 0.0;
+  double step_seconds = 0.0;
+  mtl::StepPhaseTimes phases;
   int64_t steps = 0;
   for (auto _ : state) {
     auto batches = ds.SampleTrainBatches(64, data_rng);
+    Stopwatch step_timer;
     mtl::StepStats stats = trainer.Step(batches);
+    step_seconds += step_timer.ElapsedSeconds();
     backward_seconds += stats.backward_seconds;
+    phases.Accumulate(stats.phase);
     ++steps;
     benchmark::DoNotOptimize(stats.losses);
   }
+  const double inv = 1e3 / std::max<int64_t>(steps, 1);
   state.counters["backward_ms_per_iter"] =
-      benchmark::Counter(1e3 * backward_seconds / std::max<int64_t>(steps, 1));
+      benchmark::Counter(inv * backward_seconds);
+  // Phase attribution: where each method's step actually goes. "solver" is
+  // the aggregator-internal solver work (Frank–Wolfe / fixed-point / Jacobi
+  // sweeps / surgery loops); "agg" is the whole Aggregate() call containing
+  // it. On a single-core pool fwd+bwd+flatten+agg+writeback+opt sums to the
+  // measured step wall-clock (step_ms_per_iter); with more workers the
+  // backward/flatten columns sum CPU time across workers instead.
+  state.counters["step_ms_per_iter"] = benchmark::Counter(inv * step_seconds);
+  state.counters["fwd_ms"] = benchmark::Counter(inv * phases.forward);
+  state.counters["bwd_ms"] = benchmark::Counter(inv * phases.backward);
+  state.counters["flatten_ms"] = benchmark::Counter(inv * phases.flatten);
+  state.counters["agg_ms"] = benchmark::Counter(inv * phases.aggregate);
+  state.counters["solver_ms"] = benchmark::Counter(
+      inv * (phases.aggregator.Get("solver") + phases.aggregator.Get("eigen") +
+             phases.aggregator.Get("surgery") +
+             phases.aggregator.Get("calibrate")));
+  state.counters["writeback_ms"] = benchmark::Counter(inv * phases.write_back);
+  state.counters["opt_ms"] = benchmark::Counter(inv * phases.optimizer);
   state.counters["threads"] = benchmark::Counter(num_threads);
   ThreadPool::SetGlobalNumThreads(1);
 }
@@ -79,15 +108,23 @@ void BM_AggregateOnly(benchmark::State& state, const std::string& method,
   }
   std::vector<float> losses(num_tasks, 1.0f);
   Rng rng(5);
+  obs::PhaseProfile profile;
   core::AggregationContext ctx;
   ctx.task_grads = &grads;
   ctx.losses = &losses;
   ctx.rng = &rng;
+  ctx.profile = &profile;
   int64_t step = 0;
   for (auto _ : state) {
     ctx.step = step++;
     auto r = aggregator->Aggregate(ctx);
     benchmark::DoNotOptimize(r.shared_grad.data());
+  }
+  // Sub-phase attribution from the aggregator itself (zero rows for
+  // buckets the method never enters).
+  const double inv = 1e3 / std::max<int64_t>(step, 1);
+  for (const auto& sub : profile.entries()) {
+    state.counters[sub.first + "_ms"] = benchmark::Counter(inv * sub.second);
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 
 namespace mocograd {
@@ -441,11 +442,13 @@ Variable Conv2d(const Variable& input, const Variable& weight,
 
   // Cache the im2col buffers for the backward pass. Samples write disjoint
   // `cols` and `out` slices, so the batch loop parallelizes bit-identically.
+  MG_TRACE_SCOPE("conv.forward");
   auto cols = std::make_shared<std::vector<float>>(
       static_cast<size_t>(n) * patch * l);
   Tensor out(Shape{n, f, oh, ow});
   ParallelFor(0, n, 1, [&](int64_t b0, int64_t b1) {
     for (int64_t b = b0; b < b1; ++b) {
+      MG_TRACE_SCOPE("conv.im2col_sample");
       float* col = cols->data() + b * patch * l;
       tops::Im2Col(xv.data() + b * c * h * w, spec, h, w, col);
       // out_b [f, l] = W [f, patch] * col [patch, l]
@@ -463,6 +466,7 @@ Variable Conv2d(const Variable& input, const Variable& weight,
   return Variable::MakeOp(
       "Conv2d", out, {input, weight, bias},
       [cols, spec, n, c, h, w, oh, ow, l, patch, f, wv](const Tensor& g) {
+        MG_TRACE_SCOPE("conv.backward");
         Tensor dx(Shape{n, c, h, w});
         Tensor dw(Shape{f, c, spec.kernel, spec.kernel});
         Tensor db(Shape{f});

@@ -1,0 +1,22 @@
+#include "base/env.h"
+
+#include <cstdlib>
+
+namespace mocograd {
+
+int GetEnvInt(const char* name, int fallback, int min_value, int max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  if (v < min_value || v > max_value) return fallback;
+  return static_cast<int>(v);
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? fallback : std::string(env);
+}
+
+}  // namespace mocograd

@@ -1,0 +1,21 @@
+#ifndef MOCOGRAD_BASE_ENV_H_
+#define MOCOGRAD_BASE_ENV_H_
+
+#include <string>
+
+namespace mocograd {
+
+/// Integer environment knob: returns the value of `name` when it parses as
+/// an integer in [min_value, max_value], otherwise `fallback`. Malformed or
+/// out-of-range values fall back silently — an env typo must never abort a
+/// training run (same contract MOCOGRAD_NUM_THREADS always had).
+int GetEnvInt(const char* name, int fallback, int min_value, int max_value);
+
+/// String environment knob: the value of `name`, or `fallback` when the
+/// variable is unset. An empty value is returned as-is (callers treat empty
+/// as "off").
+std::string GetEnvString(const char* name, const std::string& fallback = "");
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_ENV_H_

@@ -2,26 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 
 #include "base/check.h"
+#include "base/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mocograd {
 
 namespace {
 
 int DefaultNumThreads() {
-  if (const char* env = std::getenv("MOCOGRAD_NUM_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
-      return static_cast<int>(v);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  return GetEnvInt("MOCOGRAD_NUM_THREADS", hw_threads, /*min_value=*/1,
+                   /*max_value=*/1024);
 }
 
 std::mutex& GlobalPoolMutex() {
@@ -110,6 +107,8 @@ void ThreadPool::WorkerMain() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    MG_TRACE_SCOPE("pool.worker_task");
+    MG_METRIC_COUNT("pool.tasks_executed", 1);
     task();
   }
 }
@@ -144,6 +143,11 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     body(begin, end);  // serial fallback: no state, no synchronization
     return;
   }
+
+  // Only loops that actually fan out get a span — the serial fallback
+  // above is the hottest path in the library and stays untouched.
+  MG_TRACE_SCOPE("parallel_for");
+  MG_METRIC_COUNT("pool.parallel_fors", 1);
 
   // A few chunks per participant gives dynamic load balancing without
   // dropping below the grain. Chunking never affects results (see the

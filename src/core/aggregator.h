@@ -6,6 +6,7 @@
 
 #include "base/rng.h"
 #include "core/grad_matrix.h"
+#include "obs/phase_profile.h"
 
 namespace mocograd {
 namespace core {
@@ -22,6 +23,12 @@ struct AggregationContext {
   /// Randomness source for stochastic methods (task-order shuffles in
   /// PCGrad/MoCoGrad, RLW weight sampling, GradDrop masks). Never null.
   Rng* rng = nullptr;
+  /// Optional sub-phase attribution sink. When non-null, methods with
+  /// non-trivial inner work add their wall-clock split here (canonical
+  /// bucket names: "gram", "solver", "eigen", "surgery", "calibrate",
+  /// "momentum", "combine" — see docs/OBSERVABILITY.md). May stay null;
+  /// methods must not change behavior based on it.
+  obs::PhaseProfile* profile = nullptr;
 };
 
 /// Output of one aggregation step.

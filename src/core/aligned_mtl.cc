@@ -21,7 +21,16 @@ AggregationResult AlignedMtl::Aggregate(const AggregationContext& ctx) {
     return out;
   }
 
-  const auto eig = solvers::JacobiEigenSymmetric(g.Gram());
+  std::vector<std::vector<double>> gram;
+  {
+    obs::ScopedPhase phase(ctx.profile, "gram");
+    gram = g.Gram();
+  }
+  solvers::EigenDecomposition eig;
+  {
+    obs::ScopedPhase eigen_phase(ctx.profile, "eigen");
+    eig = solvers::JacobiEigenSymmetric(gram);
+  }
   const double lambda_max = std::max(eig.values[0], 0.0);
   if (lambda_max <= 1e-30) {  // all-zero gradients
     out.shared_grad = g.SumRows();
@@ -49,7 +58,10 @@ AggregationResult AlignedMtl::Aggregate(const AggregationContext& ctx) {
     for (int i = 0; i < k; ++i) w[i] += coef * eig.vectors[r][i];
   }
 
-  out.shared_grad = g.WeightedSumRows(w);
+  {
+    obs::ScopedPhase combine_phase(ctx.profile, "combine");
+    out.shared_grad = g.WeightedSumRows(w);
+  }
   return out;
 }
 

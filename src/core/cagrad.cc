@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "solvers/simplex.h"
 
 namespace mocograd {
@@ -17,25 +18,56 @@ AggregationResult CaGrad::Aggregate(const AggregationContext& ctx) {
   MG_CHECK(ctx.task_grads != nullptr);
   const GradMatrix& g = *ctx.task_grads;
   const int k = g.num_tasks();
-  const auto gram = g.Gram();
-
-  // u = average weights (g0 = G^T u); precompute M u.
-  const double uk = 1.0 / static_cast<double>(k);
-  std::vector<double> mu(k, 0.0);
-  for (int i = 0; i < k; ++i) {
-    for (int j = 0; j < k; ++j) mu[i] += gram[i][j] * uk;
+  std::vector<std::vector<double>> gram;
+  {
+    obs::ScopedPhase phase(ctx.profile, "gram");
+    gram = g.Gram();
   }
-  double g0_norm2 = 0.0;
-  for (int i = 0; i < k; ++i) g0_norm2 += mu[i] * uk;
-  g0_norm2 = std::max(g0_norm2, 0.0);
-  const double sqrt_phi =
-      static_cast<double>(options_.c) * std::sqrt(g0_norm2);
 
-  // Projected gradient descent on F(w) = wᵀMu + √φ·√(wᵀMw).
-  std::vector<double> w(k, uk);
-  std::vector<double> mw(k, 0.0);
-  std::vector<double> grad(k, 0.0);
-  for (int it = 0; it < options_.inner_iters; ++it) {
+  // Combined coefficients per task, produced by the inner solver:
+  // (u_i + λ w_i) · rescale · K (the K factor restores EW magnitude — u
+  // sums to 1, EW sums to K).
+  std::vector<double> coef(k);
+  {
+    obs::ScopedPhase solver_phase(ctx.profile, "solver");
+    MG_METRIC_COUNT("solver.cagrad.inner_iters", options_.inner_iters);
+
+    // u = average weights (g0 = G^T u); precompute M u.
+    const double uk = 1.0 / static_cast<double>(k);
+    std::vector<double> mu(k, 0.0);
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) mu[i] += gram[i][j] * uk;
+    }
+    double g0_norm2 = 0.0;
+    for (int i = 0; i < k; ++i) g0_norm2 += mu[i] * uk;
+    g0_norm2 = std::max(g0_norm2, 0.0);
+    const double sqrt_phi =
+        static_cast<double>(options_.c) * std::sqrt(g0_norm2);
+
+    // Projected gradient descent on F(w) = wᵀMu + √φ·√(wᵀMw).
+    std::vector<double> w(k, uk);
+    std::vector<double> mw(k, 0.0);
+    std::vector<double> grad(k, 0.0);
+    for (int it = 0; it < options_.inner_iters; ++it) {
+      double wmw = 0.0;
+      for (int i = 0; i < k; ++i) {
+        mw[i] = 0.0;
+        for (int j = 0; j < k; ++j) mw[i] += gram[i][j] * w[j];
+      }
+      for (int i = 0; i < k; ++i) wmw += w[i] * mw[i];
+      const double gw_norm = std::sqrt(std::max(wmw, 1e-14));
+      double max_abs = 1e-12;
+      for (int i = 0; i < k; ++i) {
+        grad[i] = mu[i] + sqrt_phi * mw[i] / gw_norm;
+        max_abs = std::max(max_abs, std::fabs(grad[i]));
+      }
+      // Normalized step keeps the iteration scale-invariant in ‖G‖.
+      const double eta = 0.25 / max_abs;
+      for (int i = 0; i < k; ++i) w[i] -= eta * grad[i];
+      w = solvers::ProjectToSimplex(std::move(w));
+    }
+
+    // d = g0 + (√φ/‖g_w‖) g_w, rescaled by 1/(1+c²).
     double wmw = 0.0;
     for (int i = 0; i < k; ++i) {
       mw[i] = 0.0;
@@ -43,37 +75,18 @@ AggregationResult CaGrad::Aggregate(const AggregationContext& ctx) {
     }
     for (int i = 0; i < k; ++i) wmw += w[i] * mw[i];
     const double gw_norm = std::sqrt(std::max(wmw, 1e-14));
-    double max_abs = 1e-12;
+    const double lam = gw_norm > 1e-12 ? sqrt_phi / gw_norm : 0.0;
+    const double rescale = 1.0 / (1.0 + options_.c * options_.c);
     for (int i = 0; i < k; ++i) {
-      grad[i] = mu[i] + sqrt_phi * mw[i] / gw_norm;
-      max_abs = std::max(max_abs, std::fabs(grad[i]));
+      coef[i] = (uk + lam * w[i]) * rescale * static_cast<double>(k);
     }
-    // Normalized step keeps the iteration scale-invariant in ‖G‖.
-    const double eta = 0.25 / max_abs;
-    for (int i = 0; i < k; ++i) w[i] -= eta * grad[i];
-    w = solvers::ProjectToSimplex(std::move(w));
-  }
-
-  // d = g0 + (√φ/‖g_w‖) g_w, rescaled by 1/(1+c²).
-  double wmw = 0.0;
-  for (int i = 0; i < k; ++i) {
-    mw[i] = 0.0;
-    for (int j = 0; j < k; ++j) mw[i] += gram[i][j] * w[j];
-  }
-  for (int i = 0; i < k; ++i) wmw += w[i] * mw[i];
-  const double gw_norm = std::sqrt(std::max(wmw, 1e-14));
-  const double lam = gw_norm > 1e-12 ? sqrt_phi / gw_norm : 0.0;
-  const double rescale = 1.0 / (1.0 + options_.c * options_.c);
-
-  // Combined coefficients per task: (u_i + λ w_i) · rescale · K.
-  // The K factor restores EW magnitude (u sums to 1, EW sums to K).
-  std::vector<double> coef(k);
-  for (int i = 0; i < k; ++i) {
-    coef[i] = (uk + lam * w[i]) * rescale * static_cast<double>(k);
   }
 
   AggregationResult out;
-  out.shared_grad = g.WeightedSumRows(coef);
+  {
+    obs::ScopedPhase combine_phase(ctx.profile, "combine");
+    out.shared_grad = g.WeightedSumRows(coef);
+  }
   out.task_weights = OnesWeights(k);
   return out;
 }

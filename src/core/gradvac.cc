@@ -40,6 +40,8 @@ AggregationResult GradVac::Aggregate(const AggregationContext& ctx) {
   out.shared_grad.assign(p, 0.0f);
   out.task_weights = OnesWeights(k);
 
+  // The vaccination loop is GradVac's whole cost (no separate combine).
+  obs::ScopedPhase surgery_phase(ctx.profile, "surgery");
   std::vector<float> gi(p);
   std::vector<int> others(k);
   std::iota(others.begin(), others.end(), 0);

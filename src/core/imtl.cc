@@ -19,7 +19,11 @@ AggregationResult Imtl::Aggregate(const AggregationContext& ctx) {
     return out;
   }
 
-  const auto gram = g.Gram();
+  std::vector<std::vector<double>> gram;
+  {
+    obs::ScopedPhase phase(ctx.profile, "gram");
+    gram = g.Gram();
+  }
   std::vector<double> norms(k);
   bool degenerate = false;
   for (int i = 0; i < k; ++i) {
@@ -29,6 +33,7 @@ AggregationResult Imtl::Aggregate(const AggregationContext& ctx) {
 
   std::vector<double> alpha(k, 1.0);
   if (!degenerate) {
+    obs::ScopedPhase solver_phase(ctx.profile, "solver");
     // Solve Σ_j α_j (g_j − g_1)ᵀ(u_1 − u_m) = −g_1ᵀ(u_1 − u_m), m = 2..K,
     // using only Gram entries: g_aᵀu_b = gram[a][b]/‖g_b‖.
     auto gu = [&](int a, int b) { return gram[a][b] / norms[b]; };
@@ -56,7 +61,10 @@ AggregationResult Imtl::Aggregate(const AggregationContext& ctx) {
     // else: singular system, keep equal weights (α = 1 each).
   }
 
-  out.shared_grad = g.WeightedSumRows(alpha);
+  {
+    obs::ScopedPhase combine_phase(ctx.profile, "combine");
+    out.shared_grad = g.WeightedSumRows(alpha);
+  }
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "core/mgda.h"
 
+#include "obs/phase_profile.h"
 #include "solvers/min_norm.h"
 
 namespace mocograd {
@@ -10,12 +11,25 @@ AggregationResult Mgda::Aggregate(const AggregationContext& ctx) {
   const GradMatrix& g = *ctx.task_grads;
   const int k = g.num_tasks();
 
-  std::vector<double> w = solvers::MinNormWeights(g.Gram());
-  // Scale so Σ w_k = K (matches the magnitude of the EW sum).
-  for (double& x : w) x *= static_cast<double>(k);
+  std::vector<std::vector<double>> gram;
+  {
+    obs::ScopedPhase phase(ctx.profile, "gram");
+    gram = g.Gram();
+  }
+
+  std::vector<double> w;
+  {
+    obs::ScopedPhase solver_phase(ctx.profile, "solver");
+    w = solvers::MinNormWeights(gram);
+    // Scale so Σ w_k = K (matches the magnitude of the EW sum).
+    for (double& x : w) x *= static_cast<double>(k);
+  }
 
   AggregationResult out;
-  out.shared_grad = g.WeightedSumRows(w);
+  {
+    obs::ScopedPhase combine_phase(ctx.profile, "combine");
+    out.shared_grad = g.WeightedSumRows(w);
+  }
   out.task_weights = OnesWeights(k);
   return out;
 }

@@ -42,11 +42,14 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
 
   // Pre-compute per-task gradient and momentum norms.
   std::vector<double> g_norm(k), m_norm(k);
-  for (int i = 0; i < k; ++i) {
-    g_norm[i] = g.RowNorm(i);
-    double s = 0.0;
-    for (float v : momenta_[i]) s += static_cast<double>(v) * v;
-    m_norm[i] = std::sqrt(s);
+  {
+    obs::ScopedPhase norms_phase(ctx.profile, "norms");
+    for (int i = 0; i < k; ++i) {
+      g_norm[i] = g.RowNorm(i);
+      double s = 0.0;
+      for (float v : momenta_[i]) s += static_cast<double>(v) * v;
+      m_norm[i] = std::sqrt(s);
+    }
   }
 
   AggregationResult out;
@@ -78,36 +81,42 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
     for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += scale * dir[q];
   };
 
-  std::vector<int> others(k);
-  std::iota(others.begin(), others.end(), 0);
-  for (int i = 0; i < k; ++i) {
-    const float* gi = g.Row(i);
-    int chosen = -1;
-    ctx.rng->Shuffle(others);
-    for (int j : others) {
-      if (j == i) continue;
-      // GCD(g_i, g_j) > 1 ⇔ g_i · g_j < 0 (Definition 3); the dot product is
-      // the numerically robust form of the test.
-      if (g.RowDot(i, j) >= 0.0) continue;
-      ++out.num_conflicts;
-      if (options_.accumulate_all_conflicts) {
-        add_calibration(j);
-      } else {
-        chosen = j;
+  {
+    obs::ScopedPhase calibrate_phase(ctx.profile, "calibrate");
+    std::vector<int> others(k);
+    std::iota(others.begin(), others.end(), 0);
+    for (int i = 0; i < k; ++i) {
+      const float* gi = g.Row(i);
+      int chosen = -1;
+      ctx.rng->Shuffle(others);
+      for (int j : others) {
+        if (j == i) continue;
+        // GCD(g_i, g_j) > 1 ⇔ g_i · g_j < 0 (Definition 3); the dot product
+        // is the numerically robust form of the test.
+        if (g.RowDot(i, j) >= 0.0) continue;
+        ++out.num_conflicts;
+        if (options_.accumulate_all_conflicts) {
+          add_calibration(j);
+        } else {
+          chosen = j;
+        }
       }
+      for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
+      // Eq. (8): ĝ_i = g_i + λ (‖g_j‖/‖m_j‖) m_j for the chosen partner.
+      if (chosen >= 0) add_calibration(chosen);
     }
-    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
-    // Eq. (8): ĝ_i = g_i + λ (‖g_j‖/‖m_j‖) m_j for the chosen partner.
-    if (chosen >= 0) add_calibration(chosen);
   }
 
   // Eq. (9): one EMA update per task per step.
-  const float b1 = options_.beta1;
-  for (int j = 0; j < k; ++j) {
-    const float* gj = g.Row(j);
-    float* mj = momenta_[j].data();
-    for (int64_t q = 0; q < p; ++q) {
-      mj[q] = b1 * mj[q] + (1.0f - b1) * gj[q];
+  {
+    obs::ScopedPhase momentum_phase(ctx.profile, "momentum");
+    const float b1 = options_.beta1;
+    for (int j = 0; j < k; ++j) {
+      const float* gj = g.Row(j);
+      float* mj = momenta_[j].data();
+      for (int64_t q = 0; q < p; ++q) {
+        mj[q] = b1 * mj[q] + (1.0f - b1) * gj[q];
+      }
     }
   }
   return out;

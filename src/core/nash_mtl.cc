@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace mocograd {
 namespace core {
 
@@ -14,40 +16,52 @@ AggregationResult NashMtl::Aggregate(const AggregationContext& ctx) {
   MG_CHECK(ctx.task_grads != nullptr);
   const GradMatrix& g = *ctx.task_grads;
   const int k = g.num_tasks();
-  const auto gram = g.Gram();
-
-  // Normalize the Gram matrix so the fixed point is scale-invariant; the
-  // final α is un-normalized afterwards (α scales as 1/‖G‖).
-  double scale = 0.0;
-  for (int i = 0; i < k; ++i) scale = std::max(scale, gram[i][i]);
-  scale = std::max(scale, 1e-12);
+  std::vector<std::vector<double>> gram;
+  {
+    obs::ScopedPhase phase(ctx.profile, "gram");
+    gram = g.Gram();
+  }
 
   std::vector<double> alpha(k, 1.0 / std::sqrt(static_cast<double>(k)));
-  std::vector<double> ma(k, 0.0);
-  for (int it = 0; it < options_.iters; ++it) {
-    for (int i = 0; i < k; ++i) {
-      ma[i] = 0.0;
-      for (int j = 0; j < k; ++j) ma[i] += gram[i][j] / scale * alpha[j];
-    }
-    for (int i = 0; i < k; ++i) {
-      const double target = 1.0 / std::max(ma[i], options_.alpha_min);
-      alpha[i] = 0.5 * (alpha[i] + target);
-      alpha[i] = std::max(alpha[i], options_.alpha_min);
-    }
-  }
-  // Undo the Gram normalization: (G Gᵀ/s) α = 1/α ⇒ true α' = α/√s.
-  for (double& x : alpha) x /= std::sqrt(scale);
+  {
+    obs::ScopedPhase solver_phase(ctx.profile, "solver");
+    MG_METRIC_COUNT("solver.nashmtl.iters", options_.iters);
 
-  // Normalize the weights to sum to K (the reference implementation
-  // similarly rescales to keep updates bounded).
-  double sum = 0.0;
-  for (double x : alpha) sum += x;
-  if (sum > 1e-12) {
-    for (double& x : alpha) x *= static_cast<double>(k) / sum;
+    // Normalize the Gram matrix so the fixed point is scale-invariant; the
+    // final α is un-normalized afterwards (α scales as 1/‖G‖).
+    double scale = 0.0;
+    for (int i = 0; i < k; ++i) scale = std::max(scale, gram[i][i]);
+    scale = std::max(scale, 1e-12);
+
+    std::vector<double> ma(k, 0.0);
+    for (int it = 0; it < options_.iters; ++it) {
+      for (int i = 0; i < k; ++i) {
+        ma[i] = 0.0;
+        for (int j = 0; j < k; ++j) ma[i] += gram[i][j] / scale * alpha[j];
+      }
+      for (int i = 0; i < k; ++i) {
+        const double target = 1.0 / std::max(ma[i], options_.alpha_min);
+        alpha[i] = 0.5 * (alpha[i] + target);
+        alpha[i] = std::max(alpha[i], options_.alpha_min);
+      }
+    }
+    // Undo the Gram normalization: (G Gᵀ/s) α = 1/α ⇒ true α' = α/√s.
+    for (double& x : alpha) x /= std::sqrt(scale);
+
+    // Normalize the weights to sum to K (the reference implementation
+    // similarly rescales to keep updates bounded).
+    double sum = 0.0;
+    for (double x : alpha) sum += x;
+    if (sum > 1e-12) {
+      for (double& x : alpha) x *= static_cast<double>(k) / sum;
+    }
   }
 
   AggregationResult out;
-  out.shared_grad = g.WeightedSumRows(alpha);
+  {
+    obs::ScopedPhase combine_phase(ctx.profile, "combine");
+    out.shared_grad = g.WeightedSumRows(alpha);
+  }
   out.task_weights.resize(k);
   for (int i = 0; i < k; ++i) {
     out.task_weights[i] = static_cast<float>(alpha[i]);

@@ -16,6 +16,9 @@ AggregationResult PcGrad::Aggregate(const AggregationContext& ctx) {
   out.shared_grad.assign(p, 0.0f);
   out.task_weights = OnesWeights(k);
 
+  // The projection loop is PCGrad's whole cost; there is no separate
+  // combine step (projected gradients accumulate in place).
+  obs::ScopedPhase surgery_phase(ctx.profile, "surgery");
   std::vector<float> gi(p);
   std::vector<int> others(k);
   std::iota(others.begin(), others.end(), 0);

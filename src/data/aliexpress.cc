@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace mocograd {
 namespace data {
 
@@ -84,6 +86,7 @@ std::vector<Batch> AliExpressSim::GenerateSplit(int count, Rng& rng) const {
 
 std::vector<Batch> AliExpressSim::SampleTrainBatches(int batch_size,
                                                      Rng& rng) const {
+  MG_TRACE_SCOPE("data.sample_batches");
   // Single-input: both tasks score the same sampled impressions.
   const auto idx = SampleIndices(train_[0].size(), batch_size, rng);
   std::vector<Batch> out;

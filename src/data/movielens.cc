@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace mocograd {
 namespace data {
 
@@ -77,6 +79,7 @@ Batch MovieLensSim::GenerateSplit(int genre, int count, Rng& rng) const {
 
 std::vector<Batch> MovieLensSim::SampleTrainBatches(int batch_size,
                                                     Rng& rng) const {
+  MG_TRACE_SCOPE("data.sample_batches");
   std::vector<Batch> out;
   out.reserve(train_.size());
   for (const Batch& full : train_) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace mocograd {
 namespace data {
 
@@ -80,6 +82,7 @@ Batch OfficeHomeSim::GenerateSplit(int domain, int per_class,
 
 std::vector<Batch> OfficeHomeSim::SampleTrainBatches(int batch_size,
                                                      Rng& rng) const {
+  MG_TRACE_SCOPE("data.sample_batches");
   std::vector<Batch> out;
   out.reserve(train_.size());
   for (const Batch& full : train_) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace mocograd {
 namespace data {
 
@@ -111,6 +113,7 @@ Batch Qm9Sim::GenerateSplit(int property, int count, Rng& rng) const {
 
 std::vector<Batch> Qm9Sim::SampleTrainBatches(int batch_size,
                                               Rng& rng) const {
+  MG_TRACE_SCOPE("data.sample_batches");
   std::vector<Batch> out;
   out.reserve(train_.size());
   for (const Batch& full : train_) {

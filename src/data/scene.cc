@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace mocograd {
 namespace data {
 
@@ -176,6 +178,7 @@ std::vector<Batch> SceneSim::GenerateSplit(int count, Rng& rng) const {
 
 std::vector<Batch> SceneSim::SampleTrainBatches(int batch_size,
                                                 Rng& rng) const {
+  MG_TRACE_SCOPE("data.sample_batches");
   const auto idx = SampleIndices(train_[0].size(), batch_size, rng);
   const int64_t ppx = static_cast<int64_t>(config_.hw) * config_.hw;
   std::vector<Batch> out;
@@ -258,6 +261,7 @@ std::vector<Batch> ScenePixelDataset::Extract(const std::vector<Batch>& dense,
 
 std::vector<Batch> ScenePixelDataset::SampleTrainBatches(int batch_size,
                                                          Rng& rng) const {
+  MG_TRACE_SCOPE("data.sample_batches");
   const auto idx = SampleIndices(train_[0].size(), batch_size, rng);
   std::vector<Batch> out;
   out.reserve(train_.size());

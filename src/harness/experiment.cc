@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/env.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "mtl/cgc.h"
 #include "mtl/cross_stitch.h"
 #include "mtl/embedding_hps.h"
@@ -171,24 +174,61 @@ RunResult TrainAndEvaluate(const data::MtlDataset& dataset,
   mtl::MtlTrainer trainer(model.get(), aggregator, optimizer.get(), kinds,
                           config.seed ^ 0x9e3779b9u);
 
+  // Optional per-step metrics JSONL (config wins over MOCOGRAD_METRICS).
+  const std::string metrics_path =
+      !config.metrics_jsonl_path.empty() ? config.metrics_jsonl_path
+                                         : GetEnvString("MOCOGRAD_METRICS");
+  std::unique_ptr<obs::StepMetricsSink> metrics_sink;
+  if (!metrics_path.empty()) {
+    metrics_sink = std::make_unique<obs::StepMetricsSink>(metrics_path);
+    if (!metrics_sink->ok()) {
+      std::fprintf(stderr, "mocograd: metrics sink disabled: %s\n",
+                   metrics_sink->status().ToString().c_str());
+      metrics_sink.reset();
+    }
+  }
+
   RunResult result;
   double gcd_sum = 0.0;
   double backward_sum = 0.0;
   for (int step = 0; step < config.steps; ++step) {
-    auto all_batches = dataset.SampleTrainBatches(config.batch_size, data_rng);
-    auto batches = Select(all_batches, tasks);
-    mtl::StepStats stats = trainer.Step(batches);
-    if (scheduler) scheduler->Step();
+    mtl::StepStats stats;
+    {
+      MG_TRACE_SCOPE("harness.train_step");
+      auto all_batches =
+          dataset.SampleTrainBatches(config.batch_size, data_rng);
+      auto batches = Select(all_batches, tasks);
+      stats = trainer.Step(batches);
+      if (scheduler) scheduler->Step();
+    }
     gcd_sum += stats.conflicts.mean_gcd;
     backward_sum += stats.backward_seconds;
+    result.mean_phase.Accumulate(stats.phase);
     if (config.loss_curve_every > 0 &&
         step % config.loss_curve_every == 0) {
       result.loss_curve.push_back(stats.losses);
     }
     if (step + 1 == config.steps) result.final_losses = stats.losses;
+    if (metrics_sink) {
+      std::vector<std::pair<std::string, double>> fields;
+      for (size_t t = 0; t < stats.losses.size(); ++t) {
+        fields.emplace_back("loss_" + std::to_string(t), stats.losses[t]);
+      }
+      fields.emplace_back("phase_forward", stats.phase.forward);
+      fields.emplace_back("phase_backward", stats.phase.backward);
+      fields.emplace_back("phase_flatten", stats.phase.flatten);
+      fields.emplace_back("phase_conflict_stats", stats.phase.conflict_stats);
+      fields.emplace_back("phase_aggregate", stats.phase.aggregate);
+      fields.emplace_back("phase_write_back", stats.phase.write_back);
+      fields.emplace_back("phase_clip", stats.phase.clip);
+      fields.emplace_back("phase_optimizer", stats.phase.optimizer);
+      fields.emplace_back("mean_gcd", stats.conflicts.mean_gcd);
+      metrics_sink->WriteStep(step, fields);
+    }
   }
   result.mean_gcd = gcd_sum / config.steps;
   result.mean_backward_seconds = backward_sum / config.steps;
+  result.mean_phase.Scale(1.0 / config.steps);
 
   // Evaluate on the test split.
   const auto test_all = dataset.TestBatches();
@@ -228,9 +268,11 @@ RunResult StlBaseline(const data::MtlDataset& dataset,
     merged.final_losses.push_back(r.final_losses[0]);
     gcd += r.mean_gcd;
     backward += r.mean_backward_seconds;
+    merged.mean_phase.Accumulate(r.mean_phase);
   }
   merged.mean_gcd = gcd / tasks.size();
   merged.mean_backward_seconds = backward / tasks.size();
+  merged.mean_phase.Scale(1.0 / tasks.size());
   return merged;
 }
 

@@ -11,6 +11,7 @@
 #include "core/registry.h"
 #include "data/dataset.h"
 #include "mtl/model.h"
+#include "mtl/trainer.h"
 
 namespace mocograd {
 namespace harness {
@@ -28,6 +29,11 @@ struct TrainConfig {
   /// Record per-task training losses every `loss_curve_every` steps
   /// (0 = off); used by the convergence figure.
   int loss_curve_every = 0;
+  /// Per-step metrics JSONL destination ("-" = stdout, empty = fall back to
+  /// the MOCOGRAD_METRICS env var; off when both are empty). Each training
+  /// step appends one record with losses, phase times, and counter deltas —
+  /// see docs/OBSERVABILITY.md.
+  std::string metrics_jsonl_path;
 };
 
 /// One named metric value.
@@ -53,6 +59,9 @@ struct RunResult {
   double mean_gcd = 0.0;
   /// Mean seconds spent per step in backward + aggregation (Fig. 8).
   double mean_backward_seconds = 0.0;
+  /// Mean per-phase step breakdown over training (forward, backward, ...,
+  /// optimizer, plus aggregator sub-phases).
+  mtl::StepPhaseTimes mean_phase;
 };
 
 /// Builds a fresh model given the per-task head output widths (the task

@@ -19,7 +19,9 @@ struct LabeledRun {
 /// Serializes a set of runs to CSV with one row per (run, task, metric):
 ///   label,task,metric,value,higher_is_better
 /// plus per-run summary rows (delta_m when a baseline is given, mean_gcd,
-/// backward_seconds). Suited for downstream plotting of the figures.
+/// backward_seconds, and — when the run timed its steps — one
+/// phase_*_seconds row per step phase and aggregator sub-phase). Suited
+/// for downstream plotting of the figures.
 std::string RunsToCsv(const std::vector<LabeledRun>& runs,
                       const RunResult* stl_baseline = nullptr);
 

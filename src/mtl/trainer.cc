@@ -7,6 +7,8 @@
 #include "base/stopwatch.h"
 #include "base/thread_pool.h"
 #include "core/grad_matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mocograd {
 namespace mtl {
@@ -49,25 +51,34 @@ MtlTrainer::MtlTrainer(MtlModel* model, core::GradientAggregator* aggregator,
 }
 
 StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
+  MG_TRACE_SCOPE("trainer.step");
+  MG_METRIC_COUNT("trainer.steps", 1);
   const int k = model_->num_tasks();
   MG_CHECK_EQ(static_cast<int>(batches.size()), k, "one batch per task");
 
-  // Forward all tasks on one shared tape.
-  std::vector<Variable> inputs;
-  inputs.reserve(k);
-  for (const Batch& b : batches) {
-    inputs.emplace_back(b.x, /*requires_grad=*/false);
-  }
-  std::vector<Variable> preds = model_->Forward(inputs);
-  MG_CHECK_EQ(static_cast<int>(preds.size()), k);
-
   StepStats stats;
+  Stopwatch phase_timer;
+
+  // Forward all tasks on one shared tape.
+  std::vector<Variable> preds;
   std::vector<Variable> losses;
-  losses.reserve(k);
-  for (int t = 0; t < k; ++t) {
-    losses.push_back(TaskLoss(kinds_[t], preds[t], batches[t]));
-    stats.losses.push_back(losses.back().value().Item());
+  {
+    MG_TRACE_SCOPE("trainer.forward");
+    std::vector<Variable> inputs;
+    inputs.reserve(k);
+    for (const Batch& b : batches) {
+      inputs.emplace_back(b.x, /*requires_grad=*/false);
+    }
+    preds = model_->Forward(inputs);
+    MG_CHECK_EQ(static_cast<int>(preds.size()), k);
+
+    losses.reserve(k);
+    for (int t = 0; t < k; ++t) {
+      losses.push_back(TaskLoss(kinds_[t], preds[t], batches[t]));
+      stats.losses.push_back(losses.back().value().Item());
+    }
   }
+  stats.phase.forward = phase_timer.ElapsedSeconds();
 
   Stopwatch backward_timer;
 
@@ -86,11 +97,23 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
   std::vector<std::vector<Tensor>> task_specific_grads(k);
 
   {
+    MG_TRACE_SCOPE("trainer.backward");
+    // Per-task backward/flatten split, accumulated per task and summed in
+    // task order below so the reported phase times are independent of how
+    // the pool interleaved the sweeps.
+    std::vector<double> bwd_seconds(k, 0.0);
+    std::vector<double> flat_seconds(k, 0.0);
     std::vector<Variable::GradSink> sinks(k);
     ParallelFor(0, k, 1, [&](int64_t t0, int64_t t1) {
       for (int64_t t = t0; t < t1; ++t) {
+        MG_TRACE_SCOPE("trainer.task_backward");
+        Stopwatch task_timer;
         Variable::GradSink& sink = sinks[t];
         losses[t].BackwardInto(&sink);
+        bwd_seconds[t] = task_timer.ElapsedSeconds();
+
+        MG_TRACE_SCOPE("trainer.task_flatten");
+        task_timer.Restart();
         float* row = task_grads.Row(static_cast<int>(t));
         int64_t off = 0;
         for (Variable* p : shared) {
@@ -110,47 +133,74 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
           task_specific_grads[t].push_back(
               it != sink.end() ? it->second : Tensor::Zeros(p->shape()));
         }
+        flat_seconds[t] = task_timer.ElapsedSeconds();
       }
     });
+    for (int t = 0; t < k; ++t) {
+      stats.phase.backward += bwd_seconds[t];
+      stats.phase.flatten += flat_seconds[t];
+    }
   }
 
-  stats.conflicts = core::ComputeConflictStats(task_grads);
+  if (conflict_stats_enabled_) {
+    MG_TRACE_SCOPE("trainer.conflict_stats");
+    phase_timer.Restart();
+    stats.conflicts = core::ComputeConflictStats(task_grads);
+    stats.phase.conflict_stats = phase_timer.ElapsedSeconds();
+    MG_METRIC_COUNT("trainer.conflicting_pairs",
+                    stats.conflicts.num_conflicting_pairs);
+  }
   if (tracker_ != nullptr) tracker_->Record(task_grads);
 
   // Aggregate.
-  core::AggregationContext ctx;
-  ctx.task_grads = &task_grads;
-  ctx.losses = &stats.losses;
-  ctx.step = step_;
-  ctx.rng = &rng_;
-  core::AggregationResult agg = aggregator_->Aggregate(ctx);
+  core::AggregationResult agg;
+  {
+    MG_TRACE_SCOPE("trainer.aggregate");
+    phase_timer.Restart();
+    core::AggregationContext ctx;
+    ctx.task_grads = &task_grads;
+    ctx.losses = &stats.losses;
+    ctx.step = step_;
+    ctx.rng = &rng_;
+    ctx.profile = &stats.phase.aggregator;
+    agg = aggregator_->Aggregate(ctx);
+    stats.phase.aggregate = phase_timer.ElapsedSeconds();
+  }
   stats.aggregator_conflicts = agg.num_conflicts;
+  MG_METRIC_COUNT("trainer.aggregator_conflicts", agg.num_conflicts);
   MG_CHECK_EQ(static_cast<int64_t>(agg.shared_grad.size()), shared_dim);
   MG_CHECK_EQ(static_cast<int>(agg.task_weights.size()), k);
 
   stats.backward_seconds = backward_timer.ElapsedSeconds();
 
   // Write the combined gradient back onto the parameters and step.
-  model_->ZeroGrad();
   {
-    int64_t off = 0;
-    for (Variable* p : shared) {
-      const int64_t n = p->NumElements();
-      std::memcpy(p->mutable_grad().data(), agg.shared_grad.data() + off,
-                  n * sizeof(float));
-      off += n;
+    MG_TRACE_SCOPE("trainer.write_back");
+    phase_timer.Restart();
+    model_->ZeroGrad();
+    {
+      int64_t off = 0;
+      for (Variable* p : shared) {
+        const int64_t n = p->NumElements();
+        std::memcpy(p->mutable_grad().data(), agg.shared_grad.data() + off,
+                    n * sizeof(float));
+        off += n;
+      }
     }
-  }
-  for (int t = 0; t < k; ++t) {
-    auto params = model_->TaskParameters(t);
-    MG_CHECK_EQ(params.size(), task_specific_grads[t].size());
-    for (size_t i = 0; i < params.size(); ++i) {
-      Tensor& g = params[i]->mutable_grad();
-      g.CopyFrom(task_specific_grads[t][i]);
-      tops::ScaleInPlace(g, agg.task_weights[t]);
+    for (int t = 0; t < k; ++t) {
+      auto params = model_->TaskParameters(t);
+      MG_CHECK_EQ(params.size(), task_specific_grads[t].size());
+      for (size_t i = 0; i < params.size(); ++i) {
+        Tensor& g = params[i]->mutable_grad();
+        g.CopyFrom(task_specific_grads[t][i]);
+        tops::ScaleInPlace(g, agg.task_weights[t]);
+      }
     }
+    stats.phase.write_back = phase_timer.ElapsedSeconds();
   }
   if (max_grad_norm_ > 0.0f) {
+    MG_TRACE_SCOPE("trainer.clip");
+    phase_timer.Restart();
     // Global-norm clipping over every parameter gradient about to be
     // applied (the LibMTL-style safety net against aggregation spikes).
     double total = 0.0;
@@ -166,9 +216,15 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
         if (p->has_grad()) tops::ScaleInPlace(p->mutable_grad(), scale);
       }
     }
+    stats.phase.clip = phase_timer.ElapsedSeconds();
   }
 
-  optimizer_->Step();
+  {
+    MG_TRACE_SCOPE("trainer.optimizer");
+    phase_timer.Restart();
+    optimizer_->Step();
+    stats.phase.optimizer = phase_timer.ElapsedSeconds();
+  }
   ++step_;
   return stats;
 }

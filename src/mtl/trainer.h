@@ -10,23 +10,88 @@
 #include "core/conflict.h"
 #include "data/batch.h"
 #include "mtl/model.h"
+#include "obs/phase_profile.h"
 #include "optim/optimizer.h"
 
 namespace mocograd {
 namespace mtl {
+
+/// Wall-clock attribution of one MtlTrainer::Step, phase by phase. The
+/// eight buckets partition the step: Total() matches the step's wall-clock
+/// on a single-core pool, and sums *CPU* time when the per-task backward
+/// sweeps run on several workers (backward/flatten accumulate per task).
+struct StepPhaseTimes {
+  /// Forward pass of all K tasks (including loss evaluation).
+  double forward = 0.0;
+  /// Per-task tape walks (BackwardInto), summed over tasks.
+  double backward = 0.0;
+  /// Flattening leaf gradients into GradMatrix rows / task-specific grad
+  /// collection, summed over tasks.
+  double flatten = 0.0;
+  /// ComputeConflictStats on the task-gradient matrix (Fig. 2 signal).
+  double conflict_stats = 0.0;
+  /// GradientAggregator::Aggregate — see `aggregator` for its sub-phases.
+  double aggregate = 0.0;
+  /// Writing the combined + task-specific gradients back onto parameters.
+  double write_back = 0.0;
+  /// Optional global-norm clipping.
+  double clip = 0.0;
+  /// Optimizer step.
+  double optimizer = 0.0;
+
+  /// Aggregator-internal sub-phases ("gram", "solver", "combine", ...),
+  /// filled by methods that support AggregationContext::profile. A subset
+  /// of `aggregate`, not an addition to Total().
+  obs::PhaseProfile aggregator;
+
+  /// Sum of the eight top-level buckets.
+  double Total() const {
+    return forward + backward + flatten + conflict_stats + aggregate +
+           write_back + clip + optimizer;
+  }
+
+  /// Accumulates another step's times bucket-by-bucket (harness averaging).
+  void Accumulate(const StepPhaseTimes& other) {
+    forward += other.forward;
+    backward += other.backward;
+    flatten += other.flatten;
+    conflict_stats += other.conflict_stats;
+    aggregate += other.aggregate;
+    write_back += other.write_back;
+    clip += other.clip;
+    optimizer += other.optimizer;
+    aggregator.Merge(other.aggregator);
+  }
+
+  /// Scales every bucket (including aggregator sub-phases) by `s`.
+  void Scale(double s) {
+    forward *= s;
+    backward *= s;
+    flatten *= s;
+    conflict_stats *= s;
+    aggregate *= s;
+    write_back *= s;
+    clip *= s;
+    optimizer *= s;
+    aggregator.ScaleAll(s);
+  }
+};
 
 /// Statistics of one optimization step.
 struct StepStats {
   /// Raw per-task loss values.
   std::vector<float> losses;
   /// Pairwise conflict statistics of the per-task shared gradients — the
-  /// GCD signal used in the paper's analysis (Fig. 2).
+  /// GCD signal used in the paper's analysis (Fig. 2). All-zero when the
+  /// trainer's conflict-stats pass is disabled.
   core::ConflictStats conflicts;
   /// Conflicts the aggregation method itself acted on.
   int aggregator_conflicts = 0;
   /// Wall-clock seconds spent in the K backward passes + aggregation (the
   /// quantity of the paper's Fig. 8).
   double backward_seconds = 0.0;
+  /// Per-phase wall-clock breakdown of the whole step.
+  StepPhaseTimes phase;
 };
 
 /// The per-task loss for a prediction given its batch and task kind.
@@ -64,6 +129,15 @@ class MtlTrainer {
     tracker_ = tracker;
   }
 
+  /// Toggles the per-step ComputeConflictStats pass (default on). The pass
+  /// is O(K²·P) analysis-only work; throughput benchmarks that never read
+  /// `StepStats::conflicts` can switch it off. Does not affect the
+  /// ConflictTracker or any training result.
+  void set_conflict_stats_enabled(bool enabled) {
+    conflict_stats_enabled_ = enabled;
+  }
+  bool conflict_stats_enabled() const { return conflict_stats_enabled_; }
+
   /// Optional global-norm gradient clipping applied to the aggregated
   /// update (shared + task-specific gradients jointly) before the
   /// optimizer step; 0 disables (default).
@@ -82,6 +156,7 @@ class MtlTrainer {
   int64_t step_ = 0;
   core::ConflictTracker* tracker_ = nullptr;
   float max_grad_norm_ = 0.0f;
+  bool conflict_stats_enabled_ = true;
 };
 
 }  // namespace mtl

@@ -1,0 +1,198 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace mocograd {
+namespace obs {
+
+namespace {
+
+// Recursive-descent JSON syntax checker. Tracks position for error
+// reporting; depth is bounded to reject pathological nesting.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Status Run() {
+    SkipWs();
+    Status st = ParseValue(0);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (pos_ != s_.size()) return Fail("trailing characters");
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  bool Eof() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Status ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (Eof()) return Fail("unexpected end of input");
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true") ? Status::Ok() : Fail("bad literal");
+      case 'f':
+        return Literal("false") ? Status::Ok() : Fail("bad literal");
+      case 'n':
+        return Literal("null") ? Status::Ok() : Fail("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Status ParseObject(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      if (Eof() || Peek() != '"') return Fail("expected object key");
+      Status st = ParseString();
+      if (!st.ok()) return st;
+      SkipWs();
+      if (Eof() || Peek() != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      st = ParseValue(depth + 1);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (Eof()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    for (;;) {
+      SkipWs();
+      Status st = ParseValue(depth + 1);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (Eof()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString() {
+    ++pos_;  // '"'
+    while (!Eof()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (Eof()) return Fail("unterminated escape");
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber() {
+    const size_t start = pos_;
+    if (!Eof() && Peek() == '-') ++pos_;
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("expected digit");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("expected fraction digits");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("expected exponent digits");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start ? Status::Ok() : Fail("bad number");
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(const std::string& text) { return Parser(text).Run(); }
+
+}  // namespace obs
+}  // namespace mocograd

@@ -1,0 +1,21 @@
+#ifndef MOCOGRAD_OBS_JSON_H_
+#define MOCOGRAD_OBS_JSON_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace mocograd {
+namespace obs {
+
+/// Validates that `text` is one complete, syntactically well-formed JSON
+/// value (RFC 8259 grammar: objects, arrays, strings with escapes, numbers,
+/// true/false/null). Used by the trace/metrics tests and the
+/// `validate_json` tool to check emitted artifacts without a JSON library
+/// dependency. Returns InvalidArgument with a byte offset on failure.
+Status ValidateJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_OBS_JSON_H_

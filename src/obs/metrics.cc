@@ -1,0 +1,314 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// CAS-loop accumulate: std::atomic<double>::fetch_add is C++20-library
+// dependent, so spell it portably.
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = DoubleToBits(BitsToDouble(cur) + delta);
+    if (bits->compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (v < BitsToDouble(cur)) {
+    if (bits->compare_exchange_weak(cur, DoubleToBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (v > BitsToDouble(cur)) {
+    if (bits->compare_exchange_weak(cur, DoubleToBits(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+double Histogram::BucketBound(int i) {
+  return kFirstBound * std::ldexp(1.0, i);  // kFirstBound * 2^i
+}
+
+void Histogram::Record(double v) {
+  if (!(v >= 0.0)) v = 0.0;  // clamp negatives and NaN to the first bucket
+  int b = 0;
+  while (b < kNumBuckets - 1 && v > BucketBound(b)) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, v);
+  AtomicMinDouble(&min_bits_, v);
+  AtomicMaxDouble(&max_bits_, v);
+}
+
+double Histogram::sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const {
+  return count() == 0
+             ? 0.0
+             : BitsToDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return count() == 0
+             ? 0.0
+             : BitsToDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Percentile(double p) const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested percentile (1-based, nearest-rank).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p * static_cast<double>(n))));
+  int64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const int64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (cum + in_bucket >= rank) {
+      const double lo = b == 0 ? 0.0 : BucketBound(b - 1);
+      const double hi =
+          b == kNumBuckets - 1 ? std::max(max(), BucketBound(b - 1)) : BucketBound(b);
+      // Linear interpolation of the rank inside the bucket.
+      const double frac =
+          in_bucket == 0
+              ? 1.0
+              : static_cast<double>(rank - cum) / static_cast<double>(in_bucket);
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, min(), max());
+    }
+    cum += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  min_bits_.store(0x7FF0000000000000ull, std::memory_order_relaxed);
+  max_bits_.store(0xFFF0000000000000ull, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() {
+  static Impl* impl = new Impl;
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  MG_CHECK(i.gauges.count(name) == 0 && i.histograms.count(name) == 0,
+           "metric registered with a different kind: ", name);
+  auto& slot = i.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  MG_CHECK(i.counters.count(name) == 0 && i.histograms.count(name) == 0,
+           "metric registered with a different kind: ", name);
+  auto& slot = i.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  MG_CHECK(i.counters.count(name) == 0 && i.gauges.count(name) == 0,
+           "metric registered with a different kind: ", name);
+  auto& slot = i.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::vector<MetricSample> out;
+  out.reserve(i.counters.size() + i.gauges.size() + 4 * i.histograms.size());
+  for (const auto& [name, c] : i.counters) {
+    out.push_back({name, static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : i.gauges) {
+    out.push_back({name, g->value()});
+  }
+  for (const auto& [name, h] : i.histograms) {
+    out.push_back({name + ".count", static_cast<double>(h->count())});
+    out.push_back({name + ".sum", h->sum()});
+    out.push_back({name + ".p50", h->Percentile(0.50)});
+    out.push_back({name + ".p99", h->Percentile(0.99)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<MetricSample> MetricsRegistry::SnapshotCounters() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::vector<MetricSample> out;
+  out.reserve(i.counters.size());
+  for (const auto& [name, c] : i.counters) {
+    out.push_back({name, static_cast<double>(c->value())});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  for (auto& [name, c] : i.counters) c->Reset();
+  for (auto& [name, g] : i.gauges) g->Reset();
+  for (auto& [name, h] : i.histograms) h->Reset();
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& key) {
+  *out += '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += "\":";
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips doubles; integers print without exponent noise.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+StepMetricsSink::StepMetricsSink(const std::string& path) {
+  if (path == "-") {
+    file_ = stdout;
+  } else {
+    // Append: one process often runs several training loops (baselines +
+    // methods), each opening its own sink on the same MOCOGRAD_METRICS path.
+    file_ = std::fopen(path.c_str(), "a");
+    owns_file_ = true;
+  }
+  if (file_ == nullptr) {
+    status_ = Status::Internal("cannot open metrics sink: " + path);
+    return;
+  }
+  SetMetricsEnabled(true);
+  prev_counters_ = MetricsRegistry::Global().SnapshotCounters();
+}
+
+StepMetricsSink::~StepMetricsSink() {
+  if (file_ != nullptr && owns_file_) std::fclose(file_);
+}
+
+void StepMetricsSink::WriteStep(
+    int64_t step, const std::vector<std::pair<std::string, double>>& fields) {
+  if (file_ == nullptr) return;
+  std::string line = "{\"step\":";
+  AppendJsonNumber(&line, static_cast<double>(step));
+  for (const auto& [key, value] : fields) {
+    line += ',';
+    AppendJsonKey(&line, key);
+    AppendJsonNumber(&line, value);
+  }
+  // Counter deltas since the previous WriteStep (first call: since the sink
+  // opened). Snapshot() is sorted by name, so the two lists merge linearly.
+  const std::vector<MetricSample> now =
+      MetricsRegistry::Global().SnapshotCounters();
+  line += ",\"counters\":{";
+  bool first = true;
+  size_t pi = 0;
+  for (const MetricSample& cur : now) {
+    double prev = 0.0;
+    while (pi < prev_counters_.size() && prev_counters_[pi].name < cur.name) {
+      ++pi;
+    }
+    if (pi < prev_counters_.size() && prev_counters_[pi].name == cur.name) {
+      prev = prev_counters_[pi].value;
+    }
+    const double delta = cur.value - prev;
+    if (delta == 0.0) continue;
+    if (!first) line += ',';
+    first = false;
+    AppendJsonKey(&line, cur.name);
+    AppendJsonNumber(&line, delta);
+  }
+  line += "}}\n";
+  prev_counters_ = now;
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+}  // namespace obs
+}  // namespace mocograd

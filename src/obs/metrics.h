@@ -1,0 +1,175 @@
+#ifndef MOCOGRAD_OBS_METRICS_H_
+#define MOCOGRAD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mocograd {
+namespace obs {
+
+namespace internal {
+/// Hot-path kill switch: kernels guard their counter updates behind one
+/// relaxed load of this flag, so metrics cost nothing when nobody reads
+/// them. Off by default; flipped on by MOCOGRAD_METRICS=<path> or
+/// SetMetricsEnabled(true).
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic counter (relaxed atomic adds; merged values only — no
+/// cross-metric ordering is implied).
+class Counter {
+ public:
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  double value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  static uint64_t Encode(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double Decode(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Exponential-bucket histogram for non-negative samples (durations,
+/// sizes). Buckets double from kFirstBound upward; Percentile() linearly
+/// interpolates inside the bucket containing the requested rank and clamps
+/// to the observed min/max, so exact answers are only guaranteed at the
+/// bucket resolution (factor-of-2).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr double kFirstBound = 1e-9;
+
+  void Record(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 1]; returns 0 when empty.
+  double Percentile(double p) const;
+  void Reset();
+
+  /// Upper bound of bucket `i` (the last bucket is unbounded).
+  static double BucketBound(int i);
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};      // double, CAS-accumulated
+  std::atomic<uint64_t> min_bits_{0x7FF0000000000000ull};   // +inf
+  std::atomic<uint64_t> max_bits_{0xFFF0000000000000ull};   // -inf
+};
+
+/// One sampled metric value in a registry snapshot.
+struct MetricSample {
+  std::string name;  // histograms expand to name.count / name.sum / name.p50
+  double value = 0.0;
+};
+
+/// Process-wide name → metric registry. Get*() interns the metric on first
+/// use (callers cache the returned pointer in a function-local static, so
+/// the registry mutex is off the hot path); pointers stay valid for the
+/// process lifetime. Re-requesting a name with a different kind aborts.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// All current values, sorted by name (histograms expanded to
+  /// .count/.sum/.p50/.p99).
+  std::vector<MetricSample> Snapshot();
+
+  /// Counters only, sorted by name — the delta-friendly subset the JSONL
+  /// sink diffs between steps.
+  std::vector<MetricSample> SnapshotCounters();
+
+  /// Zeroes every registered metric (registration is kept).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+/// Adds `n` to the named counter iff metrics are enabled. `name` must be a
+/// literal; the counter pointer is resolved once per call site.
+#define MG_METRIC_COUNT(name, n)                                         \
+  do {                                                                   \
+    if (::mocograd::obs::MetricsEnabled()) {                             \
+      static ::mocograd::obs::Counter* mg_metric_counter =               \
+          ::mocograd::obs::MetricsRegistry::Global().GetCounter(name);   \
+      mg_metric_counter->Add(n);                                         \
+    }                                                                    \
+  } while (0)
+
+/// Per-step JSONL sink: one JSON object per WriteStep call, holding the
+/// caller's fields plus the delta of every registered counter since the
+/// previous step (key "counters"). Opening a sink enables metrics
+/// collection for the process.
+class StepMetricsSink {
+ public:
+  /// Opens `path` for appending ("-" writes to stdout). Check ok() before
+  /// use.
+  explicit StepMetricsSink(const std::string& path);
+  ~StepMetricsSink();
+
+  StepMetricsSink(const StepMetricsSink&) = delete;
+  StepMetricsSink& operator=(const StepMetricsSink&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const Status& status() const { return status_; }
+
+  /// Appends one JSONL record: {"step":N,<fields...>,"counters":{...}}.
+  void WriteStep(int64_t step,
+                 const std::vector<std::pair<std::string, double>>& fields);
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+  Status status_;
+  std::vector<MetricSample> prev_counters_;
+};
+
+}  // namespace obs
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_OBS_METRICS_H_

@@ -1,0 +1,236 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "base/env.h"
+
+namespace mocograd {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Session epoch: fixed at first use so span timestamps stay small enough
+// for the microsecond doubles in the Chrome JSON.
+Clock::time_point Epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Escapes a span name for embedding in a JSON string literal.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+}  // namespace
+
+// Per-thread span buffer. Lives as a thread_local; on thread exit the
+// collected spans retire into the session so short-lived threads (tests,
+// future pool resizes) never lose data. The per-log mutex is uncontended in
+// steady state — the owning thread appends, and only export/clear takes it
+// from outside.
+struct TraceSession::ThreadLog {
+  std::mutex mu;
+  std::vector<TraceSpan> spans;
+  int tid = 0;
+};
+
+namespace {
+
+struct SessionState {
+  std::mutex mu;  // guards logs / retired / next_tid
+  std::vector<std::shared_ptr<TraceSession::ThreadLog>> logs;
+  std::vector<TraceSpan> retired;
+  int next_tid = 0;
+};
+
+SessionState& State() {
+  static SessionState* state = new SessionState;
+  return *state;
+}
+
+struct ThreadLogHandle {
+  std::shared_ptr<TraceSession::ThreadLog> log;
+  ~ThreadLogHandle() {
+    if (log == nullptr) return;
+    SessionState& state = State();
+    std::lock_guard<std::mutex> lk(state.mu);
+    std::lock_guard<std::mutex> log_lk(log->mu);
+    state.retired.insert(state.retired.end(),
+                         std::make_move_iterator(log->spans.begin()),
+                         std::make_move_iterator(log->spans.end()));
+    log->spans.clear();
+  }
+};
+
+// MOCOGRAD_TRACE=<path>: start collecting at process init, export at exit.
+// Runs from a static initializer in this TU; any binary linking a kernel
+// that calls MG_TRACE_SCOPE pulls this object file in.
+struct EnvTraceAutoStart {
+  EnvTraceAutoStart() {
+    static std::string path;  // static: read by the atexit hook
+    path = GetEnvString("MOCOGRAD_TRACE");
+    if (path.empty()) return;
+    TraceSession::Global().Start();
+    std::atexit([] {
+      Status s = TraceSession::Global().ExportChromeTrace(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "MOCOGRAD_TRACE export failed: %s\n",
+                     s.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "MOCOGRAD_TRACE: wrote %zu spans to %s\n",
+                     TraceSession::Global().span_count(), path.c_str());
+      }
+    });
+  }
+};
+EnvTraceAutoStart g_env_trace_auto_start;
+
+}  // namespace
+
+TraceSession::TraceSession() { Epoch(); }
+
+TraceSession& TraceSession::Global() {
+  static TraceSession* session = new TraceSession;
+  return *session;
+}
+
+int64_t TraceSession::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              Epoch())
+      .count();
+}
+
+TraceSession::ThreadLog& TraceSession::LogForThisThread() {
+  thread_local ThreadLogHandle handle;
+  if (handle.log == nullptr) {
+    handle.log = std::make_shared<ThreadLog>();
+    SessionState& state = State();
+    std::lock_guard<std::mutex> lk(state.mu);
+    handle.log->tid = state.next_tid++;
+    state.logs.push_back(handle.log);
+  }
+  return *handle.log;
+}
+
+void TraceSession::Record(TraceSpan span) {
+  ThreadLog& log = LogForThisThread();
+  std::lock_guard<std::mutex> lk(log.mu);
+  span.tid = log.tid;
+  log.spans.push_back(std::move(span));
+}
+
+void TraceSession::Start() {
+  Clear();
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::Stop() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void TraceSession::Clear() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  state.retired.clear();
+  for (auto& log : state.logs) {
+    std::lock_guard<std::mutex> log_lk(log->mu);
+    log->spans.clear();
+  }
+}
+
+std::vector<TraceSpan> TraceSession::CollectSpans() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  std::vector<TraceSpan> out = state.retired;
+  for (auto& log : state.logs) {
+    std::lock_guard<std::mutex> log_lk(log->mu);
+    out.insert(out.end(), log->spans.begin(), log->spans.end());
+  }
+  return out;
+}
+
+size_t TraceSession::span_count() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lk(state.mu);
+  size_t n = state.retired.size();
+  for (auto& log : state.logs) {
+    std::lock_guard<std::mutex> log_lk(log->mu);
+    n += log->spans.size();
+  }
+  return n;
+}
+
+std::string TraceSession::ToChromeTraceJson() {
+  const std::vector<TraceSpan> spans = CollectSpans();
+  std::string out;
+  out.reserve(spans.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, s.label());
+    // Complete ("X") events with microsecond ts/dur, one pid, tid = the
+    // session's per-thread id (0 is whichever thread traced first).
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"mocograd\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
+                  s.start_ns / 1e3, s.dur_ns / 1e3, s.tid);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceSession::ExportChromeTrace(const std::string& path) {
+  const std::string json = ToChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Status::Internal("trace write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace mocograd

@@ -1,0 +1,143 @@
+#ifndef MOCOGRAD_OBS_TRACE_H_
+#define MOCOGRAD_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mocograd {
+namespace obs {
+
+/// One completed span. `name` points at a static string literal for the
+/// common `MG_TRACE_SCOPE("...")` case; spans opened with a runtime name
+/// own it in `dyn_name` (and leave `name` null).
+struct TraceSpan {
+  const char* name = nullptr;
+  std::string dyn_name;
+  int64_t start_ns = 0;  // steady-clock, relative to the session start
+  int64_t dur_ns = 0;
+  int tid = 0;  // small per-thread id assigned on first span
+
+  const char* label() const { return name != nullptr ? name : dyn_name.c_str(); }
+};
+
+namespace internal {
+/// The one word the whole tracer costs when idle: every MG_TRACE_SCOPE
+/// does exactly one relaxed load of this flag and nothing else.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// True while a trace session is collecting spans.
+inline bool TracingEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide span collector. Spans are appended to per-thread buffers
+/// (one uncontended mutex each; the global registry mutex is only taken
+/// when a new thread records its first span), so enabling tracing never
+/// serializes pool workers against each other.
+///
+/// Tracing records wall-clock timestamps only — it never touches RNG
+/// streams, accumulation order, or any computed value, so the library's
+/// bit-identical determinism guarantee holds with tracing on or off.
+///
+/// Enable either programmatically (Start/Stop/ExportChromeTrace) or by
+/// setting MOCOGRAD_TRACE=<path>: the session then starts at process init
+/// and exports the Chrome trace-event JSON to <path> at exit.
+class TraceSession {
+ public:
+  static TraceSession& Global();
+
+  /// Clears previously collected spans and begins collecting.
+  void Start();
+
+  /// Stops collecting. Collected spans stay available for export.
+  void Stop();
+
+  /// Drops every collected span (does not change the enabled state).
+  void Clear();
+
+  /// Snapshot of all spans collected so far, in per-thread recording order.
+  std::vector<TraceSpan> CollectSpans();
+
+  /// Number of spans collected so far.
+  size_t span_count();
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events),
+  /// loadable in Perfetto / chrome://tracing.
+  std::string ToChromeTraceJson();
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status ExportChromeTrace(const std::string& path);
+
+  /// Appends one completed span for the calling thread. Internal plumbing —
+  /// TraceScope / MG_TRACE_SCOPE is the intended API.
+  void Record(TraceSpan span);
+
+  /// Nanoseconds since the session epoch (steady clock).
+  static int64_t NowNs();
+
+  /// Opaque per-thread span buffer (defined in trace.cc; public only so
+  /// the implementation's registry can name it).
+  struct ThreadLog;
+
+ private:
+  TraceSession();
+  ThreadLog& LogForThisThread();
+};
+
+/// RAII scope: records a span from construction to destruction when tracing
+/// is enabled; a single relaxed atomic load otherwise.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* static_name) {
+    if (TracingEnabled()) {
+      name_ = static_name;
+      start_ns_ = TraceSession::NowNs();
+    }
+  }
+  /// Runtime-named span (e.g. per-method labels). The name is copied.
+  explicit TraceScope(std::string dyn_name) {
+    if (TracingEnabled()) {
+      dyn_name_ = std::move(dyn_name);
+      active_dyn_ = true;
+      start_ns_ = TraceSession::NowNs();
+    }
+  }
+  ~TraceScope() {
+    if (name_ == nullptr && !active_dyn_) return;
+    TraceSpan span;
+    span.name = name_;
+    span.dyn_name = std::move(dyn_name_);
+    span.start_ns = start_ns_;
+    span.dur_ns = TraceSession::NowNs() - start_ns_;
+    TraceSession::Global().Record(std::move(span));
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::string dyn_name_;
+  bool active_dyn_ = false;
+  int64_t start_ns_ = 0;
+};
+
+#define MG_TRACE_CONCAT_INNER(a, b) a##b
+#define MG_TRACE_CONCAT(a, b) MG_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing block. `name` must be a
+/// string literal (it is stored by pointer); use
+/// `TraceScope scope(std::string(...))` for runtime names.
+#define MG_TRACE_SCOPE(name) \
+  ::mocograd::obs::TraceScope MG_TRACE_CONCAT(mg_trace_scope_, __LINE__)(name)
+
+}  // namespace obs
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "base/check.h"
+#include "obs/metrics.h"
 
 namespace mocograd {
 namespace solvers {
@@ -26,6 +27,7 @@ EigenDecomposition JacobiEigenSymmetric(std::vector<std::vector<double>> a,
       for (size_t j = i + 1; j < n; ++j) off += a[i][j] * a[i][j];
     }
     if (off < tol) break;
+    MG_METRIC_COUNT("solver.jacobi.sweeps", 1);
 
     for (size_t p = 0; p < n; ++p) {
       for (size_t q = p + 1; q < n; ++q) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "obs/metrics.h"
 
 namespace mocograd {
 namespace solvers {
@@ -26,6 +27,7 @@ std::vector<double> MinNormWeights(const std::vector<std::vector<double>>& gram,
   };
 
   for (int it = 0; it < max_iters; ++it) {
+    MG_METRIC_COUNT("solver.minnorm.iters", 1);
     refresh_mw();
     // Frank–Wolfe vertex: coordinate with the smallest gradient (Mw)_t.
     const size_t t =

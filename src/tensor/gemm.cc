@@ -5,6 +5,8 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mocograd {
 
@@ -65,6 +67,9 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   MG_CHECK_GE(n, 0);
   MG_CHECK_GE(k, 0);
   if (m == 0 || n == 0) return;
+  MG_TRACE_SCOPE("gemm");
+  MG_METRIC_COUNT("gemm.calls", 1);
+  MG_METRIC_COUNT("gemm.flops", 2 * m * n * k);
   if (k == 0 || alpha == 0.0f) {
     // Pure C-scaling; rows are independent.
     if (beta != 1.0f) {

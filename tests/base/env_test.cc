@@ -1,0 +1,56 @@
+#include "base/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace mocograd {
+namespace {
+
+// setenv/unsetenv are process-global; each test uses its own variable name.
+
+TEST(EnvTest, IntParsesValueInRange) {
+  ASSERT_EQ(setenv("MG_ENV_TEST_INT", "12", 1), 0);
+  EXPECT_EQ(GetEnvInt("MG_ENV_TEST_INT", 3, 1, 64), 12);
+  unsetenv("MG_ENV_TEST_INT");
+}
+
+TEST(EnvTest, IntUnsetUsesFallback) {
+  unsetenv("MG_ENV_TEST_UNSET");
+  EXPECT_EQ(GetEnvInt("MG_ENV_TEST_UNSET", 7, 1, 64), 7);
+}
+
+TEST(EnvTest, IntMalformedUsesFallback) {
+  ASSERT_EQ(setenv("MG_ENV_TEST_BAD", "four", 1), 0);
+  EXPECT_EQ(GetEnvInt("MG_ENV_TEST_BAD", 5, 1, 64), 5);
+  ASSERT_EQ(setenv("MG_ENV_TEST_BAD", "12abc", 1), 0);
+  EXPECT_EQ(GetEnvInt("MG_ENV_TEST_BAD", 5, 1, 64), 5);
+  ASSERT_EQ(setenv("MG_ENV_TEST_BAD", "", 1), 0);
+  EXPECT_EQ(GetEnvInt("MG_ENV_TEST_BAD", 5, 1, 64), 5);
+  unsetenv("MG_ENV_TEST_BAD");
+}
+
+TEST(EnvTest, IntOutOfRangeUsesFallback) {
+  ASSERT_EQ(setenv("MG_ENV_TEST_RANGE", "0", 1), 0);
+  EXPECT_EQ(GetEnvInt("MG_ENV_TEST_RANGE", 2, 1, 64), 2);
+  ASSERT_EQ(setenv("MG_ENV_TEST_RANGE", "65", 1), 0);
+  EXPECT_EQ(GetEnvInt("MG_ENV_TEST_RANGE", 2, 1, 64), 2);
+  unsetenv("MG_ENV_TEST_RANGE");
+}
+
+TEST(EnvTest, StringReturnsValueOrFallback) {
+  ASSERT_EQ(setenv("MG_ENV_TEST_STR", "/tmp/trace.json", 1), 0);
+  EXPECT_EQ(GetEnvString("MG_ENV_TEST_STR"), "/tmp/trace.json");
+  unsetenv("MG_ENV_TEST_STR");
+  EXPECT_EQ(GetEnvString("MG_ENV_TEST_STR"), "");
+  EXPECT_EQ(GetEnvString("MG_ENV_TEST_STR", "fallback"), "fallback");
+}
+
+TEST(EnvTest, StringEmptyValueIsReturnedAsIs) {
+  ASSERT_EQ(setenv("MG_ENV_TEST_EMPTY", "", 1), 0);
+  EXPECT_EQ(GetEnvString("MG_ENV_TEST_EMPTY", "fallback"), "");
+  unsetenv("MG_ENV_TEST_EMPTY");
+}
+
+}  // namespace
+}  // namespace mocograd

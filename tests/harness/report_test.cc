@@ -31,6 +31,37 @@ TEST(ReportTest, CsvContainsAllRows) {
   EXPECT_EQ(csv.find("delta_m"), std::string::npos);
 }
 
+TEST(ReportTest, PhaseRowsOmittedWhenStepsNeverTimed) {
+  std::vector<harness::LabeledRun> runs = {{"ew", FakeResult(0.8, 1.0)}};
+  const std::string csv = harness::RunsToCsv(runs);
+  EXPECT_EQ(csv.find("phase_"), std::string::npos);
+}
+
+TEST(ReportTest, PhaseSummaryRows) {
+  harness::RunResult r = FakeResult(0.9, 1.0);
+  r.mean_phase.forward = 0.25;
+  r.mean_phase.backward = 0.5;
+  r.mean_phase.aggregate = 0.125;
+  r.mean_phase.aggregator.Add("gram", 0.0625);
+  r.mean_phase.aggregator.Add("solver", 0.03125);
+  std::vector<harness::LabeledRun> runs = {{"mocograd", r}};
+  const std::string csv = harness::RunsToCsv(runs);
+  EXPECT_NE(csv.find("mocograd,-,phase_forward_seconds,0.25,0"),
+            std::string::npos);
+  EXPECT_NE(csv.find("mocograd,-,phase_backward_seconds,0.5,0"),
+            std::string::npos);
+  EXPECT_NE(csv.find("mocograd,-,phase_aggregate_seconds,0.125,0"),
+            std::string::npos);
+  // Zero buckets still get rows once the step was timed...
+  EXPECT_NE(csv.find("mocograd,-,phase_optimizer_seconds,0,0"),
+            std::string::npos);
+  // ...and aggregator sub-phases appear under phase_agg_<name>_seconds.
+  EXPECT_NE(csv.find("mocograd,-,phase_agg_gram_seconds,0.0625,0"),
+            std::string::npos);
+  EXPECT_NE(csv.find("mocograd,-,phase_agg_solver_seconds,0.03125,0"),
+            std::string::npos);
+}
+
 TEST(ReportTest, DeltaMRowsWithBaseline) {
   harness::RunResult stl = FakeResult(0.8, 1.0);
   std::vector<harness::LabeledRun> runs = {{"mocograd", FakeResult(0.88, 0.9)}};

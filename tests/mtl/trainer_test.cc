@@ -97,6 +97,69 @@ TEST(MtlTrainerTest, StepReducesLosses) {
   EXPECT_EQ(trainer.steps_done(), 121);
 }
 
+TEST(MtlTrainerTest, PhaseTimesCoverTheStep) {
+  TinyProblem prob(11);
+  core::EqualWeight agg;
+  optim::Adam opt(prob.model->Parameters(), 1e-2f);
+  mtl::MtlTrainer trainer(prob.model.get(), &agg, &opt,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  mtl::StepStats stats = trainer.Step(prob.batches);
+  const mtl::StepPhaseTimes& ph = stats.phase;
+  // The load-bearing phases of even a tiny step take measurable time...
+  EXPECT_GT(ph.forward, 0.0);
+  EXPECT_GT(ph.backward, 0.0);
+  EXPECT_GT(ph.Total(), 0.0);
+  // ...and no bucket can be negative.
+  for (double v : {ph.forward, ph.backward, ph.flatten, ph.conflict_stats,
+                   ph.aggregate, ph.write_back, ph.clip, ph.optimizer}) {
+    EXPECT_GE(v, 0.0);
+  }
+  // No clipping configured → the clip phase never ran.
+  EXPECT_EQ(ph.clip, 0.0);
+}
+
+TEST(MtlTrainerTest, ConflictStatsToggleOnlyAffectsReporting) {
+  TinyProblem prob_a(17);
+  TinyProblem prob_b(17);
+  core::EqualWeight agg_a, agg_b;
+  optim::Adam opt_a(prob_a.model->Parameters(), 1e-2f);
+  optim::Adam opt_b(prob_b.model->Parameters(), 1e-2f);
+  mtl::MtlTrainer on(prob_a.model.get(), &agg_a, &opt_a,
+                     {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  mtl::MtlTrainer off(prob_b.model.get(), &agg_b, &opt_b,
+                      {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  EXPECT_TRUE(on.conflict_stats_enabled());
+  off.set_conflict_stats_enabled(false);
+  EXPECT_FALSE(off.conflict_stats_enabled());
+
+  for (int i = 0; i < 5; ++i) {
+    mtl::StepStats sa = on.Step(prob_a.batches);
+    mtl::StepStats sb = off.Step(prob_b.batches);
+    // Training is bit-identical with the analysis pass off...
+    ASSERT_EQ(sa.losses.size(), sb.losses.size());
+    for (size_t t = 0; t < sa.losses.size(); ++t) {
+      EXPECT_EQ(sa.losses[t], sb.losses[t]);
+    }
+    // ...only the reported stats differ.
+    EXPECT_EQ(sb.conflicts.mean_gcd, 0.0);
+    EXPECT_EQ(sb.conflicts.num_conflicting_pairs, 0);
+    EXPECT_EQ(sb.phase.conflict_stats, 0.0);
+  }
+}
+
+TEST(MtlTrainerTest, AggregatorSubPhasesReported) {
+  TinyProblem prob(23);
+  core::MoCoGrad agg;
+  optim::Adam opt(prob.model->Parameters(), 1e-2f);
+  mtl::MtlTrainer trainer(prob.model.get(), &agg, &opt,
+                          {TaskKind::kRegression, TaskKind::kRegression}, 3);
+  mtl::StepStats stats = trainer.Step(prob.batches);
+  // MoCoGrad fills its calibration sub-phases through ctx.profile.
+  EXPECT_FALSE(stats.phase.aggregator.empty());
+  EXPECT_GE(stats.phase.aggregator.Get("calibrate"), 0.0);
+  EXPECT_LE(stats.phase.aggregator.Total(), stats.phase.aggregate + 1e-6);
+}
+
 TEST(MtlTrainerTest, EwStepMatchesPlainJointBackward) {
   // The trainer with EqualWeight must produce exactly the same parameter
   // update as naive backprop through the summed loss.

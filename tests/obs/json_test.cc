@@ -1,0 +1,65 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mocograd {
+namespace obs {
+namespace {
+
+TEST(ValidateJsonTest, AcceptsWellFormedValues) {
+  for (const char* text : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           "false",
+           "0",
+           "-1.5e-3",
+           "\"str with \\\" escape and \\u00e9\"",
+           "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}",
+           "  [1, 2, 3]  ",
+       }) {
+    EXPECT_TRUE(ValidateJson(text).ok()) << text;
+  }
+}
+
+TEST(ValidateJsonTest, RejectsMalformedValues) {
+  for (const char* text : {
+           "",
+           "{",
+           "}",
+           "[1,]",
+           "{\"a\":}",
+           "{\"a\" 1}",
+           "{'a':1}",
+           "nul",
+           "01",
+           "1.",
+           "\"unterminated",
+           "\"bad escape \\q\"",
+           "{} trailing",
+           "[1] [2]",
+           "+1",
+           "NaN",
+       }) {
+    EXPECT_FALSE(ValidateJson(text).ok()) << text;
+  }
+}
+
+TEST(ValidateJsonTest, RejectsExcessiveNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(ValidateJson(deep).ok());
+}
+
+TEST(ValidateJsonTest, AcceptsReasonableNesting) {
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(ValidateJson(ok).ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mocograd

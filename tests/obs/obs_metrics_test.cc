@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace mocograd {
+namespace obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabled(true);
+    MetricsRegistry::Global().ResetAll();
+  }
+  void TearDown() override {
+    MetricsRegistry::Global().ResetAll();
+    SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CounterAddsAtomically) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 1000; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), 4000);
+}
+
+TEST_F(MetricsTest, DisabledMacroSkipsCounting) {
+  SetMetricsEnabled(false);
+  MG_METRIC_COUNT("test.gated", 5);
+  SetMetricsEnabled(true);
+  MG_METRIC_COUNT("test.gated", 2);
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.gated")->value(), 2);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStablePointers) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.stable");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(3.5);
+  g->Set(-1.25);
+  EXPECT_DOUBLE_EQ(g->value(), -1.25);
+}
+
+TEST_F(MetricsTest, HistogramBasicStats) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist");
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h->Record(v);
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_DOUBLE_EQ(h->sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 4.0);
+}
+
+TEST_F(MetricsTest, HistogramPercentilesClampToObservedRange) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist_pct");
+  for (int i = 0; i < 100; ++i) h->Record(1.0);
+  // Every sample is 1.0: any percentile must clamp to the observed value
+  // despite the factor-of-2 bucket resolution.
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 1.0);
+}
+
+TEST_F(MetricsTest, HistogramPercentileOrdering) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist_order");
+  // 90 small samples, 10 large ones: p50 must land near the small mode and
+  // p99 near the large one (buckets are factor-of-2, so assert ranges).
+  for (int i = 0; i < 90; ++i) h->Record(1e-3);
+  for (int i = 0; i < 10; ++i) h->Record(1.0);
+  const double p50 = h->Percentile(0.5);
+  const double p99 = h->Percentile(0.99);
+  EXPECT_GE(p50, 1e-3 / 2);
+  EXPECT_LE(p50, 1e-3 * 2);
+  EXPECT_GE(p99, 0.5);
+  EXPECT_LE(p99, 1.0);
+  EXPECT_LT(p50, p99);
+}
+
+TEST_F(MetricsTest, HistogramIgnoresSignOfBadSamples) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist_neg");
+  h->Record(-5.0);  // clamped to 0
+  EXPECT_EQ(h->count(), 1);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry::Global().GetCounter("test.z_counter")->Add(7);
+  MetricsRegistry::Global().GetCounter("test.a_counter")->Add(3);
+  auto snap = MetricsRegistry::Global().SnapshotCounters();
+  std::string prev;
+  bool saw_a = false, saw_z = false;
+  for (const auto& s : snap) {
+    EXPECT_LE(prev, s.name);
+    prev = s.name;
+    if (s.name == "test.a_counter") {
+      saw_a = true;
+      EXPECT_DOUBLE_EQ(s.value, 3.0);
+    }
+    if (s.name == "test.z_counter") {
+      saw_z = true;
+      EXPECT_DOUBLE_EQ(s.value, 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_z);
+}
+
+TEST_F(MetricsTest, StepSinkWritesParseableJsonlWithCounterDeltas) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/metrics_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    StepMetricsSink sink(path);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    MG_METRIC_COUNT("test.sink_counter", 3);
+    sink.WriteStep(0, {{"loss_0", 1.5}});
+    MG_METRIC_COUNT("test.sink_counter", 4);
+    sink.WriteStep(1, {{"loss_0", 1.25}});
+  }
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(ValidateJson(l).ok()) << l;
+  }
+  // Deltas, not totals: step 0 saw +3, step 1 saw +4.
+  EXPECT_NE(lines[0].find("\"test.sink_counter\":3"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("\"test.sink_counter\":4"), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[0].find("\"loss_0\":1.5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"step\":1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(MetricsTest, StepSinkAppendsAcrossReopens) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/metrics_sink_append.jsonl";
+  std::remove(path.c_str());
+  {
+    StepMetricsSink sink(path);
+    sink.WriteStep(0, {});
+  }
+  {
+    StepMetricsSink sink(path);
+    sink.WriteStep(0, {});
+  }
+  std::ifstream in(path);
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) ++n;
+  EXPECT_EQ(n, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(MetricsTest, SinkOnBadPathReportsError) {
+  StepMetricsSink sink("/nonexistent_dir_xyz/metrics.jsonl");
+  EXPECT_FALSE(sink.ok());
+  sink.WriteStep(0, {});  // must not crash
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mocograd

@@ -1,0 +1,171 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "obs/json.h"
+
+namespace mocograd {
+namespace obs {
+namespace {
+
+// Every test owns the global session: start fresh, stop + clear on exit so
+// tests compose in one process.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::Global().Stop();
+    TraceSession::Global().Clear();
+  }
+  void TearDown() override {
+    TraceSession::Global().Stop();
+    TraceSession::Global().Clear();
+  }
+};
+
+int CountSpans(const std::vector<TraceSpan>& spans, const std::string& name) {
+  return static_cast<int>(
+      std::count_if(spans.begin(), spans.end(), [&](const TraceSpan& s) {
+        return name == s.label();
+      }));
+}
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(TracingEnabled());
+  {
+    MG_TRACE_SCOPE("should_not_appear");
+    MG_TRACE_SCOPE("nor_this");
+  }
+  EXPECT_EQ(TraceSession::Global().span_count(), 0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpans) {
+  TraceSession::Global().Start();
+  {
+    MG_TRACE_SCOPE("outer");
+    MG_TRACE_SCOPE("inner");
+  }
+  TraceSession::Global().Stop();
+
+  auto spans = TraceSession::Global().CollectSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(CountSpans(spans, "outer"), 1);
+  EXPECT_EQ(CountSpans(spans, "inner"), 1);
+  // Inner closes first but must nest inside outer's interval.
+  const TraceSpan* outer = nullptr;
+  const TraceSpan* inner = nullptr;
+  for (const TraceSpan& s : spans) {
+    if (std::string(s.label()) == "outer") outer = &s;
+    if (std::string(s.label()) == "inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns,
+            outer->start_ns + outer->dur_ns);
+  EXPECT_EQ(inner->tid, outer->tid);
+}
+
+TEST_F(TraceTest, DynamicNamesAreCopied) {
+  TraceSession::Global().Start();
+  {
+    std::string name = "method_";
+    name += "mocograd";
+    TraceScope scope(std::move(name));
+  }
+  TraceSession::Global().Stop();
+  auto spans = TraceSession::Global().CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].label(), "method_mocograd");
+}
+
+TEST_F(TraceTest, SpansAcrossPoolWorkers) {
+  ThreadPool::SetGlobalNumThreads(4);
+  TraceSession::Global().Start();
+  ParallelFor(0, 64, 1, [](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      MG_TRACE_SCOPE("worker_span");
+    }
+  });
+  TraceSession::Global().Stop();
+  ThreadPool::SetGlobalNumThreads(1);
+
+  auto spans = TraceSession::Global().CollectSpans();
+  // 64 explicit spans plus whatever the pool itself traced.
+  EXPECT_EQ(CountSpans(spans, "worker_span"), 64);
+  std::set<int> tids;
+  for (const TraceSpan& s : spans) tids.insert(s.tid);
+  // The pool's spans come from at least the caller's thread; with 4 workers
+  // more than one tid is overwhelmingly likely but not guaranteed on a
+  // single-core box, so only sanity-check ids are small and non-negative.
+  for (int tid : tids) {
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, 64);
+  }
+}
+
+TEST_F(TraceTest, StartClearsPreviousSpans) {
+  TraceSession::Global().Start();
+  { MG_TRACE_SCOPE("first_session"); }
+  TraceSession::Global().Stop();
+  EXPECT_EQ(TraceSession::Global().span_count(), 1u);
+
+  TraceSession::Global().Start();
+  { MG_TRACE_SCOPE("second_session"); }
+  TraceSession::Global().Stop();
+  auto spans = TraceSession::Global().CollectSpans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].label(), "second_session");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  TraceSession::Global().Start();
+  {
+    MG_TRACE_SCOPE("alpha");
+    MG_TRACE_SCOPE("beta \"quoted\"\\backslash");
+  }
+  TraceSession::Global().Stop();
+
+  const std::string json = TraceSession::Global().ToChromeTraceJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << ValidateJson(json).ToString();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportWritesValidFile) {
+  TraceSession::Global().Start();
+  { MG_TRACE_SCOPE("exported"); }
+  TraceSession::Global().Stop();
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/trace_test_export.json";
+  ASSERT_TRUE(TraceSession::Global().ExportChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(ValidateJson(buf.str()).ok());
+  EXPECT_NE(buf.str().find("exported"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ExportToUnwritablePathFails) {
+  TraceSession::Global().Start();
+  TraceSession::Global().Stop();
+  EXPECT_FALSE(TraceSession::Global()
+                   .ExportChromeTrace("/nonexistent_dir_xyz/trace.json")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mocograd

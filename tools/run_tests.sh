@@ -4,6 +4,10 @@
 # threads. The two runs must both pass — the parallel compute layer's
 # contract is that pool size never changes results (bit-identical; see
 # docs/ARCHITECTURE.md and tests/integration/parallel_determinism_test.cc).
+# A third pass exercises the observability layer end to end: one traced +
+# metered training run (MOCOGRAD_TRACE / MOCOGRAD_METRICS set) whose
+# emitted Chrome-trace JSON and metrics JSONL must parse
+# (docs/OBSERVABILITY.md).
 #
 # Usage: tools/run_tests.sh [build-dir]   (default: build)
 set -eu
@@ -19,4 +23,15 @@ for threads in 1 4; do
   (cd "$build_dir" && MOCOGRAD_NUM_THREADS=$threads ctest --output-on-failure -j)
 done
 
-echo "OK: all tests passed at pool sizes 1 and 4"
+echo "==> traced run: example_quickstart with MOCOGRAD_TRACE/MOCOGRAD_METRICS"
+trace_json="$build_dir/obs_smoke_trace.json"
+metrics_jsonl="$build_dir/obs_smoke_metrics.jsonl"
+rm -f "$trace_json" "$metrics_jsonl"
+MOCOGRAD_TRACE="$trace_json" MOCOGRAD_METRICS="$metrics_jsonl" \
+  "$build_dir/examples/example_quickstart" > /dev/null
+test -s "$trace_json" || { echo "FAIL: no trace written to $trace_json"; exit 1; }
+test -s "$metrics_jsonl" || { echo "FAIL: no metrics written to $metrics_jsonl"; exit 1; }
+"$build_dir/tools/validate_json" "$trace_json"
+"$build_dir/tools/validate_json" --jsonl "$metrics_jsonl"
+
+echo "OK: all tests passed at pool sizes 1 and 4; traced artifacts parse"

@@ -1,0 +1,86 @@
+// Validates that stdin (or each file argument) is well-formed JSON — or,
+// with --jsonl, that every non-empty line is. Exit 0 iff everything parses;
+// the first error is reported with its byte offset. Used by run_tests.sh to
+// check the Chrome-trace and metrics files the observability layer emits.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+std::string ReadAll(std::FILE* f) {
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  return out;
+}
+
+bool Validate(const std::string& name, const std::string& text, bool jsonl) {
+  using mocograd::Status;
+  if (!jsonl) {
+    Status s = mocograd::obs::ValidateJson(text);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), s.ToString().c_str());
+      return false;
+    }
+    return true;
+  }
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    ++line_no;
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Status s = mocograd::obs::ValidateJson(line);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s:%d: %s\n", name.c_str(), line_no,
+                   s.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool jsonl = false;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0) {
+      jsonl = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: validate_json [--jsonl] [file...]\n"
+                  "Checks files (or stdin) for JSON well-formedness.\n");
+      return 0;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+
+  bool ok = true;
+  if (paths.empty()) {
+    ok = Validate("<stdin>", ReadAll(stdin), jsonl);
+  } else {
+    for (const char* path : paths) {
+      std::FILE* f = std::fopen(path, "rb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "%s: cannot open\n", path);
+        ok = false;
+        continue;
+      }
+      const std::string text = ReadAll(f);
+      std::fclose(f);
+      ok = Validate(path, text, jsonl) && ok;
+    }
+  }
+  return ok ? 0 : 1;
+}
