@@ -1,0 +1,162 @@
+// GEMM microkernel benchmark: times the register-blocked SIMD Gemm of
+// tensor/gemm.cc against the naive i-k-j scalar kernel it replaced, on the
+// matrix shapes the model zoo actually emits (square compute shapes, MLP
+// layers, im2col'd conv layers, and the m=1 single-row edge). Runs
+// single-threaded so the numbers isolate the kernel, not the pool.
+//
+// Writes BENCH_gemm.json (or argv[1]) with GFLOP/s per shape for
+//   naive      — the pre-SIMD i-k-j loop, compiled without AVX so the
+//                numbers reproduce the seed build's codegen,
+//   scalar     — the microkernel on the lane-blocked scalar backend
+//                (MOCOGRAD_SIMD=0 path),
+//   simd       — the microkernel on the compiled hardware backend,
+// plus simd/naive and simd/scalar speedups.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/simd.h"
+#include "base/stopwatch.h"
+#include "base/thread_pool.h"
+#include "tensor/gemm.h"
+
+namespace mocograd {
+namespace {
+
+// The exact kernel this PR replaced, pinned to SSE2 codegen on x86-64: the
+// whole build now carries -mavx2, and letting the compiler auto-vectorize
+// the "baseline" 8-wide would benchmark the new ISA flags, not the new
+// kernel. (The seed build compiled this loop without AVX.)
+#if defined(__x86_64__)
+__attribute__((target("sse2")))
+#endif
+void NaiveGemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               float alpha, const float* a, int64_t lda, const float* b,
+               int64_t ldb, float beta, float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * (trans_a ? a[p * lda + i] : a[i * lda + p]);
+      if (av == 0.0f) continue;
+      const float* brow = trans_b ? nullptr : b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * (trans_b ? b[j * ldb + p] : brow[j]);
+      }
+    }
+  }
+}
+
+struct ShapeSpec {
+  const char* name;
+  int64_t m, n, k;
+};
+
+// Picks repetitions so each (kernel, shape) measurement spans roughly the
+// same wall-clock budget regardless of shape size.
+int RepsFor(int64_t m, int64_t n, int64_t k, double target_flops) {
+  const double flops = 2.0 * static_cast<double>(m) * n * k;
+  const double reps = target_flops / flops;
+  if (reps < 1.0) return 1;
+  if (reps > 2000.0) return 2000;
+  return static_cast<int>(reps);
+}
+
+template <typename Fn>
+double TimeGFlops(int64_t m, int64_t n, int64_t k, int reps, Fn run) {
+  run();  // warm up (and fault in pages)
+  Stopwatch sw;
+  for (int r = 0; r < reps; ++r) run();
+  const double seconds = sw.ElapsedSeconds();
+  const double flops = 2.0 * static_cast<double>(m) * n * k * reps;
+  return flops / seconds / 1e9;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_gemm.json";
+
+  // Kernel-only numbers: one thread, no pool fan-out.
+  ThreadPool::SetGlobalNumThreads(1);
+
+  const std::vector<ShapeSpec> shapes = {
+      {"square_64", 64, 64, 64},
+      {"square_128", 128, 128, 128},
+      {"square_256", 256, 256, 256},
+      {"mlp_fwd_256x128x64", 256, 128, 64},    // batch x hidden layers
+      {"mlp_bwd_wgrad_128x64x256", 128, 64, 256},
+      {"conv_im2col_32x1024x288", 32, 1024, 288},  // filters x pixels x c*k*k
+      {"rowvec_1x512x512", 1, 512, 512},       // m=1 edge (single sample)
+      {"tall_512x32x64", 512, 32, 64},         // ragged n < one panel pair
+  };
+
+  std::string json = "{\n  \"threads\": 1,\n  \"backend\": \"";
+  json += simd::ActiveBackendName();
+  json += "\",\n  \"shapes\": [\n";
+
+  std::printf("%-28s %10s %10s %10s %8s %8s\n", "shape", "naive", "scalar",
+              "simd", "x_naive", "x_scalar");
+  bool first = true;
+  for (const ShapeSpec& s : shapes) {
+    Rng rng(0x5eed + s.m * 131 + s.n * 17 + s.k);
+    std::vector<float> a(s.m * s.k), b(s.k * s.n), c(s.m * s.n, 0.0f);
+    for (float& v : a) v = rng.Uniform() - 0.5f;
+    for (float& v : b) v = rng.Uniform() - 0.5f;
+
+    const int reps = RepsFor(s.m, s.n, s.k, 2e8);
+    const double naive =
+        TimeGFlops(s.m, s.n, s.k, reps, [&] {
+          NaiveGemm(false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k,
+                    b.data(), s.n, 0.0f, c.data(), s.n);
+        });
+    simd::SetEnabled(false);
+    const double scalar =
+        TimeGFlops(s.m, s.n, s.k, reps, [&] {
+          Gemm(false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(),
+               s.n, 0.0f, c.data(), s.n);
+        });
+    simd::SetEnabled(true);
+    const double simd_gf =
+        TimeGFlops(s.m, s.n, s.k, reps, [&] {
+          Gemm(false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(),
+               s.n, 0.0f, c.data(), s.n);
+        });
+
+    const double x_naive = naive > 0.0 ? simd_gf / naive : 0.0;
+    const double x_scalar = scalar > 0.0 ? simd_gf / scalar : 0.0;
+    std::printf("%-28s %10.2f %10.2f %10.2f %7.2fx %7.2fx\n", s.name, naive,
+                scalar, simd_gf, x_naive, x_scalar);
+
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"m\": %lld, \"n\": %lld, "
+                  "\"k\": %lld, \"reps\": %d, \"gflops_naive\": %.3f, "
+                  "\"gflops_scalar\": %.3f, \"gflops_simd\": %.3f, "
+                  "\"speedup_vs_naive\": %.3f, \"speedup_vs_scalar\": %.3f}",
+                  s.name, static_cast<long long>(s.m),
+                  static_cast<long long>(s.n), static_cast<long long>(s.k),
+                  reps, naive, scalar, simd_gf, x_naive, x_scalar);
+    if (!first) json += ",\n";
+    json += "    ";
+    json += buf;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace mocograd
+
+int main(int argc, char** argv) { return mocograd::Main(argc, argv); }

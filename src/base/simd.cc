@@ -1,0 +1,34 @@
+#include "base/simd.h"
+
+#include <atomic>
+
+#include "base/env.h"
+
+namespace mocograd {
+namespace simd {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  // First use reads the MOCOGRAD_SIMD knob (default on); the scalar build
+  // ignores the knob entirely — there is nothing to switch.
+  static std::atomic<bool> flag(kHasHardwareBackend &&
+                                GetEnvInt("MOCOGRAD_SIMD", 1, 0, 1) != 0);
+  return flag;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled && kHasHardwareBackend,
+                      std::memory_order_relaxed);
+}
+
+const char* ActiveBackendName() {
+  return Enabled() ? HwBackend::kName : ScalarBackend::kName;
+}
+
+}  // namespace simd
+}  // namespace mocograd

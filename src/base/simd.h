@@ -1,0 +1,346 @@
+#ifndef MOCOGRAD_BASE_SIMD_H_
+#define MOCOGRAD_BASE_SIMD_H_
+
+// Portable fixed-width SIMD layer: an 8-lane f32 vector (F32x8) and a
+// 4-lane f64 accumulator (F64x4) with an AVX2+FMA backend, a NEON backend
+// (aarch64) and a scalar fallback that performs the *same lane-blocked
+// arithmetic in the same order*. Every operation exposed here is exactly
+// rounded per IEEE-754 (add/sub/mul/div/sqrt, fused multiply-add) or a pure
+// bit operation (abs/neg) or a comparison-select (Max/Min), so a kernel
+// written against this header produces bit-identical results on every
+// backend — across ISAs, across the MOCOGRAD_SIMD=0/1 runtime knob, and
+// across thread counts (lane blocking never crosses the fixed reduction
+// blocks of tensor/ops.cc). See docs/SIMD.md for the full contract and how
+// to add a backend.
+//
+// Semantics pinned down for cross-backend identity:
+//  - MulAdd(a, b, c) = a*b + c with a single rounding (hardware FMA on
+//    AVX2/NEON, std::fma on the scalar path).
+//  - Max(a, b) = (a > b) ? a : b and Min(a, b) = (a < b) ? a : b, i.e. the
+//    second operand wins on unordered comparisons — exactly x86
+//    MAXPS/MINPS; the NEON backend uses compare+select (not vmaxq, which
+//    differs on NaN).
+//  - Abs/Neg clear/flip the sign bit only (NaN payloads preserved).
+//
+// The build keeps `-ffp-contract=off` so the compiler never fuses scalar
+// a*b+c expressions behind our back — fusion happens only where a kernel
+// asks for MulAdd explicitly.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if !defined(MOCOGRAD_SIMD_FORCE_SCALAR)
+#if defined(__AVX2__) && defined(__FMA__)
+#define MOCOGRAD_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define MOCOGRAD_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace mocograd {
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// Scalar float helpers mirroring the lane semantics above. Kernels use these
+// for the < 8-element tails so tail elements get the exact same arithmetic
+// as full lanes, on every backend.
+// ---------------------------------------------------------------------------
+
+inline float MulAdd(float a, float b, float c) { return std::fmaf(a, b, c); }
+inline double MulAdd(double a, double b, double c) { return std::fma(a, b, c); }
+inline float Max(float a, float b) { return a > b ? a : b; }
+inline float Min(float a, float b) { return a < b ? a : b; }
+inline float Abs(float a) { return std::fabs(a); }
+inline float Sqrt(float a) { return std::sqrt(a); }
+inline float Neg(float a) { return -a; }
+
+// ---------------------------------------------------------------------------
+// Scalar fallback backend: 8 explicit lanes, operated on in lane order.
+// ---------------------------------------------------------------------------
+
+struct F32x8Scalar {
+  float lane[8];
+
+  static F32x8Scalar Zero() { return Broadcast(0.0f); }
+  static F32x8Scalar Broadcast(float v) {
+    F32x8Scalar r;
+    for (int i = 0; i < 8; ++i) r.lane[i] = v;
+    return r;
+  }
+  static F32x8Scalar Load(const float* p) {
+    F32x8Scalar r;
+    std::memcpy(r.lane, p, sizeof(r.lane));
+    return r;
+  }
+  void Store(float* p) const { std::memcpy(p, lane, sizeof(lane)); }
+};
+
+inline F32x8Scalar operator+(F32x8Scalar a, F32x8Scalar b) {
+  for (int i = 0; i < 8; ++i) a.lane[i] += b.lane[i];
+  return a;
+}
+inline F32x8Scalar operator-(F32x8Scalar a, F32x8Scalar b) {
+  for (int i = 0; i < 8; ++i) a.lane[i] -= b.lane[i];
+  return a;
+}
+inline F32x8Scalar operator*(F32x8Scalar a, F32x8Scalar b) {
+  for (int i = 0; i < 8; ++i) a.lane[i] *= b.lane[i];
+  return a;
+}
+inline F32x8Scalar operator/(F32x8Scalar a, F32x8Scalar b) {
+  for (int i = 0; i < 8; ++i) a.lane[i] /= b.lane[i];
+  return a;
+}
+inline F32x8Scalar MulAdd(F32x8Scalar a, F32x8Scalar b, F32x8Scalar c) {
+  for (int i = 0; i < 8; ++i) c.lane[i] = std::fmaf(a.lane[i], b.lane[i], c.lane[i]);
+  return c;
+}
+inline F32x8Scalar Max(F32x8Scalar a, F32x8Scalar b) {
+  for (int i = 0; i < 8; ++i) b.lane[i] = Max(a.lane[i], b.lane[i]);
+  return b;
+}
+inline F32x8Scalar Min(F32x8Scalar a, F32x8Scalar b) {
+  for (int i = 0; i < 8; ++i) b.lane[i] = Min(a.lane[i], b.lane[i]);
+  return b;
+}
+inline F32x8Scalar Abs(F32x8Scalar a) {
+  for (int i = 0; i < 8; ++i) a.lane[i] = std::fabs(a.lane[i]);
+  return a;
+}
+inline F32x8Scalar Neg(F32x8Scalar a) {
+  for (int i = 0; i < 8; ++i) a.lane[i] = -a.lane[i];
+  return a;
+}
+inline F32x8Scalar Sqrt(F32x8Scalar a) {
+  for (int i = 0; i < 8; ++i) a.lane[i] = std::sqrt(a.lane[i]);
+  return a;
+}
+
+struct F64x4Scalar {
+  double lane[4];
+
+  static F64x4Scalar Zero() {
+    F64x4Scalar r;
+    for (int i = 0; i < 4; ++i) r.lane[i] = 0.0;
+    return r;
+  }
+};
+
+inline F64x4Scalar operator+(F64x4Scalar a, F64x4Scalar b) {
+  for (int i = 0; i < 4; ++i) a.lane[i] += b.lane[i];
+  return a;
+}
+inline F64x4Scalar MulAdd(F64x4Scalar a, F64x4Scalar b, F64x4Scalar c) {
+  for (int i = 0; i < 4; ++i) c.lane[i] = std::fma(a.lane[i], b.lane[i], c.lane[i]);
+  return c;
+}
+/// Lanes 0..3 of the low/high half of an 8-lane float vector, widened.
+inline F64x4Scalar CvtLo(F32x8Scalar v) {
+  F64x4Scalar r;
+  for (int i = 0; i < 4; ++i) r.lane[i] = static_cast<double>(v.lane[i]);
+  return r;
+}
+inline F64x4Scalar CvtHi(F32x8Scalar v) {
+  F64x4Scalar r;
+  for (int i = 0; i < 4; ++i) r.lane[i] = static_cast<double>(v.lane[i + 4]);
+  return r;
+}
+/// Sequential lane sum ((l0 + l1) + l2) + l3 — the one place lane order
+/// matters; every backend funnels through the same scalar adds.
+inline double ReduceAdd(F64x4Scalar v) {
+  return ((v.lane[0] + v.lane[1]) + v.lane[2]) + v.lane[3];
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA backend.
+// ---------------------------------------------------------------------------
+
+#if defined(MOCOGRAD_SIMD_AVX2)
+
+struct F32x8Avx2 {
+  __m256 v;
+
+  static F32x8Avx2 Zero() { return {_mm256_setzero_ps()}; }
+  static F32x8Avx2 Broadcast(float x) { return {_mm256_set1_ps(x)}; }
+  static F32x8Avx2 Load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  void Store(float* p) const { _mm256_storeu_ps(p, v); }
+};
+
+inline F32x8Avx2 operator+(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_add_ps(a.v, b.v)}; }
+inline F32x8Avx2 operator-(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_sub_ps(a.v, b.v)}; }
+inline F32x8Avx2 operator*(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_mul_ps(a.v, b.v)}; }
+inline F32x8Avx2 operator/(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_div_ps(a.v, b.v)}; }
+inline F32x8Avx2 MulAdd(F32x8Avx2 a, F32x8Avx2 b, F32x8Avx2 c) {
+  return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+}
+// MAXPS/MINPS: second operand wins on unordered — matches the scalar helpers.
+inline F32x8Avx2 Max(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_max_ps(b.v, a.v)}; }
+inline F32x8Avx2 Min(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_min_ps(b.v, a.v)}; }
+inline F32x8Avx2 Abs(F32x8Avx2 a) {
+  const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  return {_mm256_and_ps(a.v, mask)};
+}
+inline F32x8Avx2 Neg(F32x8Avx2 a) {
+  const __m256 sign = _mm256_castsi256_ps(_mm256_set1_epi32(0x80000000u));
+  return {_mm256_xor_ps(a.v, sign)};
+}
+inline F32x8Avx2 Sqrt(F32x8Avx2 a) { return {_mm256_sqrt_ps(a.v)}; }
+
+struct F64x4Avx2 {
+  __m256d v;
+  static F64x4Avx2 Zero() { return {_mm256_setzero_pd()}; }
+};
+
+inline F64x4Avx2 operator+(F64x4Avx2 a, F64x4Avx2 b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline F64x4Avx2 MulAdd(F64x4Avx2 a, F64x4Avx2 b, F64x4Avx2 c) {
+  return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+}
+inline F64x4Avx2 CvtLo(F32x8Avx2 v) {
+  return {_mm256_cvtps_pd(_mm256_castps256_ps128(v.v))};
+}
+inline F64x4Avx2 CvtHi(F32x8Avx2 v) {
+  return {_mm256_cvtps_pd(_mm256_extractf128_ps(v.v, 1))};
+}
+inline double ReduceAdd(F64x4Avx2 v) {
+  double lane[4];
+  _mm256_storeu_pd(lane, v.v);
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+}
+
+#endif  // MOCOGRAD_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// NEON backend (aarch64: FMA, exact-rounded div/sqrt, f64 vectors).
+// ---------------------------------------------------------------------------
+
+#if defined(MOCOGRAD_SIMD_NEON)
+
+struct F32x8Neon {
+  float32x4_t lo, hi;
+
+  static F32x8Neon Zero() { return {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)}; }
+  static F32x8Neon Broadcast(float x) { return {vdupq_n_f32(x), vdupq_n_f32(x)}; }
+  static F32x8Neon Load(const float* p) { return {vld1q_f32(p), vld1q_f32(p + 4)}; }
+  void Store(float* p) const {
+    vst1q_f32(p, lo);
+    vst1q_f32(p + 4, hi);
+  }
+};
+
+inline F32x8Neon operator+(F32x8Neon a, F32x8Neon b) {
+  return {vaddq_f32(a.lo, b.lo), vaddq_f32(a.hi, b.hi)};
+}
+inline F32x8Neon operator-(F32x8Neon a, F32x8Neon b) {
+  return {vsubq_f32(a.lo, b.lo), vsubq_f32(a.hi, b.hi)};
+}
+inline F32x8Neon operator*(F32x8Neon a, F32x8Neon b) {
+  return {vmulq_f32(a.lo, b.lo), vmulq_f32(a.hi, b.hi)};
+}
+inline F32x8Neon operator/(F32x8Neon a, F32x8Neon b) {
+  return {vdivq_f32(a.lo, b.lo), vdivq_f32(a.hi, b.hi)};
+}
+inline F32x8Neon MulAdd(F32x8Neon a, F32x8Neon b, F32x8Neon c) {
+  return {vfmaq_f32(c.lo, a.lo, b.lo), vfmaq_f32(c.hi, a.hi, b.hi)};
+}
+// Compare+select, NOT vmaxq/vminq: the contract is "(a > b) ? a : b" with
+// the second operand winning on unordered, bit-identical to x86 MAXPS.
+inline F32x8Neon Max(F32x8Neon a, F32x8Neon b) {
+  return {vbslq_f32(vcgtq_f32(a.lo, b.lo), a.lo, b.lo),
+          vbslq_f32(vcgtq_f32(a.hi, b.hi), a.hi, b.hi)};
+}
+inline F32x8Neon Min(F32x8Neon a, F32x8Neon b) {
+  return {vbslq_f32(vcltq_f32(a.lo, b.lo), a.lo, b.lo),
+          vbslq_f32(vcltq_f32(a.hi, b.hi), a.hi, b.hi)};
+}
+inline F32x8Neon Abs(F32x8Neon a) { return {vabsq_f32(a.lo), vabsq_f32(a.hi)}; }
+inline F32x8Neon Neg(F32x8Neon a) { return {vnegq_f32(a.lo), vnegq_f32(a.hi)}; }
+inline F32x8Neon Sqrt(F32x8Neon a) { return {vsqrtq_f32(a.lo), vsqrtq_f32(a.hi)}; }
+
+struct F64x4Neon {
+  float64x2_t lo, hi;
+  static F64x4Neon Zero() { return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)}; }
+};
+
+inline F64x4Neon operator+(F64x4Neon a, F64x4Neon b) {
+  return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+inline F64x4Neon MulAdd(F64x4Neon a, F64x4Neon b, F64x4Neon c) {
+  return {vfmaq_f64(c.lo, a.lo, b.lo), vfmaq_f64(c.hi, a.hi, b.hi)};
+}
+inline F64x4Neon CvtLo(F32x8Neon v) {
+  return {vcvt_f64_f32(vget_low_f32(v.lo)), vcvt_high_f64_f32(v.lo)};
+}
+inline F64x4Neon CvtHi(F32x8Neon v) {
+  return {vcvt_f64_f32(vget_low_f32(v.hi)), vcvt_high_f64_f32(v.hi)};
+}
+inline double ReduceAdd(F64x4Neon v) {
+  double lane[4];
+  vst1q_f64(lane, v.lo);
+  vst1q_f64(lane + 2, v.hi);
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+}
+
+#endif  // MOCOGRAD_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Backend selection and runtime dispatch.
+// ---------------------------------------------------------------------------
+
+struct ScalarBackend {
+  using F32 = F32x8Scalar;
+  using F64 = F64x4Scalar;
+  static constexpr const char* kName = "scalar";
+};
+
+#if defined(MOCOGRAD_SIMD_AVX2)
+struct HwBackend {
+  using F32 = F32x8Avx2;
+  using F64 = F64x4Avx2;
+  static constexpr const char* kName = "avx2";
+};
+#elif defined(MOCOGRAD_SIMD_NEON)
+struct HwBackend {
+  using F32 = F32x8Neon;
+  using F64 = F64x4Neon;
+  static constexpr const char* kName = "neon";
+};
+#else
+using HwBackend = ScalarBackend;
+#endif
+
+/// True when a hardware backend was compiled in (the MOCOGRAD_SIMD knob has
+/// something to switch off).
+inline constexpr bool kHasHardwareBackend =
+    !std::is_same_v<HwBackend, ScalarBackend>;
+
+/// Runtime switch between the hardware backend and the scalar fallback.
+/// Initialized from the MOCOGRAD_SIMD environment variable (default 1);
+/// always false when no hardware backend was compiled in. Because both
+/// paths perform identical lane-blocked arithmetic, flipping this changes
+/// speed, never results.
+bool Enabled();
+
+/// Forces the backend at runtime (tests use this to compare paths within
+/// one process). Enabling is a no-op without a hardware backend.
+void SetEnabled(bool enabled);
+
+/// "avx2" / "neon" / "scalar" — the backend Dispatch currently selects.
+const char* ActiveBackendName();
+
+/// Invokes `fn` with the selected backend tag: fn(HwBackend{}) when SIMD is
+/// enabled, fn(ScalarBackend{}) otherwise. `fn` is a generic lambda; both
+/// instantiations must have the same return type.
+template <typename Fn>
+decltype(auto) Dispatch(Fn&& fn) {
+  if (Enabled()) return fn(HwBackend{});
+  return fn(ScalarBackend{});
+}
+
+}  // namespace simd
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_SIMD_H_

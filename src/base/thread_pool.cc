@@ -147,6 +147,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // Only loops that actually fan out get a span — the serial fallback
   // above is the hottest path in the library and stays untouched.
   MG_TRACE_SCOPE("parallel_for");
+  MG_METRIC_TIME_SCOPE("parallel_for.seconds");
   MG_METRIC_COUNT("pool.parallel_fors", 1);
 
   // A few chunks per participant gives dynamic load balancing without

@@ -1,0 +1,117 @@
+#include "base/vec_ops.h"
+
+#include "base/simd.h"
+
+namespace mocograd {
+namespace vec {
+
+namespace {
+
+// Reduction core shared by DotF64/SquaredNormF64/SumF64: `lane_fn(acc, lo,
+// hi)` folds one 8-float step (already widened to two F64x4) into the
+// accumulator pair, `tail_fn(s, i)` folds one trailing element into the
+// running double. The lane decomposition is anchored at element 0 of the
+// span, so a given (pointer, n) always reduces in the same order.
+template <typename B, typename StepFn, typename TailFn>
+double ReduceF64(int64_t n, StepFn step_fn, TailFn tail_fn) {
+  using F64 = typename B::F64;
+  F64 acc_lo = F64::Zero();
+  F64 acc_hi = F64::Zero();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) step_fn(i, &acc_lo, &acc_hi);
+  double s = ReduceAdd(acc_lo + acc_hi);
+  for (; i < n; ++i) s = tail_fn(s, i);
+  return s;
+}
+
+}  // namespace
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  simd::Dispatch([&](auto backend) {
+    using F32 = typename decltype(backend)::F32;
+    const F32 va = F32::Broadcast(alpha);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      MulAdd(va, F32::Load(x + i), F32::Load(y + i)).Store(y + i);
+    }
+    for (; i < n; ++i) y[i] = simd::MulAdd(alpha, x[i], y[i]);
+  });
+}
+
+void Add(int64_t n, const float* x, float* y) {
+  simd::Dispatch([&](auto backend) {
+    using F32 = typename decltype(backend)::F32;
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      (F32::Load(y + i) + F32::Load(x + i)).Store(y + i);
+    }
+    for (; i < n; ++i) y[i] += x[i];
+  });
+}
+
+void Scale(int64_t n, float alpha, float* y) {
+  simd::Dispatch([&](auto backend) {
+    using F32 = typename decltype(backend)::F32;
+    const F32 va = F32::Broadcast(alpha);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      (F32::Load(y + i) * va).Store(y + i);
+    }
+    for (; i < n; ++i) y[i] *= alpha;
+  });
+}
+
+void Ema(int64_t n, float beta, const float* g, float* m) {
+  const float omb = 1.0f - beta;
+  simd::Dispatch([&](auto backend) {
+    using F32 = typename decltype(backend)::F32;
+    const F32 vb = F32::Broadcast(beta);
+    const F32 vomb = F32::Broadcast(omb);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      MulAdd(vb, F32::Load(m + i), vomb * F32::Load(g + i)).Store(m + i);
+    }
+    for (; i < n; ++i) m[i] = simd::MulAdd(beta, m[i], omb * g[i]);
+  });
+}
+
+double DotF64(int64_t n, const float* a, const float* b) {
+  return simd::Dispatch([&](auto backend) {
+    using B = decltype(backend);
+    using F32 = typename B::F32;
+    using F64 = typename B::F64;
+    return ReduceF64<B>(
+        n,
+        [&](int64_t i, F64* lo, F64* hi) {
+          const F32 va = F32::Load(a + i);
+          const F32 vb = F32::Load(b + i);
+          *lo = MulAdd(CvtLo(va), CvtLo(vb), *lo);
+          *hi = MulAdd(CvtHi(va), CvtHi(vb), *hi);
+        },
+        [&](double s, int64_t i) {
+          return simd::MulAdd(static_cast<double>(a[i]),
+                              static_cast<double>(b[i]), s);
+        });
+  });
+}
+
+double SquaredNormF64(int64_t n, const float* a) { return DotF64(n, a, a); }
+
+double SumF64(int64_t n, const float* a) {
+  return simd::Dispatch([&](auto backend) {
+    using B = decltype(backend);
+    using F32 = typename B::F32;
+    using F64 = typename B::F64;
+    return ReduceF64<B>(
+        n,
+        [&](int64_t i, F64* lo, F64* hi) {
+          const F32 va = F32::Load(a + i);
+          *lo = *lo + CvtLo(va);
+          *hi = *hi + CvtHi(va);
+        },
+        [&](double s, int64_t i) { return s + static_cast<double>(a[i]); });
+  });
+}
+
+}  // namespace vec
+}  // namespace mocograd

@@ -1,0 +1,47 @@
+#ifndef MOCOGRAD_BASE_VEC_OPS_H_
+#define MOCOGRAD_BASE_VEC_OPS_H_
+
+#include <cstdint>
+
+namespace mocograd {
+namespace vec {
+
+// Serial SIMD span kernels shared by the hot paths (tensor/ops.cc,
+// core/grad_matrix.cc, the gradient-surgery loops in src/core, and the
+// optimizer update loops). Each function processes [0, n) in 8-lane blocks
+// via base/simd.h with a scalar tail that performs the identical
+// per-element arithmetic, so the result is bit-identical across backends
+// and across the MOCOGRAD_SIMD knob. None of these parallelize internally —
+// callers that want threads wrap them in ParallelFor chunks (safe for the
+// elementwise kernels, whose per-element results do not depend on lane
+// grouping) or call them on the fixed reduction blocks (for the dots/sums,
+// whose lane decomposition is anchored at the span start).
+
+/// y[i] += alpha * x[i] (fused multiply-add per element).
+void Axpy(int64_t n, float alpha, const float* x, float* y);
+
+/// y[i] += x[i].
+void Add(int64_t n, const float* x, float* y);
+
+/// y[i] *= alpha.
+void Scale(int64_t n, float alpha, float* y);
+
+/// m[i] = beta * m[i] + (1 - beta) * g[i] — the EMA/momentum update
+/// (computed as fma(beta, m, (1-beta)*g)).
+void Ema(int64_t n, float beta, const float* g, float* m);
+
+/// Σ a[i]·b[i] accumulated in double precision: 8 floats per step widen
+/// into two 4-lane double accumulators, combined lane-wise and reduced in
+/// fixed lane order at the end; tail elements fold in sequentially.
+double DotF64(int64_t n, const float* a, const float* b);
+
+/// Σ a[i]² in double precision (same decomposition as DotF64).
+double SquaredNormF64(int64_t n, const float* a);
+
+/// Σ a[i] in double precision (same decomposition as DotF64).
+double SumF64(int64_t n, const float* a);
+
+}  // namespace vec
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_VEC_OPS_H_

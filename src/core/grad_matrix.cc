@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/thread_pool.h"
+#include "base/vec_ops.h"
 
 namespace mocograd {
 namespace core {
@@ -36,9 +37,7 @@ double GradMatrix::RowDot(int i, int j) const {
   const float* b = Row(j);
   const int64_t num_blocks = (dim_ + kReduceBlock - 1) / kReduceBlock;
   auto block_sum = [a, b](int64_t p0, int64_t p1) {
-    double s = 0.0;
-    for (int64_t p = p0; p < p1; ++p) s += static_cast<double>(a[p]) * b[p];
-    return s;
+    return vec::DotF64(p1 - p0, a + p0, b + p0);
   };
   if (num_blocks <= 1) return block_sum(0, dim_);
   std::vector<double> partials(num_blocks);
@@ -73,8 +72,7 @@ std::vector<float> GradMatrix::SumRows() const {
   // contributions in fixed task order, so any partition is bit-identical.
   ParallelFor(0, dim_, kColGrain, [&](int64_t p0, int64_t p1) {
     for (int k = 0; k < num_tasks_; ++k) {
-      const float* r = Row(k);
-      for (int64_t p = p0; p < p1; ++p) po[p] += r[p];
+      vec::Add(p1 - p0, Row(k) + p0, po + p0);
     }
   });
   return out;
@@ -87,9 +85,7 @@ std::vector<float> GradMatrix::WeightedSumRows(
   float* po = out.data();
   ParallelFor(0, dim_, kColGrain, [&](int64_t p0, int64_t p1) {
     for (int k = 0; k < num_tasks_; ++k) {
-      const float* r = Row(k);
-      const float wk = static_cast<float>(w[k]);
-      for (int64_t p = p0; p < p1; ++p) po[p] += wk * r[p];
+      vec::Axpy(p1 - p0, static_cast<float>(w[k]), Row(k) + p0, po + p0);
     }
   });
   return out;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "base/vec_ops.h"
+
 namespace mocograd {
 namespace core {
 
@@ -54,11 +56,8 @@ AggregationResult GradVac::Aggregate(const AggregationContext& ctx) {
       const float* gj = g.Row(j);
       if (norms[i] <= kEps || norms[j] <= kEps) continue;
       // Observed cosine uses the current (possibly already vaccinated) g_i.
-      double dot = 0.0, ni2 = 0.0;
-      for (int64_t q = 0; q < p; ++q) {
-        dot += static_cast<double>(gi[q]) * gj[q];
-        ni2 += static_cast<double>(gi[q]) * gi[q];
-      }
+      const double dot = vec::DotF64(p, gi.data(), gj);
+      const double ni2 = vec::SquaredNormF64(p, gi.data());
       const double ni = std::sqrt(ni2);
       if (ni <= kEps) continue;
       const double cos_phi = dot / (ni * norms[j]);
@@ -74,16 +73,14 @@ AggregationResult GradVac::Aggregate(const AggregationContext& ctx) {
           // Eq. (7) of the paper.
           const double alpha = ni * (cos_gamma * sin_phi - cos_phi * sin_gamma) /
                                (norms[j] * sin_gamma);
-          for (int64_t q = 0; q < p; ++q) {
-            gi[q] += static_cast<float>(alpha) * gj[q];
-          }
+          vec::Axpy(p, static_cast<float>(alpha), gj, gi.data());
         }
       }
       // EMA update of the adaptive target from the observed cosine.
       target = (1.0 - options_.ema_beta) * target +
                options_.ema_beta * cos_phi;
     }
-    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
+    vec::Add(p, gi.data(), out.shared_grad.data());
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "base/vec_ops.h"
 #include "core/conflict.h"
 
 namespace mocograd {
@@ -46,9 +47,7 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
     obs::ScopedPhase norms_phase(ctx.profile, "norms");
     for (int i = 0; i < k; ++i) {
       g_norm[i] = g.RowNorm(i);
-      double s = 0.0;
-      for (float v : momenta_[i]) s += static_cast<double>(v) * v;
-      m_norm[i] = std::sqrt(s);
+      m_norm[i] = std::sqrt(vec::SquaredNormF64(p, momenta_[i].data()));
     }
   }
 
@@ -78,7 +77,7 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
     if (dir_norm <= kNormEps) return;  // zero gradient: nothing to add
     const float scale =
         static_cast<float>(options_.lambda * g_norm[j] / dir_norm);
-    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += scale * dir[q];
+    vec::Axpy(p, scale, dir, out.shared_grad.data());
   };
 
   {
@@ -101,7 +100,7 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
           chosen = j;
         }
       }
-      for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
+      vec::Add(p, gi, out.shared_grad.data());
       // Eq. (8): ĝ_i = g_i + λ (‖g_j‖/‖m_j‖) m_j for the chosen partner.
       if (chosen >= 0) add_calibration(chosen);
     }
@@ -112,11 +111,7 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
     obs::ScopedPhase momentum_phase(ctx.profile, "momentum");
     const float b1 = options_.beta1;
     for (int j = 0; j < k; ++j) {
-      const float* gj = g.Row(j);
-      float* mj = momenta_[j].data();
-      for (int64_t q = 0; q < p; ++q) {
-        mj[q] = b1 * mj[q] + (1.0f - b1) * gj[q];
-      }
+      vec::Ema(p, b1, g.Row(j), momenta_[j].data());
     }
   }
   return out;

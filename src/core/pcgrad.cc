@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "base/vec_ops.h"
+
 namespace mocograd {
 namespace core {
 
@@ -31,17 +33,14 @@ AggregationResult PcGrad::Aggregate(const AggregationContext& ctx) {
       const float* gj = g.Row(j);
       // Note: projections chain — the dot uses the *current* g_i, matching
       // the original PCGrad algorithm.
-      double dot = 0.0, nj2 = 0.0;
-      for (int64_t q = 0; q < p; ++q) {
-        dot += static_cast<double>(gi[q]) * gj[q];
-        nj2 += static_cast<double>(gj[q]) * gj[q];
-      }
+      const double dot = vec::DotF64(p, gi.data(), gj);
+      const double nj2 = vec::SquaredNormF64(p, gj);
       if (dot >= 0.0 || nj2 <= 1e-12) continue;
       ++out.num_conflicts;
       const float c = static_cast<float>(dot / nj2);
-      for (int64_t q = 0; q < p; ++q) gi[q] -= c * gj[q];
+      vec::Axpy(p, -c, gj, gi.data());
     }
-    for (int64_t q = 0; q < p; ++q) out.shared_grad[q] += gi[q];
+    vec::Add(p, gi.data(), out.shared_grad.data());
   }
   return out;
 }

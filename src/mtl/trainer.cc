@@ -107,6 +107,7 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
     ParallelFor(0, k, 1, [&](int64_t t0, int64_t t1) {
       for (int64_t t = t0; t < t1; ++t) {
         MG_TRACE_SCOPE("trainer.task_backward");
+        MG_METRIC_TIME_SCOPE("trainer.task_backward.seconds");
         Stopwatch task_timer;
         Variable::GradSink& sink = sinks[t];
         losses[t].BackwardInto(&sink);

@@ -216,6 +216,18 @@ std::vector<MetricSample> MetricsRegistry::SnapshotCounters() {
   return out;  // std::map iteration is already name-sorted
 }
 
+std::vector<HistogramSample> MetricsRegistry::SnapshotHistograms() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lk(i.mu);
+  std::vector<HistogramSample> out;
+  out.reserve(i.histograms.size());
+  for (const auto& [name, h] : i.histograms) {
+    out.push_back({name, h->count(), h->sum(), h->Percentile(0.50),
+                   h->Percentile(0.99)});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
 void MetricsRegistry::ResetAll() {
   Impl& i = impl();
   std::lock_guard<std::mutex> lk(i.mu);
@@ -305,7 +317,29 @@ void StepMetricsSink::WriteStep(
     AppendJsonKey(&line, cur.name);
     AppendJsonNumber(&line, delta);
   }
-  line += "}}\n";
+  line += '}';
+  // Per-kernel latency summary from the span histograms (gemm /
+  // parallel_for / per-task backward), cumulative since process start:
+  // percentiles are distribution properties, so unlike counters they are
+  // reported as-is rather than diffed.
+  const std::vector<HistogramSample> hists =
+      MetricsRegistry::Global().SnapshotHistograms();
+  bool any = false;
+  for (const HistogramSample& h : hists) {
+    if (h.count == 0) continue;
+    line += any ? "," : ",\"kernels\":{";
+    any = true;
+    AppendJsonKey(&line, h.name);
+    line += "{\"count\":";
+    AppendJsonNumber(&line, static_cast<double>(h.count));
+    line += ",\"p50\":";
+    AppendJsonNumber(&line, h.p50);
+    line += ",\"p99\":";
+    AppendJsonNumber(&line, h.p99);
+    line += '}';
+  }
+  if (any) line += '}';
+  line += "}\n";
   prev_counters_ = now;
   std::fwrite(line.data(), 1, line.size(), file_);
 }

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -101,6 +102,16 @@ struct MetricSample {
   double value = 0.0;
 };
 
+/// One histogram's summary in a registry snapshot (latency tracking of hot
+/// kernels: gemm / parallel_for / per-task backward, all in seconds).
+struct HistogramSample {
+  std::string name;
+  int64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Process-wide name → metric registry. Get*() interns the metric on first
 /// use (callers cache the returned pointer in a function-local static, so
 /// the registry mutex is off the hot path); pointers stay valid for the
@@ -120,6 +131,10 @@ class MetricsRegistry {
   /// Counters only, sorted by name — the delta-friendly subset the JSONL
   /// sink diffs between steps.
   std::vector<MetricSample> SnapshotCounters();
+
+  /// Histograms only, sorted by name, each summarized as
+  /// count/sum/p50/p99 — what the JSONL sink reports per kernel.
+  std::vector<HistogramSample> SnapshotHistograms();
 
   /// Zeroes every registered metric (registration is kept).
   void ResetAll();
@@ -141,10 +156,53 @@ class MetricsRegistry {
     }                                                                    \
   } while (0)
 
+/// RAII duration sampler: records the scope's wall-clock seconds into a
+/// histogram on destruction; a null histogram makes both ends no-ops.
+/// MG_METRIC_TIME_SCOPE below is the intended API.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    hist_->Record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#define MG_METRIC_CONCAT_INNER(a, b) a##b
+#define MG_METRIC_CONCAT(a, b) MG_METRIC_CONCAT_INNER(a, b)
+
+/// Feeds the enclosing scope's duration (seconds) into the named histogram
+/// iff metrics are enabled; one relaxed atomic load otherwise. `name` must
+/// be a literal; the histogram pointer is resolved once per call site.
+#define MG_METRIC_TIME_SCOPE(name)                                         \
+  ::mocograd::obs::ScopedTimer MG_METRIC_CONCAT(mg_metric_timer_,          \
+                                                __LINE__)(                 \
+      ::mocograd::obs::MetricsEnabled()                                    \
+          ? []() -> ::mocograd::obs::Histogram* {                          \
+              static ::mocograd::obs::Histogram* mg_hist =                 \
+                  ::mocograd::obs::MetricsRegistry::Global().GetHistogram( \
+                      name);                                               \
+              return mg_hist;                                              \
+            }()                                                            \
+          : nullptr)
+
 /// Per-step JSONL sink: one JSON object per WriteStep call, holding the
 /// caller's fields plus the delta of every registered counter since the
-/// previous step (key "counters"). Opening a sink enables metrics
-/// collection for the process.
+/// previous step (key "counters") and, when span histograms are populated,
+/// a "kernels" object with cumulative count/p50/p99 per histogram (the
+/// percentile of a duration distribution has no meaningful delta). Opening
+/// a sink enables metrics collection for the process.
 class StepMetricsSink {
  public:
   /// Opens `path` for appending ("-" writes to stdout). Check ok() before

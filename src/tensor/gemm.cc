@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/simd.h"
 #include "base/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,28 +17,133 @@ namespace {
 // row range runs on the calling thread.
 constexpr int64_t kMinFlopsPerChunk = 1 << 16;
 
-// Core kernel for rows [i0, i1) of row-major C[m,n] += alpha * A[m,k] *
-// B[k,n]. The i-k-j loop order streams B and C rows sequentially, which
-// vectorizes well and is cache-friendly for the small-to-medium matrices
-// this library works with. Every C row depends only on its own A row, so
-// disjoint row ranges can run on different threads with no shared writes —
-// and because the per-row j/k order never changes, the result is
-// bit-identical for any partition.
-void GemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
-              const float* a, int64_t lda, const float* b, int64_t ldb,
-              float beta, float* c, int64_t ldc) {
-  for (int64_t i = i0; i < i1; ++i) {
-    const float* a_row = a + i * lda;
-    float* c_row = c + i * ldc;
-    if (beta != 1.0f) {
-      for (int64_t j = 0; j < n; ++j) c_row[j] *= beta;
+// Register-blocked microkernel tile: 6 C rows × 16 C columns (two 8-lane
+// vectors), i.e. 12 vector accumulators plus two B vectors and one
+// broadcast A value in flight — 15 of the 16 architectural vector
+// registers.
+constexpr int64_t kMR = 6;
+constexpr int64_t kNR = 16;
+
+// Below this many C rows, packing a non-transposed B into panels costs more
+// than the in-place strided reads it saves (each B element is only reused
+// m times).
+constexpr int64_t kPackBMinRows = 16;
+
+// One 16-column panel of op(B): `data` points at row p=0, rows are `stride`
+// floats apart. Full panels of a non-transposed B are read in place
+// (stride = ldb); transposed and edge panels are packed to stride = kNR
+// with zero padding past the matrix edge.
+struct PanelView {
+  const float* data;
+  int64_t stride;
+};
+
+// Packs columns [j0, j0+cols) of op(B) into dst as a k×kNR panel,
+// zero-padding columns past `cols`. Pure copies — deterministic for any
+// caller-side parallelization over panels.
+void PackPanel(const float* b, int64_t ldb, bool trans_b, int64_t k,
+               int64_t j0, int64_t cols, float* dst) {
+  for (int64_t p = 0; p < k; ++p) {
+    float* row = dst + p * kNR;
+    if (trans_b) {
+      for (int64_t j = 0; j < cols; ++j) row[j] = b[(j0 + j) * ldb + p];
+    } else {
+      const float* src = b + p * ldb + j0;
+      for (int64_t j = 0; j < cols; ++j) row[j] = src[j];
     }
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = alpha * a_row[p];
-      if (av == 0.0f) continue;
-      const float* b_row = b + p * ldb;
-      for (int64_t j = 0; j < n; ++j) {
-        c_row[j] += av * b_row[j];
+    for (int64_t j = cols; j < kNR; ++j) row[j] = 0.0f;
+  }
+}
+
+// Accumulates the MR×kNR tile Σ_p a[r][p] · b[p][j] into `tile`. Per-row
+// arithmetic is one fused multiply-add per (p, lane) in ascending p order,
+// independent of MR — grouping rows into blocks (or splitting them across
+// ParallelFor chunks) never changes a row's result.
+template <typename B, int MR>
+void MicroKernel(int64_t k, const float* a, int64_t lda, PanelView b,
+                 float* tile) {
+  using F32 = typename B::F32;
+  F32 acc[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0] = F32::Zero();
+    acc[r][1] = F32::Zero();
+  }
+  const float* bp = b.data;
+  for (int64_t p = 0; p < k; ++p, bp += b.stride) {
+    const F32 b0 = F32::Load(bp);
+    const F32 b1 = F32::Load(bp + 8);
+    for (int r = 0; r < MR; ++r) {
+      const F32 av = F32::Broadcast(a[r * lda + p]);
+      acc[r][0] = MulAdd(av, b0, acc[r][0]);
+      acc[r][1] = MulAdd(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0].Store(tile + r * kNR);
+    acc[r][1].Store(tile + r * kNR + 8);
+  }
+}
+
+// Rows [i0, i1) of C. Panels iterate outermost so a packed panel (k×kNR,
+// one L1-sized strip) stays hot across every row block of the chunk. The
+// write-out applies alpha/beta: C = alpha·acc + beta·C, with beta == 0
+// meaning C is overwritten without being read (BLAS semantics — stale
+// NaN/Inf in the output buffer cannot leak through). Each output element
+// gets one exactly-rounded multiply (or fused multiply-add), identical on
+// the vector and scalar write-out paths and on every backend.
+template <typename B>
+void GemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
+              const float* a, int64_t lda, const float* b_inplace,
+              int64_t ldb, const float* b_packed, int64_t num_full_panels,
+              float beta, float* c, int64_t ldc) {
+  using F32 = typename B::F32;
+  alignas(32) float tile[kMR * kNR];
+  const int64_t num_panels = (n + kNR - 1) / kNR;
+  const F32 valpha = F32::Broadcast(alpha);
+  const F32 vbeta = F32::Broadcast(beta);
+  for (int64_t jp = 0; jp < num_panels; ++jp) {
+    const int64_t j0 = jp * kNR;
+    const int64_t nr = std::min<int64_t>(kNR, n - j0);
+    PanelView panel;
+    if (b_inplace != nullptr && jp < num_full_panels) {
+      panel = {b_inplace + j0, ldb};
+    } else {
+      // Packed panels: when B was packed panel-major all panels live in
+      // b_packed; otherwise only the ragged edge panel does (index 0).
+      const int64_t idx = b_inplace != nullptr ? 0 : jp;
+      panel = {b_packed + idx * k * kNR, kNR};
+    }
+    for (int64_t i = i0; i < i1; i += kMR) {
+      const int64_t mr = std::min<int64_t>(kMR, i1 - i);
+      const float* a_block = a + i * lda;
+      switch (mr) {
+        case 1: MicroKernel<B, 1>(k, a_block, lda, panel, tile); break;
+        case 2: MicroKernel<B, 2>(k, a_block, lda, panel, tile); break;
+        case 3: MicroKernel<B, 3>(k, a_block, lda, panel, tile); break;
+        case 4: MicroKernel<B, 4>(k, a_block, lda, panel, tile); break;
+        case 5: MicroKernel<B, 5>(k, a_block, lda, panel, tile); break;
+        default: MicroKernel<B, 6>(k, a_block, lda, panel, tile); break;
+      }
+      for (int64_t r = 0; r < mr; ++r) {
+        float* c_row = c + (i + r) * ldc + j0;
+        const float* t_row = tile + r * kNR;
+        if (nr == kNR) {
+          const F32 t0 = F32::Load(t_row);
+          const F32 t1 = F32::Load(t_row + 8);
+          if (beta == 0.0f) {
+            (valpha * t0).Store(c_row);
+            (valpha * t1).Store(c_row + 8);
+          } else {
+            MulAdd(vbeta, F32::Load(c_row), valpha * t0).Store(c_row);
+            MulAdd(vbeta, F32::Load(c_row + 8), valpha * t1).Store(c_row + 8);
+          }
+        } else if (beta == 0.0f) {
+          for (int64_t j = 0; j < nr; ++j) c_row[j] = alpha * t_row[j];
+        } else {
+          for (int64_t j = 0; j < nr; ++j) {
+            c_row[j] = simd::MulAdd(beta, c_row[j], alpha * t_row[j]);
+          }
+        }
       }
     }
   }
@@ -68,6 +174,7 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   MG_CHECK_GE(k, 0);
   if (m == 0 || n == 0) return;
   MG_TRACE_SCOPE("gemm");
+  MG_METRIC_TIME_SCOPE("gemm.seconds");
   MG_METRIC_COUNT("gemm.calls", 1);
   MG_METRIC_COUNT("gemm.flops", 2 * m * n * k);
   if (k == 0 || alpha == 0.0f) {
@@ -84,10 +191,9 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     return;
   }
 
-  // Transposed operands are packed once so the hot loop is always the
-  // no-transpose kernel; for this library's sizes the packing cost is noise.
+  // A transposed operand is packed once so the microkernel always streams
+  // contiguous A rows; for this library's sizes the packing cost is noise.
   std::vector<float> a_packed;
-  std::vector<float> b_packed;
   const float* a_eff = a;
   int64_t lda_eff = lda;
   if (trans_a) {
@@ -95,21 +201,51 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     a_eff = a_packed.data();
     lda_eff = k;
   }
-  const float* b_eff = b;
-  int64_t ldb_eff = ldb;
-  if (trans_b) {
-    b_packed = PackTransposed(b, k, n, ldb);
-    b_eff = b_packed.data();
-    ldb_eff = n;
+
+  // B panels: packed panel-major (each panel a contiguous k×kNR strip the
+  // microkernel streams sequentially) whenever the packing cost amortizes —
+  // a transposed B always, a non-transposed B once enough C rows reuse it.
+  // For short C (few rows) a non-transposed B is read in place (the
+  // microkernel strides by ldb) with only the ragged n % kNR edge packed
+  // zero-padded, so the microkernel always works on full kNR-wide panels.
+  // Packed and in-place reads see the same values in the same order, so the
+  // choice never affects results. Packing happens once, before the row
+  // partition, so chunk boundaries cannot affect it either.
+  const int64_t num_panels = (n + kNR - 1) / kNR;
+  const int64_t num_full_panels = n / kNR;
+  std::vector<float> b_packed;
+  const float* b_inplace = nullptr;
+  if (trans_b || m >= kPackBMinRows) {
+    b_packed.resize(static_cast<size_t>(num_panels) * k * kNR);
+    const int64_t panel_grain =
+        std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(1, k * kNR));
+    ParallelFor(0, num_panels, panel_grain, [&](int64_t p0, int64_t p1) {
+      for (int64_t jp = p0; jp < p1; ++jp) {
+        PackPanel(b, ldb, trans_b, k, jp * kNR,
+                  std::min<int64_t>(kNR, n - jp * kNR),
+                  b_packed.data() + jp * k * kNR);
+      }
+    });
+  } else {
+    b_inplace = b;
+    if (num_full_panels < num_panels) {
+      b_packed.resize(static_cast<size_t>(k) * kNR);
+      PackPanel(b, ldb, /*trans_b=*/false, k, num_full_panels * kNR,
+                n - num_full_panels * kNR, b_packed.data());
+    }
   }
 
-  // Row-blocked parallel kernel: disjoint C row ranges per chunk, each
-  // handling its own beta-scaling so per-row work stays contiguous.
+  // Row-blocked parallel microkernel: disjoint C row ranges per chunk; each
+  // row's accumulation order is fixed (ascending k, 8-lane j blocks), so
+  // any partition — and either SIMD backend — is bit-identical.
   const int64_t grain =
       std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(1, n * k));
-  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-    GemmRows(i0, i1, n, k, alpha, a_eff, lda_eff, b_eff, ldb_eff, beta, c,
-             ldc);
+  simd::Dispatch([&](auto backend) {
+    using B = decltype(backend);
+    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+      GemmRows<B>(i0, i1, n, k, alpha, a_eff, lda_eff, b_inplace, ldb,
+                  b_packed.data(), num_full_panels, beta, c, ldc);
+    });
   });
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
 
+#include "base/simd.h"
 #include "base/thread_pool.h"
+#include "base/vec_ops.h"
 #include "tensor/gemm.h"
 
 namespace mocograd {
@@ -39,24 +42,67 @@ double BlockedReduce(int64_t n, BlockFn block_fn) {
   return s;
 }
 
+// Materializes a scalar constant as the operand type a generic elementwise
+// functor was instantiated with: the float itself on the tail, an 8-lane
+// broadcast on the vector path.
+template <typename V>
+V Splat(float v) {
+  if constexpr (std::is_same_v<V, float>) {
+    return v;
+  } else {
+    return V::Broadcast(v);
+  }
+}
+
+// Applies `fn` — a generic functor accepting both float and simd 8-lane
+// operands (built from the exactly-rounded ops in base/simd.h) — to the
+// span [i0, i1). Main loop runs 8 lanes at a time with a scalar tail doing
+// the identical per-element arithmetic, so results are bit-identical across
+// SIMD backends; per-element results don't depend on lane grouping, so
+// chunk boundaries are bit-identical too.
+template <typename Fn>
+void EwBinarySpan(const float* pa, const float* pb, float* po, int64_t i0,
+                  int64_t i1, Fn fn) {
+  simd::Dispatch([&](auto backend) {
+    using F32 = typename decltype(backend)::F32;
+    int64_t i = i0;
+    for (; i + 8 <= i1; i += 8) {
+      fn(F32::Load(pa + i), F32::Load(pb + i)).Store(po + i);
+    }
+    for (; i < i1; ++i) po[i] = fn(pa[i], pb[i]);
+  });
+}
+
+template <typename Fn>
+void EwUnarySpan(const float* pa, float* po, int64_t i0, int64_t i1, Fn fn) {
+  simd::Dispatch([&](auto backend) {
+    using F32 = typename decltype(backend)::F32;
+    int64_t i = i0;
+    for (; i + 8 <= i1; i += 8) fn(F32::Load(pa + i)).Store(po + i);
+    for (; i < i1; ++i) po[i] = fn(pa[i]);
+  });
+}
+
 // Applies `fn` elementwise over the broadcast of a and b. Shapes are padded
 // to a common rank; strides of broadcast (size-1) axes are zero. Every
 // output element is written independently, so flat-index ranges parallelize
-// with bit-identical results.
+// with bit-identical results. `fn` is generic over float and F32x8 operands:
+// the identical-shape fast path runs it 8 lanes at a time, the broadcast
+// walk elementwise.
 template <typename Fn>
 Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   MG_CHECK(a.defined() && b.defined());
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
   Tensor out(out_shape);
 
-  // Fast path: identical shapes.
+  // Fast path: identical shapes — vectorized.
   if (a.shape() == b.shape()) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
     const int64_t n = out.NumElements();
     ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) po[i] = fn(pa[i], pb[i]);
+      EwBinarySpan(pa, pb, po, i0, i1, fn);
     });
     return out;
   }
@@ -108,36 +154,53 @@ Tensor Unary(const Tensor& a, Fn fn) {
   return out;
 }
 
+// Vectorized Unary for ops expressible in the simd.h vocabulary; `fn` is
+// generic over float and F32x8 (transcendental ops stay on scalar Unary).
+template <typename Fn>
+Tensor UnaryV(const Tensor& a, Fn fn) {
+  MG_CHECK(a.defined());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.NumElements();
+  ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
+    EwUnarySpan(pa, po, i0, i1, fn);
+  });
+  return out;
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+  return BroadcastBinary(a, b, [](auto x, auto y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+  return BroadcastBinary(a, b, [](auto x, auto y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+  return BroadcastBinary(a, b, [](auto x, auto y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+  return BroadcastBinary(a, b, [](auto x, auto y) { return x / y; });
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+  // simd::Max(y, x) ≡ std::max(x, y) lane-for-lane, NaN handling included
+  // (the second operand — x — wins on unordered comparisons).
+  return BroadcastBinary(a, b, [](auto x, auto y) { return simd::Max(y, x); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return Unary(a, [s](float x) { return x + s; });
+  return UnaryV(a, [s](auto x) { return x + Splat<decltype(x)>(s); });
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return Unary(a, [s](float x) { return x * s; });
+  return UnaryV(a, [s](auto x) { return x * Splat<decltype(x)>(s); });
 }
 Tensor PowScalar(const Tensor& a, float exponent) {
   return Unary(a, [exponent](float x) { return std::pow(x, exponent); });
 }
 
 Tensor Neg(const Tensor& a) {
-  return Unary(a, [](float x) { return -x; });
+  return UnaryV(a, [](auto x) { return simd::Neg(x); });
 }
 Tensor Exp(const Tensor& a) {
   return Unary(a, [](float x) { return std::exp(x); });
@@ -146,7 +209,7 @@ Tensor Log(const Tensor& a) {
   return Unary(a, [](float x) { return std::log(x); });
 }
 Tensor Sqrt(const Tensor& a) {
-  return Unary(a, [](float x) { return std::sqrt(x); });
+  return UnaryV(a, [](auto x) { return simd::Sqrt(x); });
 }
 Tensor Tanh(const Tensor& a) {
   return Unary(a, [](float x) { return std::tanh(x); });
@@ -155,16 +218,24 @@ Tensor Sigmoid(const Tensor& a) {
   return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 Tensor Relu(const Tensor& a) {
-  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  // simd::Max(x, 0) = (x > 0) ? x : 0 — NaN inputs map to 0, exactly the
+  // behavior of the previous scalar ternary.
+  return UnaryV(
+      a, [](auto x) { return simd::Max(x, Splat<decltype(x)>(0.0f)); });
 }
 Tensor Abs(const Tensor& a) {
-  return Unary(a, [](float x) { return std::fabs(x); });
+  return UnaryV(a, [](auto x) { return simd::Abs(x); });
 }
 Tensor Sign(const Tensor& a) {
   return Unary(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return Unary(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+  // Min(Max(x, lo), hi) matches std::min(hi, std::max(lo, x)) lane-for-lane
+  // (NaN x clamps to lo on both).
+  return UnaryV(a, [lo, hi](auto x) {
+    using V = decltype(x);
+    return simd::Min(simd::Max(x, Splat<V>(lo)), Splat<V>(hi));
+  });
 }
 
 void Axpy(float alpha, const Tensor& x, Tensor& y) {
@@ -173,7 +244,7 @@ void Axpy(float alpha, const Tensor& x, Tensor& y) {
   float* py = y.data();
   const int64_t n = x.NumElements();
   ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) py[i] += alpha * px[i];
+    vec::Axpy(i1 - i0, alpha, px + i0, py + i0);
   });
 }
 
@@ -181,7 +252,7 @@ void ScaleInPlace(Tensor& y, float s) {
   float* py = y.data();
   const int64_t n = y.NumElements();
   ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) py[i] *= s;
+    vec::Scale(i1 - i0, s, py + i0);
   });
 }
 
@@ -224,9 +295,7 @@ float SumAll(const Tensor& a) {
   const float* p = a.data();
   return static_cast<float>(
       BlockedReduce(a.NumElements(), [p](int64_t b, int64_t e) {
-        double s = 0.0;
-        for (int64_t i = b; i < e; ++i) s += p[i];
-        return s;
+        return vec::SumF64(e - b, p + b);
       }));
 }
 
@@ -245,9 +314,7 @@ float Norm(const Tensor& a) {
   const float* p = a.data();
   return static_cast<float>(
       std::sqrt(BlockedReduce(a.NumElements(), [p](int64_t b, int64_t e) {
-        double s = 0.0;
-        for (int64_t i = b; i < e; ++i) s += static_cast<double>(p[i]) * p[i];
-        return s;
+        return vec::SquaredNormF64(e - b, p + b);
       })));
 }
 
@@ -257,10 +324,7 @@ float Dot(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   return static_cast<float>(
       BlockedReduce(a.NumElements(), [pa, pb](int64_t b, int64_t e) {
-        double s = 0.0;
-        for (int64_t i = b; i < e; ++i)
-          s += static_cast<double>(pa[i]) * pb[i];
-        return s;
+        return vec::DotF64(e - b, pa + b, pb + b);
       }));
 }
 

@@ -1,0 +1,246 @@
+// The SIMD layer's core guarantee (docs/SIMD.md): the hardware backend and
+// the lane-blocked scalar fallback produce bit-identical results — for
+// every kernel, at every pool size. Combined with the thread-determinism
+// contract this means a training run's bits depend on neither
+// MOCOGRAD_SIMD nor MOCOGRAD_NUM_THREADS.
+//
+// On builds without a hardware backend (MOCOGRAD_ENABLE_SIMD=OFF or an ISA
+// without one) SetEnabled is a no-op and the comparisons trivially hold.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/simd.h"
+#include "base/thread_pool.h"
+#include "core/grad_matrix.h"
+#include "core/registry.h"
+#include "mtl/hps.h"
+#include "mtl/trainer.h"
+#include "optim/optimizer.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace mocograd {
+namespace {
+
+using autograd::Variable;
+using data::Batch;
+using data::TaskKind;
+
+// (simd enabled, pool size) grid; the (true, 1) cell is the reference.
+const std::pair<bool, int> kConfigs[] = {
+    {true, 1}, {true, 2}, {true, 8}, {false, 1}, {false, 2}, {false, 8}};
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  return a.NumElements() == b.NumElements() &&
+         std::memcmp(a.data(), b.data(), a.NumElements() * sizeof(float)) ==
+             0;
+}
+
+bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+class SimdDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::SetGlobalNumThreads(1);
+    simd::SetEnabled(true);  // no-op on scalar-only builds
+  }
+};
+
+TEST_F(SimdDeterminismTest, GemmBitIdenticalAcrossBackendsAndPools) {
+  Rng rng(42);
+  const int64_t m = 67, n = 83, k = 129;
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor c0 = Tensor::Randn({m, n}, rng);
+  Tensor at = tops::Transpose2D(a);
+  Tensor bt = tops::Transpose2D(b);
+
+  Tensor ref_plain, ref_trans;
+  for (const auto& [enabled, threads] : kConfigs) {
+    simd::SetEnabled(enabled);
+    ThreadPool::SetGlobalNumThreads(threads);
+    Tensor c = c0.Clone();
+    Gemm(false, false, m, n, k, 1.3f, a.data(), k, b.data(), n, 0.7f,
+         c.data(), n);
+    Tensor ct = c0.Clone();
+    Gemm(true, true, m, n, k, -0.5f, at.data(), m, bt.data(), k, 1.0f,
+         ct.data(), n);
+    if (!ref_plain.defined()) {
+      ref_plain = c;
+      ref_trans = ct;
+    } else {
+      EXPECT_TRUE(BitIdentical(ref_plain, c))
+          << "Gemm differs (simd=" << enabled << ", threads=" << threads
+          << ")";
+      EXPECT_TRUE(BitIdentical(ref_trans, ct))
+          << "transposed Gemm differs (simd=" << enabled
+          << ", threads=" << threads << ")";
+    }
+  }
+}
+
+TEST_F(SimdDeterminismTest, TensorKernelsBitIdenticalAcrossBackendsAndPools) {
+  Rng rng(7);
+  // Large enough for several reduction blocks and elementwise chunks.
+  Tensor a = Tensor::Randn({100003}, rng);
+  Tensor b = Tensor::Randn({100003}, rng);
+
+  bool have_ref = false;
+  float sum0 = 0, norm0 = 0, dot0 = 0;
+  Tensor add0, mul0, relu0, clamp0, axpy0;
+  for (const auto& [enabled, threads] : kConfigs) {
+    simd::SetEnabled(enabled);
+    ThreadPool::SetGlobalNumThreads(threads);
+    const float sum = tops::SumAll(a);
+    const float norm = tops::Norm(a);
+    const float dot = tops::Dot(a, b);
+    Tensor add = tops::Add(a, b);
+    Tensor mul = tops::Mul(a, b);
+    Tensor relu = tops::Relu(a);
+    Tensor clamp = tops::Clamp(a, -0.5f, 0.5f);
+    Tensor axpy = a.Clone();
+    tops::Axpy(0.37f, b, axpy);
+    if (!have_ref) {
+      have_ref = true;
+      sum0 = sum;
+      norm0 = norm;
+      dot0 = dot;
+      add0 = add;
+      mul0 = mul;
+      relu0 = relu;
+      clamp0 = clamp;
+      axpy0 = axpy;
+    } else {
+      EXPECT_EQ(std::memcmp(&sum, &sum0, sizeof(float)), 0);
+      EXPECT_EQ(std::memcmp(&norm, &norm0, sizeof(float)), 0);
+      EXPECT_EQ(std::memcmp(&dot, &dot0, sizeof(float)), 0);
+      EXPECT_TRUE(BitIdentical(add0, add));
+      EXPECT_TRUE(BitIdentical(mul0, mul));
+      EXPECT_TRUE(BitIdentical(relu0, relu));
+      EXPECT_TRUE(BitIdentical(clamp0, clamp));
+      EXPECT_TRUE(BitIdentical(axpy0, axpy))
+          << "Axpy differs (simd=" << enabled << ", threads=" << threads
+          << ")";
+    }
+  }
+}
+
+TEST_F(SimdDeterminismTest, GradMatrixOpsBitIdenticalAcrossBackendsAndPools) {
+  Rng rng(11);
+  const int kTasks = 3;
+  const int64_t dim = 120001;
+  core::GradMatrix grads(kTasks, dim);
+  for (int t = 0; t < kTasks; ++t) {
+    float* row = grads.Row(t);
+    for (int64_t p = 0; p < dim; ++p) row[p] = rng.Normal();
+  }
+  const std::vector<double> w = {0.2, 1.7, -0.4};
+
+  bool have_ref = false;
+  double dot0 = 0;
+  std::vector<float> sum0, wsum0;
+  for (const auto& [enabled, threads] : kConfigs) {
+    simd::SetEnabled(enabled);
+    ThreadPool::SetGlobalNumThreads(threads);
+    const double dot = grads.RowDot(0, 1);
+    std::vector<float> sum = grads.SumRows();
+    std::vector<float> wsum = grads.WeightedSumRows(w);
+    if (!have_ref) {
+      have_ref = true;
+      dot0 = dot;
+      sum0 = std::move(sum);
+      wsum0 = std::move(wsum);
+    } else {
+      EXPECT_EQ(std::memcmp(&dot, &dot0, sizeof(double)), 0);
+      EXPECT_TRUE(BitIdentical(sum0, sum));
+      EXPECT_TRUE(BitIdentical(wsum0, wsum));
+    }
+  }
+}
+
+TEST_F(SimdDeterminismTest, OptimizerStepsBitIdenticalAcrossBackendsAndPools) {
+  auto run = [](bool enabled, int threads) {
+    simd::SetEnabled(enabled);
+    ThreadPool::SetGlobalNumThreads(threads);
+    Rng rng(99);
+    Variable w(Tensor::Randn({37, 21}, rng), /*requires_grad=*/true);
+    Tensor g = Tensor::Randn({37, 21}, rng);
+    optim::Adam opt({&w}, 1e-2f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.01f);
+    for (int step = 0; step < 5; ++step) {
+      w.mutable_grad().CopyFrom(g);
+      opt.Step();
+    }
+    return w.value().Clone();
+  };
+  Tensor ref = run(true, 1);
+  for (const auto& [enabled, threads] : kConfigs) {
+    EXPECT_TRUE(BitIdentical(ref, run(enabled, threads)))
+        << "Adam differs (simd=" << enabled << ", threads=" << threads << ")";
+  }
+}
+
+// End to end: a short MoCoGrad training run — forward, per-task backward,
+// aggregation (dots, axpys, EMA), Adam — leaves bit-identical parameters
+// whatever the backend and pool size.
+TEST_F(SimdDeterminismTest, TrainerStepsBitIdenticalAcrossBackendsAndPools) {
+  auto run = [](bool enabled, int threads) {
+    simd::SetEnabled(enabled);
+    ThreadPool::SetGlobalNumThreads(threads);
+    Rng rng(123);
+    mtl::HpsConfig cfg;
+    cfg.input_dim = 48;
+    cfg.shared_dims = {96, 64};
+    cfg.task_output_dims = {1, 1, 1};
+    mtl::HpsModel model(cfg, rng);
+
+    Tensor x = Tensor::Randn({64, 48}, rng);
+    std::vector<Batch> batches;
+    for (int t = 0; t < 3; ++t) {
+      Tensor y = Tensor::Randn({64, 1}, rng);
+      batches.push_back(Batch{.x = x, .y = y, .labels = {}});
+    }
+
+    auto aggregator = core::MakeAggregator("mocograd").value();
+    optim::Adam opt(model.Parameters(), 1e-2f);
+    mtl::MtlTrainer trainer(&model, aggregator.get(), &opt,
+                            {TaskKind::kRegression, TaskKind::kRegression,
+                             TaskKind::kRegression},
+                            /*seed=*/17);
+    std::vector<float> losses;
+    for (int step = 0; step < 4; ++step) {
+      mtl::StepStats stats = trainer.Step(batches);
+      losses.insert(losses.end(), stats.losses.begin(), stats.losses.end());
+    }
+    std::vector<Tensor> params;
+    for (Variable* p : model.Parameters()) {
+      params.push_back(p->value().Clone());
+    }
+    return std::make_pair(params, losses);
+  };
+
+  auto [params0, losses0] = run(true, 1);
+  for (const auto& [enabled, threads] : kConfigs) {
+    auto [params, losses] = run(enabled, threads);
+    ASSERT_EQ(params.size(), params0.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_TRUE(BitIdentical(params0[i], params[i]))
+          << "parameter " << i << " differs (simd=" << enabled
+          << ", threads=" << threads << ")";
+    }
+    ASSERT_EQ(losses.size(), losses0.size());
+    EXPECT_TRUE(BitIdentical(losses0, losses))
+        << "losses differ (simd=" << enabled << ", threads=" << threads
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -122,6 +122,43 @@ TEST_F(MetricsTest, SnapshotIsSortedAndComplete) {
   EXPECT_TRUE(saw_z);
 }
 
+TEST_F(MetricsTest, SnapshotHistogramsSummarizesEachHistogram) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.snap_hist");
+  for (int i = 0; i < 99; ++i) h->Record(1e-3);
+  h->Record(1.0);
+  auto snap = MetricsRegistry::Global().SnapshotHistograms();
+  bool found = false;
+  std::string prev;
+  for (const auto& s : snap) {
+    EXPECT_LE(prev, s.name);  // sorted by name
+    prev = s.name;
+    if (s.name == "test.snap_hist") {
+      found = true;
+      EXPECT_EQ(s.count, 100);
+      EXPECT_NEAR(s.sum, 99 * 1e-3 + 1.0, 1e-9);
+      EXPECT_LE(s.p50, s.p99);
+      EXPECT_LE(s.p99, 1.0);  // clamps to observed max
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, TimeScopeMacroRecordsIntoHistogram) {
+  { MG_METRIC_TIME_SCOPE("test.timed_scope"); }
+  { MG_METRIC_TIME_SCOPE("test.timed_scope"); }
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.timed_scope");
+  EXPECT_EQ(h->count(), 2);
+  EXPECT_GE(h->min(), 0.0);
+}
+
+TEST_F(MetricsTest, DisabledTimeScopeSkipsRecording) {
+  SetMetricsEnabled(false);
+  { MG_METRIC_TIME_SCOPE("test.timed_gated"); }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(MetricsRegistry::Global().GetHistogram("test.timed_gated")->count(),
+            0);
+}
+
 TEST_F(MetricsTest, StepSinkWritesParseableJsonlWithCounterDeltas) {
   const std::string path =
       std::string(::testing::TempDir()) + "/metrics_sink_test.jsonl";
@@ -150,6 +187,39 @@ TEST_F(MetricsTest, StepSinkWritesParseableJsonlWithCounterDeltas) {
       << lines[1];
   EXPECT_NE(lines[0].find("\"loss_0\":1.5"), std::string::npos);
   EXPECT_NE(lines[1].find("\"step\":1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(MetricsTest, StepSinkReportsKernelHistogramsWhenPopulated) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/metrics_sink_kernels.jsonl";
+  std::remove(path.c_str());
+  {
+    StepMetricsSink sink(path);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    // No histogram samples yet: no "kernels" key on this line.
+    sink.WriteStep(0, {});
+    MetricsRegistry::Global()
+        .GetHistogram("test.kernel.seconds")
+        ->Record(2e-3);
+    sink.WriteStep(1, {});
+  }
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(ValidateJson(l).ok()) << l;
+  }
+  EXPECT_EQ(lines[0].find("\"kernels\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"kernels\""), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"test.kernel.seconds\""), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[1].find("\"count\":1"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"p50\":"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("\"p99\":"), std::string::npos) << lines[1];
   std::remove(path.c_str());
 }
 

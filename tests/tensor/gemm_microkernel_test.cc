@@ -1,0 +1,132 @@
+// Property tests for the register-blocked SIMD Gemm microkernel
+// (tensor/gemm.cc): exhaustive small-shape sweep against a double-precision
+// naive reference, with non-contiguous leading dimensions, both transpose
+// flags, and the alpha/beta edge cases — plus regression tests for the
+// IEEE-754 corners the old kernel got wrong (a zero A value used to skip
+// the B row entirely, swallowing NaN/Inf from B; beta == 0 now overwrites C
+// without reading it, BLAS-style).
+
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace mocograd {
+namespace {
+
+// Reference C = alpha*op(A)*op(B) + beta*C with double accumulation and
+// BLAS beta==0 semantics (C written, never read).
+void ReferenceGemm(bool ta, bool tb, int64_t m, int64_t n, int64_t k,
+                   float alpha, const std::vector<float>& a, int64_t lda,
+                   const std::vector<float>& b, int64_t ldb, float beta,
+                   std::vector<float>& c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * lda + i] : a[i * lda + p];
+        const float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      const float scaled = alpha * static_cast<float>(acc);
+      c[i * ldc + j] =
+          beta == 0.0f ? scaled : scaled + beta * c[i * ldc + j];
+    }
+  }
+}
+
+TEST(GemmMicrokernelTest, SmallShapeSweepVsReference) {
+  // Covers every row-block remainder (m % 6), panel remainder (n % 16) and
+  // lane tail (k parity), including shapes smaller than one tile.
+  const int dims[] = {1, 2, 3, 7, 8, 9, 17, 64};
+  const struct {
+    float alpha, beta;
+  } scalings[] = {{1.0f, 0.0f}, {2.5f, -1.0f}, {-1.0f, 1.0f}, {0.0f, 0.5f}};
+
+  for (int m : dims) {
+    for (int n : dims) {
+      for (int k : dims) {
+        for (bool ta : {false, true}) {
+          for (bool tb : {false, true}) {
+            const auto& s = scalings[(m + n + k + ta + 2 * tb) %
+                                     (sizeof(scalings) / sizeof(scalings[0]))];
+            Rng rng(static_cast<uint64_t>(m * 1009 + n * 131 + k * 17 +
+                                          ta * 3 + tb * 5));
+            // Non-contiguous storage: every matrix carries padding columns
+            // that the kernel must stride over, never read past.
+            const int64_t lda = (ta ? m : k) + 3;
+            const int64_t ldb = (tb ? k : n) + 5;
+            const int64_t ldc = n + 2;
+            std::vector<float> a(static_cast<size_t>(ta ? k : m) * lda);
+            std::vector<float> b(static_cast<size_t>(tb ? n : k) * ldb);
+            std::vector<float> c0(static_cast<size_t>(m) * ldc);
+            for (float& v : a) v = rng.Normal();
+            for (float& v : b) v = rng.Normal();
+            for (float& v : c0) v = rng.Normal();
+
+            std::vector<float> c_fast = c0, c_ref = c0;
+            Gemm(ta, tb, m, n, k, s.alpha, a.data(), lda, b.data(), ldb,
+                 s.beta, c_fast.data(), ldc);
+            ReferenceGemm(ta, tb, m, n, k, s.alpha, a, lda, b, ldb, s.beta,
+                          c_ref, ldc);
+
+            for (int64_t i = 0; i < m; ++i) {
+              for (int64_t j = 0; j < ldc; ++j) {
+                const float got = c_fast[i * ldc + j];
+                const float want = c_ref[i * ldc + j];
+                ASSERT_NEAR(got, want, 1e-3f + 1e-4f * std::fabs(want))
+                    << "m=" << m << " n=" << n << " k=" << k << " ta=" << ta
+                    << " tb=" << tb << " alpha=" << s.alpha
+                    << " beta=" << s.beta << " at (" << i << "," << j << ")";
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Regression: the old kernel skipped the whole B row whenever an A value
+// was exactly zero, so NaN/Inf in B silently vanished from the product.
+// IEEE-754 says 0 * NaN = NaN and 0 * Inf = NaN; they must propagate.
+TEST(GemmMicrokernelTest, NanInBPropagatesThroughZeroA) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+
+  // A zero A value multiplies the B row holding the NaN; the old kernel
+  // skipped that row and returned 4 here instead of NaN.
+  std::vector<float> a = {0.0f, 2.0f};                  // 1x2
+  std::vector<float> b = {nan, 1.0f, 2.0f, 3.0f};      // 2x2
+  std::vector<float> c(2, 0.0f);
+  Gemm(false, false, 1, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f, c.data(),
+       2);
+  EXPECT_TRUE(std::isnan(c[0])) << "0 * NaN must stay NaN, got " << c[0];
+  EXPECT_FLOAT_EQ(c[1], 6.0f);  // 0*1 + 2*3
+
+  // Same for Inf: 0 * Inf = NaN.
+  b[0] = inf;
+  Gemm(false, false, 1, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f, c.data(),
+       2);
+  EXPECT_TRUE(std::isnan(c[0])) << "0 * Inf must become NaN, got " << c[0];
+}
+
+// beta == 0 means "overwrite": stale NaN in the output buffer must not
+// leak into the result via 0 * NaN.
+TEST(GemmMicrokernelTest, BetaZeroOverwritesPoisonedC) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> a = {1.0f};
+  std::vector<float> b = {2.0f};
+  std::vector<float> c = {nan};
+  Gemm(false, false, 1, 1, 1, 1.0f, a.data(), 1, b.data(), 1, 0.0f, c.data(),
+       1);
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -7,7 +7,10 @@
 # A third pass exercises the observability layer end to end: one traced +
 # metered training run (MOCOGRAD_TRACE / MOCOGRAD_METRICS set) whose
 # emitted Chrome-trace JSON and metrics JSONL must parse
-# (docs/OBSERVABILITY.md).
+# (docs/OBSERVABILITY.md). A fourth pass enforces the SIMD determinism
+# contract (docs/SIMD.md): the suite must also pass with the hardware
+# backend disabled (MOCOGRAD_SIMD=0), and a training run's stdout must be
+# byte-identical with the backend on and off.
 #
 # Usage: tools/run_tests.sh [build-dir]   (default: build)
 set -eu
@@ -34,4 +37,17 @@ test -s "$metrics_jsonl" || { echo "FAIL: no metrics written to $metrics_jsonl";
 "$build_dir/tools/validate_json" "$trace_json"
 "$build_dir/tools/validate_json" --jsonl "$metrics_jsonl"
 
-echo "OK: all tests passed at pool sizes 1 and 4; traced artifacts parse"
+echo "==> ctest with MOCOGRAD_SIMD=0 (lane-blocked scalar fallback)"
+(cd "$build_dir" && MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
+
+echo "==> SIMD on/off diff: example_quickstart stdout must be byte-identical"
+simd_on="$build_dir/simd_smoke_on.txt"
+simd_off="$build_dir/simd_smoke_off.txt"
+"$build_dir/examples/example_quickstart" > "$simd_on"
+MOCOGRAD_SIMD=0 "$build_dir/examples/example_quickstart" > "$simd_off"
+diff "$simd_on" "$simd_off" || {
+  echo "FAIL: training output differs between MOCOGRAD_SIMD=1 and =0"; exit 1;
+}
+
+echo "OK: tests pass at pool sizes 1 and 4 and with MOCOGRAD_SIMD=0;" \
+  "traced artifacts parse; SIMD on/off training output is byte-identical"
