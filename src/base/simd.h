@@ -178,8 +178,8 @@ inline F32x8Avx2 MulAdd(F32x8Avx2 a, F32x8Avx2 b, F32x8Avx2 c) {
   return {_mm256_fmadd_ps(a.v, b.v, c.v)};
 }
 // MAXPS/MINPS: second operand wins on unordered — matches the scalar helpers.
-inline F32x8Avx2 Max(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_max_ps(b.v, a.v)}; }
-inline F32x8Avx2 Min(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_min_ps(b.v, a.v)}; }
+inline F32x8Avx2 Max(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_max_ps(a.v, b.v)}; }
+inline F32x8Avx2 Min(F32x8Avx2 a, F32x8Avx2 b) { return {_mm256_min_ps(a.v, b.v)}; }
 inline F32x8Avx2 Abs(F32x8Avx2 a) {
   const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
   return {_mm256_and_ps(a.v, mask)};

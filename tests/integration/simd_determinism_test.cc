@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <iterator>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -92,10 +96,36 @@ TEST_F(SimdDeterminismTest, TensorKernelsBitIdenticalAcrossBackendsAndPools) {
   // Large enough for several reduction blocks and elementwise chunks.
   Tensor a = Tensor::Randn({100003}, rng);
   Tensor b = Tensor::Randn({100003}, rng);
+  // Salt the inputs with the values on which Max/Min backends can disagree
+  // (the contract pins second-operand-wins on unordered and +/-0 ties):
+  // NaN, +/-Inf and -0.0, placed both inside full 8-lane blocks and in the
+  // scalar <8-element tail (n = 100003, tail = indices 100000..100002).
+  const float kNan = std::numeric_limits<float>::quiet_NaN();
+  const float kInf = std::numeric_limits<float>::infinity();
+  const int64_t kSpecial[][2] = {
+      // {index, 0 = a / 1 = b}
+      {5, 0},     {6, 1},     {777, 0},    {778, 0},    {4096, 1},
+      {4097, 0},  {50001, 0}, {50002, 1},  {100000, 0}, {100001, 1},
+      {100002, 0}};
+  const float kVals[] = {kNan, kNan, -0.0f, kInf,  -kInf, kNan,
+                         -0.0f, kInf, kNan,  -0.0f, -kInf};
+  for (size_t i = 0; i < std::size(kSpecial); ++i) {
+    (kSpecial[i][1] ? b : a).data()[kSpecial[i][0]] = kVals[i];
+  }
+  // Pairs where a lane of a is special while the same lane of b is finite
+  // (and vice versa) so Maximum's tie-breaking is actually exercised.
+  a.data()[9] = kNan;
+  b.data()[9] = 1.0f;
+  a.data()[10] = 2.0f;
+  b.data()[10] = kNan;
+  a.data()[11] = -0.0f;
+  b.data()[11] = 0.0f;
+  a.data()[12] = 0.0f;
+  b.data()[12] = -0.0f;
 
   bool have_ref = false;
   float sum0 = 0, norm0 = 0, dot0 = 0;
-  Tensor add0, mul0, relu0, clamp0, axpy0;
+  Tensor add0, mul0, relu0, clamp0, max0, axpy0;
   for (const auto& [enabled, threads] : kConfigs) {
     simd::SetEnabled(enabled);
     ThreadPool::SetGlobalNumThreads(threads);
@@ -106,6 +136,7 @@ TEST_F(SimdDeterminismTest, TensorKernelsBitIdenticalAcrossBackendsAndPools) {
     Tensor mul = tops::Mul(a, b);
     Tensor relu = tops::Relu(a);
     Tensor clamp = tops::Clamp(a, -0.5f, 0.5f);
+    Tensor max = tops::Maximum(a, b);
     Tensor axpy = a.Clone();
     tops::Axpy(0.37f, b, axpy);
     if (!have_ref) {
@@ -117,15 +148,39 @@ TEST_F(SimdDeterminismTest, TensorKernelsBitIdenticalAcrossBackendsAndPools) {
       mul0 = mul;
       relu0 = relu;
       clamp0 = clamp;
+      max0 = max;
       axpy0 = axpy;
+      // The contract's pinned semantics, identical on every backend: the
+      // second operand of Max/Min wins on unordered comparisons and on
+      // +/-0 ties.
+      auto bits = [](float x) {
+        uint32_t u;
+        std::memcpy(&u, &x, sizeof(u));
+        return u;
+      };
+      EXPECT_EQ(bits(relu.data()[5]), bits(0.0f));    // Relu(NaN) == +0.0
+      EXPECT_EQ(bits(relu.data()[777]), bits(0.0f));  // Relu(-0.0) == +0.0
+      // tops::Maximum(a, b) == std::max(a, b) lane-for-lane: the FIRST
+      // tensor's element wins on unordered comparisons and +/-0 ties.
+      EXPECT_TRUE(std::isnan(max.data()[9]));         // Maximum(NaN, 1)
+      EXPECT_EQ(bits(max.data()[10]), bits(2.0f));    // Maximum(2, NaN)
+      EXPECT_EQ(bits(max.data()[11]), bits(-0.0f));   // Maximum(-0, +0)
+      EXPECT_EQ(bits(max.data()[12]), bits(0.0f));    // Maximum(+0, -0)
     } else {
       EXPECT_EQ(std::memcmp(&sum, &sum0, sizeof(float)), 0);
       EXPECT_EQ(std::memcmp(&norm, &norm0, sizeof(float)), 0);
       EXPECT_EQ(std::memcmp(&dot, &dot0, sizeof(float)), 0);
       EXPECT_TRUE(BitIdentical(add0, add));
       EXPECT_TRUE(BitIdentical(mul0, mul));
-      EXPECT_TRUE(BitIdentical(relu0, relu));
-      EXPECT_TRUE(BitIdentical(clamp0, clamp));
+      EXPECT_TRUE(BitIdentical(relu0, relu))
+          << "Relu differs (simd=" << enabled << ", threads=" << threads
+          << ")";
+      EXPECT_TRUE(BitIdentical(clamp0, clamp))
+          << "Clamp differs (simd=" << enabled << ", threads=" << threads
+          << ")";
+      EXPECT_TRUE(BitIdentical(max0, max))
+          << "Maximum differs (simd=" << enabled << ", threads=" << threads
+          << ")";
       EXPECT_TRUE(BitIdentical(axpy0, axpy))
           << "Axpy differs (simd=" << enabled << ", threads=" << threads
           << ")";
