@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/scratch.h"
 #include "base/thread_pool.h"
 #include "obs/trace.h"
 #include "tensor/gemm.h"
@@ -470,18 +471,23 @@ Variable Conv2d(const Variable& input, const Variable& weight,
         Tensor dx(Shape{n, c, h, w});
         Tensor dw(Shape{f, c, spec.kernel, spec.kernel});
         Tensor db(Shape{f});
-        // dx: each sample owns a disjoint [c,h,w] slice and its own local
-        // col_grad scratch, so the batch loop parallelizes bit-identically.
+        // dx: each sample owns a disjoint [c,h,w] slice and a col_grad
+        // scratch from its worker's arena (the nested Gemm opens an inner
+        // scope on the same arena), so the batch loop parallelizes
+        // bit-identically with zero steady-state heap allocations.
         ParallelFor(0, n, 1, [&](int64_t b0, int64_t b1) {
-          std::vector<float> col_grad(static_cast<size_t>(patch) * l);
+          ScratchScope scope;
+          float* col_grad =
+              scope.AllocFloats(static_cast<size_t>(patch) * l);
           for (int64_t b = b0; b < b1; ++b) {
+            MG_TRACE_SCOPE("conv.backward_sample");
             const float* gb = g.data() + b * f * l;
-            // col_grad = W^T [patch, f] * g_b [f, l]
-            std::fill(col_grad.begin(), col_grad.end(), 0.0f);
+            // col_grad = W^T [patch, f] * g_b [f, l]; beta == 0 overwrites
+            // every element, so the buffer needs no clearing between
+            // samples.
             Gemm(true, false, patch, l, f, 1.0f, wv.data(), patch, gb, l,
-                 0.0f, col_grad.data(), l);
-            tops::Col2Im(col_grad.data(), spec, h, w,
-                         dx.data() + b * c * h * w);
+                 0.0f, col_grad, l);
+            tops::Col2Im(col_grad, spec, h, w, dx.data() + b * c * h * w);
           }
         });
         // dW/db accumulate across samples; the loop stays serial in b so the

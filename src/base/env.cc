@@ -14,6 +14,23 @@ int GetEnvInt(const char* name, int fallback, int min_value, int max_value) {
   return static_cast<int>(v);
 }
 
+std::vector<int> GetEnvIntList(const char* name, int min_value,
+                               int max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return {};
+  std::vector<int> out;
+  const char* p = env;
+  for (;;) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < min_value || v > max_value) return {};
+    out.push_back(static_cast<int>(v));
+    if (*end == '\0') return out;
+    if (*end != ',') return {};
+    p = end + 1;
+  }
+}
+
 std::string GetEnvString(const char* name, const std::string& fallback) {
   const char* env = std::getenv(name);
   return env == nullptr ? fallback : std::string(env);

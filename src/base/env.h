@@ -2,6 +2,7 @@
 #define MOCOGRAD_BASE_ENV_H_
 
 #include <string>
+#include <vector>
 
 namespace mocograd {
 
@@ -10,6 +11,13 @@ namespace mocograd {
 /// out-of-range values fall back silently — an env typo must never abort a
 /// training run (same contract MOCOGRAD_NUM_THREADS always had).
 int GetEnvInt(const char* name, int fallback, int min_value, int max_value);
+
+/// Comma-separated integer-list environment knob (e.g.
+/// MOCOGRAD_GEMM_BLOCK="96,256,256"). Returns the parsed values when every
+/// element is an integer in [min_value, max_value]; returns an empty vector
+/// when the variable is unset, empty, or any element is malformed or out of
+/// range — same fall-back-silently contract as GetEnvInt.
+std::vector<int> GetEnvIntList(const char* name, int min_value, int max_value);
 
 /// String environment knob: the value of `name`, or `fallback` when the
 /// variable is unset. An empty value is returned as-is (callers treat empty

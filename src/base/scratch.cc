@@ -1,0 +1,85 @@
+#include "base/scratch.h"
+
+#include <atomic>
+#include <new>
+
+#include "base/check.h"
+
+namespace mocograd {
+
+namespace {
+
+// First chunk size. Big enough that a typical GEMM's packed operands fit
+// without growth, small enough that idle threads don't hoard memory.
+constexpr size_t kFirstChunkBytes = size_t{1} << 20;  // 1 MiB
+
+std::atomic<int64_t> g_total_chunk_allocs{0};
+
+size_t AlignUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+ScratchArena::~ScratchArena() {
+  for (Chunk& c : chunks_) {
+    ::operator delete[](c.data, std::align_val_t{kDefaultAlign});
+  }
+}
+
+ScratchArena& ScratchArena::ThreadLocal() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+void ScratchArena::Grow(size_t min_bytes) {
+  size_t size = chunks_.empty() ? kFirstChunkBytes : chunks_.back().size * 2;
+  if (size < min_bytes) size = AlignUp(min_bytes, kFirstChunkBytes);
+  Chunk c;
+  c.data = static_cast<std::byte*>(
+      ::operator new[](size, std::align_val_t{kDefaultAlign}));
+  c.size = size;
+  chunks_.push_back(c);
+  g_total_chunk_allocs.fetch_add(1, std::memory_order_relaxed);
+  active_chunk_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void* ScratchArena::Alloc(size_t bytes, size_t align) {
+  MG_CHECK_GE(align, 1u);
+  MG_CHECK((align & (align - 1)) == 0, "scratch alignment must be a power of 2");
+  // Chunk bases are kDefaultAlign-aligned, so offset alignment suffices for
+  // any align <= kDefaultAlign; larger requests still work because AlignUp
+  // is applied to the offset of an aligned base only when align divides it.
+  MG_CHECK_LE(align, kDefaultAlign, "scratch alignment above one cache line");
+  while (active_chunk_ < chunks_.size()) {
+    Chunk& c = chunks_[active_chunk_];
+    const size_t at = AlignUp(offset_, align);
+    if (at + bytes <= c.size) {
+      offset_ = at + bytes;
+      return c.data + at;
+    }
+    // Advance into the next (strictly larger) pre-grown chunk, if any.
+    ++active_chunk_;
+    offset_ = 0;
+  }
+  Grow(bytes);
+  offset_ = bytes;  // Grow aligned the base; bytes start at offset 0
+  return chunks_[active_chunk_].data;
+}
+
+void ScratchArena::Release(const Marker& m) {
+  MG_CHECK_LE(m.chunk, active_chunk_, "scratch marker released out of order");
+  active_chunk_ = m.chunk;
+  offset_ = m.offset;
+}
+
+size_t ScratchArena::capacity_bytes() const {
+  size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+int64_t ScratchArena::TotalChunkAllocs() {
+  return g_total_chunk_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace mocograd

@@ -1,0 +1,112 @@
+#ifndef MOCOGRAD_BASE_SCRATCH_H_
+#define MOCOGRAD_BASE_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mocograd {
+
+/// Per-thread grow-only bump arena for kernel scratch buffers (packed GEMM
+/// operands, GEMV accumulators, the conv backward's col_grad). The point is
+/// the steady state: after the first few calls have grown the backing
+/// chunks to the high-water mark, every later Alloc is a pointer bump —
+/// the hot path never touches the heap again (see the allocation-count
+/// assertions in tests/base/scratch_arena_test.cc and
+/// tests/tensor/gemm_microkernel_test.cc).
+///
+/// Usage is strictly scoped and strictly per thread: open a ScratchScope,
+/// allocate through it, and let the scope's destructor roll the arena back
+/// to where it was. Scopes nest (a conv backward chunk holds col_grad while
+/// the Gemm it calls opens its own inner scope on the same arena), which is
+/// exactly the bump-pointer discipline. A buffer may be *read or written*
+/// by other threads while the owning scope is alive — GEMM packs and reads
+/// its shared B buffer from pool workers — but only the owning thread may
+/// allocate from or release its arena.
+///
+/// Growth allocates additional, successively larger chunks and never moves
+/// or frees existing ones, so outstanding pointers stay valid across a
+/// grow. Memory is returned to the OS only when the thread exits (pool
+/// workers live for the process, so in practice each thread settles at its
+/// high-water mark).
+class ScratchArena {
+ public:
+  static constexpr size_t kDefaultAlign = 64;  // one cache line
+
+  ScratchArena() = default;
+  ~ScratchArena();
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The calling thread's arena (created on first use, destroyed with the
+  /// thread). ScratchScope below is the intended way to use it.
+  static ScratchArena& ThreadLocal();
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). Pointers
+  /// stay valid until the enclosing mark is released, even across growth.
+  void* Alloc(size_t bytes, size_t align = kDefaultAlign);
+
+  float* AllocFloats(size_t n) {
+    return static_cast<float*>(Alloc(n * sizeof(float)));
+  }
+
+  /// Bump-pointer position; Release rolls back to a previous Mark (LIFO —
+  /// callers use ScratchScope rather than pairing these by hand).
+  struct Marker {
+    size_t chunk = 0;
+    size_t offset = 0;
+  };
+  Marker Mark() const { return {active_chunk_, offset_}; }
+  void Release(const Marker& m);
+
+  /// Total bytes of backing storage this arena has ever allocated.
+  size_t capacity_bytes() const;
+
+  /// Process-wide count of backing-chunk heap allocations across every
+  /// thread's arena. Steady-state tests snapshot this, rerun a kernel, and
+  /// assert it did not move.
+  static int64_t TotalChunkAllocs();
+
+ private:
+  struct Chunk {
+    std::byte* data = nullptr;
+    size_t size = 0;
+  };
+
+  // Appends a chunk of at least `min_bytes` and makes it active.
+  void Grow(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t active_chunk_ = 0;
+  size_t offset_ = 0;
+};
+
+/// RAII window onto the calling thread's arena: everything allocated
+/// through the scope is reclaimed (pointer-bump rollback, no heap work)
+/// when the scope closes. Must be destroyed on the thread that created it,
+/// in LIFO order with any nested scopes — plain stack usage guarantees
+/// both.
+class ScratchScope {
+ public:
+  ScratchScope() : arena_(&ScratchArena::ThreadLocal()), mark_(arena_->Mark()) {}
+  explicit ScratchScope(ScratchArena& arena)
+      : arena_(&arena), mark_(arena.Mark()) {}
+  ~ScratchScope() { arena_->Release(mark_); }
+
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  void* Alloc(size_t bytes, size_t align = ScratchArena::kDefaultAlign) {
+    return arena_->Alloc(bytes, align);
+  }
+  float* AllocFloats(size_t n) { return arena_->AllocFloats(n); }
+
+ private:
+  ScratchArena* arena_;
+  ScratchArena::Marker mark_;
+};
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_SCRATCH_H_

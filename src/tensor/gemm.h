@@ -15,6 +15,27 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, int64_t lda, const float* b,
           int64_t ldb, float beta, float* c, int64_t ldc);
 
+/// Cache-blocking factors of the Gemm macro-kernel (docs/SIMD.md): the k
+/// dimension is split into ~kc-deep slices whose partial products are
+/// accumulated into C in slice order, mc rows of A are packed per block,
+/// and C columns are walked in nc-wide groups. Fixed per process — defaults
+/// tuned for L1/L2 residency, overridable via MOCOGRAD_GEMM_BLOCK
+/// ("mc,kc,nc", or one value for all three; read once at first use).
+struct GemmBlockSizes {
+  int64_t mc = 0;
+  int64_t kc = 0;
+  int64_t nc = 0;  // always a multiple of the 16-column panel width
+};
+
+/// The block sizes the next Gemm call will use.
+GemmBlockSizes GemmBlocking();
+
+/// Overrides the blocking at runtime (tests force tiny/ragged blocks with
+/// this). Any value < 1 resets to the MOCOGRAD_GEMM_BLOCK / default
+/// configuration. nc is rounded up to a multiple of the panel width. Not
+/// thread-safe — call only while no Gemm is in flight.
+void SetGemmBlockingForTest(int64_t mc, int64_t kc, int64_t nc);
+
 }  // namespace mocograd
 
 #endif  // MOCOGRAD_TENSOR_GEMM_H_

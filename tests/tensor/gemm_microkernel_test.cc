@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/scratch.h"
+#include "base/thread_pool.h"
 
 namespace mocograd {
 namespace {
@@ -90,6 +92,120 @@ TEST(GemmMicrokernelTest, SmallShapeSweepVsReference) {
       }
     }
   }
+}
+
+// The macro-kernel's cache blocking (mc,kc,nc) must never change *what* is
+// computed, only the loop order it is computed in — modulo the documented
+// kc-slice summation order, every block configuration has to agree with the
+// reference to float tolerance. Sweeping deliberately tiny and ragged
+// blocks forces every boundary in the blocked path: mc that does not divide
+// m, kc slices of uneven depth, nc groups narrower than one panel group,
+// and blocks larger than the whole problem.
+TEST(GemmMicrokernelTest, TinyRaggedBlockSweepVsReference) {
+  struct Blocks {
+    int64_t mc, kc, nc;
+  };
+  const Blocks configs[] = {
+      {1, 1, 16},    // degenerate: one row, one k step at a time
+      {7, 5, 32},    // ragged everything
+      {2, 3, 16},    // mc below the 6-row tile
+      {5, 7, 48},    // nc not a power of two
+      {1000, 1000, 1008},  // blocks larger than any test shape
+  };
+  // Shapes chosen to cross the blocked-path dispatch threshold
+  // (m >= 16, n >= 256) as well as the streaming/GEMV shapes, so every
+  // path runs under every blocking.
+  const struct {
+    int64_t m, n, k;
+  } shapes[] = {
+      {17, 256, 19}, {16, 272, 64}, {33, 304, 9},
+      {1, 300, 40},  {40, 1, 300},  {12, 512, 31},  {6, 40, 1},
+  };
+  for (const Blocks& blk : configs) {
+    SetGemmBlockingForTest(blk.mc, blk.kc, blk.nc);
+    for (const auto& s : shapes) {
+      for (bool ta : {false, true}) {
+        for (bool tb : {false, true}) {
+          Rng rng(static_cast<uint64_t>(s.m * 31 + s.n * 7 + s.k * 3 +
+                                        blk.mc * 1009 + blk.kc * 131 +
+                                        blk.nc + ta + 2 * tb));
+          const int64_t lda = (ta ? s.m : s.k) + 1;
+          const int64_t ldb = (tb ? s.k : s.n) + 2;
+          const int64_t ldc = s.n + 1;
+          std::vector<float> a(static_cast<size_t>(ta ? s.k : s.m) * lda);
+          std::vector<float> b(static_cast<size_t>(tb ? s.n : s.k) * ldb);
+          std::vector<float> c0(static_cast<size_t>(s.m) * ldc);
+          for (float& v : a) v = rng.Normal();
+          for (float& v : b) v = rng.Normal();
+          for (float& v : c0) v = rng.Normal();
+
+          std::vector<float> c_fast = c0, c_ref = c0;
+          Gemm(ta, tb, s.m, s.n, s.k, 1.5f, a.data(), lda, b.data(), ldb,
+               0.5f, c_fast.data(), ldc);
+          ReferenceGemm(ta, tb, s.m, s.n, s.k, 1.5f, a, lda, b, ldb, 0.5f,
+                        c_ref, ldc);
+          for (int64_t i = 0; i < s.m; ++i) {
+            for (int64_t j = 0; j < s.n; ++j) {
+              const float got = c_fast[i * ldc + j];
+              const float want = c_ref[i * ldc + j];
+              ASSERT_NEAR(got, want, 1e-3f + 1e-4f * std::fabs(want))
+                  << "blocks=(" << blk.mc << "," << blk.kc << "," << blk.nc
+                  << ") m=" << s.m << " n=" << s.n << " k=" << s.k
+                  << " ta=" << ta << " tb=" << tb << " at (" << i << "," << j
+                  << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+  SetGemmBlockingForTest(0, 0, 0);  // restore env/default configuration
+}
+
+// SetGemmBlockingForTest sanitizes its inputs the same way the env knob
+// does: nc snaps up to a whole panel group, and non-positive values reset
+// to the default configuration.
+TEST(GemmMicrokernelTest, BlockingOverrideRoundsAndResets) {
+  const GemmBlockSizes defaults = GemmBlocking();
+  SetGemmBlockingForTest(10, 24, 17);
+  GemmBlockSizes b = GemmBlocking();
+  EXPECT_EQ(b.mc, 10);
+  EXPECT_EQ(b.kc, 24);
+  EXPECT_EQ(b.nc % 16, 0);
+  EXPECT_GE(b.nc, 17);
+  SetGemmBlockingForTest(0, 0, 0);
+  b = GemmBlocking();
+  EXPECT_EQ(b.mc, defaults.mc);
+  EXPECT_EQ(b.kc, defaults.kc);
+  EXPECT_EQ(b.nc, defaults.nc);
+}
+
+// The point of the scratch arena: once a Gemm shape has run a couple of
+// times, later calls must not touch the heap at all — packing buffers come
+// from each thread's settled arena. A new backing chunk in steady state
+// means a regression back to per-call allocation.
+TEST(GemmMicrokernelTest, SteadyStateGemmAllocatesNoChunks) {
+  const int saved_threads = ThreadPool::GlobalNumThreads();
+  ThreadPool::SetGlobalNumThreads(1);
+  const int64_t m = 64, n = 320, k = 48;  // blocked path, packs A and B
+  Rng rng(0xabcdef);
+  std::vector<float> a(m * k), b(k * n), c(m * n, 0.0f);
+  for (float& v : a) v = rng.Normal();
+  for (float& v : b) v = rng.Normal();
+  auto run = [&] {
+    Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         c.data(), n);
+    // The m==1 GEMV path allocates its accumulator from the arena too.
+    Gemm(false, false, 1, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         c.data(), n);
+  };
+  run();
+  run();  // reach the high-water mark
+  const int64_t before = ScratchArena::TotalChunkAllocs();
+  for (int i = 0; i < 20; ++i) run();
+  EXPECT_EQ(ScratchArena::TotalChunkAllocs(), before)
+      << "Gemm allocated backing chunks after warm-up";
+  ThreadPool::SetGlobalNumThreads(saved_threads);
 }
 
 // Regression: the old kernel skipped the whole B row whenever an A value

@@ -10,7 +10,11 @@
 # (docs/OBSERVABILITY.md). A fourth pass enforces the SIMD determinism
 # contract (docs/SIMD.md): the suite must also pass with the hardware
 # backend disabled (MOCOGRAD_SIMD=0), and a training run's stdout must be
-# byte-identical with the backend on and off.
+# byte-identical with the backend on and off. A fifth pass stresses the
+# GEMM macro-kernel's cache blocking (docs/SIMD.md): the suite must pass
+# with deliberately tiny, ragged block sizes (MOCOGRAD_GEMM_BLOCK) on both
+# the hardware and scalar backends — blocking is a loop-order choice, never
+# a results choice.
 #
 # Usage: tools/run_tests.sh [build-dir]   (default: build)
 set -eu
@@ -40,6 +44,11 @@ test -s "$metrics_jsonl" || { echo "FAIL: no metrics written to $metrics_jsonl";
 echo "==> ctest with MOCOGRAD_SIMD=0 (lane-blocked scalar fallback)"
 (cd "$build_dir" && MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
 
+echo "==> ctest with tiny MOCOGRAD_GEMM_BLOCK=10,24,32 (SIMD on and off)"
+(cd "$build_dir" && MOCOGRAD_GEMM_BLOCK=10,24,32 ctest --output-on-failure -j)
+(cd "$build_dir" && MOCOGRAD_GEMM_BLOCK=10,24,32 MOCOGRAD_SIMD=0 \
+  ctest --output-on-failure -j)
+
 echo "==> SIMD on/off diff: example_quickstart stdout must be byte-identical"
 simd_on="$build_dir/simd_smoke_on.txt"
 simd_off="$build_dir/simd_smoke_off.txt"
@@ -49,5 +58,6 @@ diff "$simd_on" "$simd_off" || {
   echo "FAIL: training output differs between MOCOGRAD_SIMD=1 and =0"; exit 1;
 }
 
-echo "OK: tests pass at pool sizes 1 and 4 and with MOCOGRAD_SIMD=0;" \
-  "traced artifacts parse; SIMD on/off training output is byte-identical"
+echo "OK: tests pass at pool sizes 1 and 4, with MOCOGRAD_SIMD=0, and" \
+  "under tiny GEMM blocking; traced artifacts parse; SIMD on/off" \
+  "training output is byte-identical"
