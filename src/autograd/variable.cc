@@ -95,6 +95,8 @@ void Variable::BackwardImpl(const Tensor& seed, GradSink* sink) const {
   // Iterative post-order DFS to get a topological order (children after all
   // of their users when reversed).
   std::vector<Node*> order;
+  // Membership test only; traversal order comes from the explicit stack and
+  // the `order` vector. mg_lint:allow(nondeterminism)
   std::unordered_set<Node*> visited;
   struct Frame {
     Node* node;
@@ -121,6 +123,8 @@ void Variable::BackwardImpl(const Tensor& seed, GradSink* sink) const {
   // Per-sweep upstream accumulators, separate from node->grad so that
   // repeated Backward calls on different roots (per-task losses) compose via
   // += on leaves only, while interior nodes get a fresh accumulator.
+  // Keyed lookup only; the sweep walks `order`, never this map, so hash
+  // order cannot affect accumulation order. mg_lint:allow(nondeterminism)
   std::unordered_map<Node*, Tensor> upstream;
   upstream.reserve(order.size());
   upstream[node_.get()] = seed.Clone();

@@ -71,7 +71,9 @@ class Variable {
   void Backward(const Tensor& seed) const;
 
   /// Gradient destination for BackwardInto: one accumulator per reached
-  /// leaf, keyed by tape node.
+  /// leaf, keyed by tape node. Lookup-only — consumers find() by node and
+  /// never iterate, so the hash order cannot leak into results.
+  /// mg_lint:allow(nondeterminism)
   using GradSink = std::unordered_map<const Node*, Tensor>;
 
   /// Reverse-mode sweep like Backward(), but leaf gradients accumulate into

@@ -61,4 +61,34 @@ std::string StrCatForCheck(const Args&... args) {
       __FILE__, __LINE__, "FATAL",                                    \
       ::mocograd::internal::StrCatForCheck(__VA_ARGS__))
 
+/// Debug-only checks: same diagnostics as MG_CHECK, compiled out of Release
+/// builds so hot paths (arena allocation, microkernel setup) pay nothing.
+/// Active in Debug builds and in every sanitized / poisoned configuration
+/// (MOCOGRAD_DEBUG_POISON), so the sanitizer CI lanes exercise them on the
+/// full test suite. Condition and arguments are NOT evaluated when disabled
+/// — never put side effects inside an MG_DCHECK.
+#if !defined(NDEBUG) || defined(MOCOGRAD_DEBUG_POISON)
+#define MOCOGRAD_DCHECK_ENABLED 1
+#else
+#define MOCOGRAD_DCHECK_ENABLED 0
+#endif
+
+#if MOCOGRAD_DCHECK_ENABLED
+#define MG_DCHECK(cond, ...) MG_CHECK(cond, ##__VA_ARGS__)
+#define MG_DCHECK_EQ(a, b, ...) MG_CHECK_EQ(a, b, ##__VA_ARGS__)
+#define MG_DCHECK_NE(a, b, ...) MG_CHECK_NE(a, b, ##__VA_ARGS__)
+#define MG_DCHECK_LT(a, b, ...) MG_CHECK_LT(a, b, ##__VA_ARGS__)
+#define MG_DCHECK_LE(a, b, ...) MG_CHECK_LE(a, b, ##__VA_ARGS__)
+#define MG_DCHECK_GT(a, b, ...) MG_CHECK_GT(a, b, ##__VA_ARGS__)
+#define MG_DCHECK_GE(a, b, ...) MG_CHECK_GE(a, b, ##__VA_ARGS__)
+#else
+#define MG_DCHECK(cond, ...) do { (void)sizeof(!(cond)); } while (0)
+#define MG_DCHECK_EQ(a, b, ...) do { (void)sizeof((a) == (b)); } while (0)
+#define MG_DCHECK_NE(a, b, ...) do { (void)sizeof((a) != (b)); } while (0)
+#define MG_DCHECK_LT(a, b, ...) do { (void)sizeof((a) < (b)); } while (0)
+#define MG_DCHECK_LE(a, b, ...) do { (void)sizeof((a) <= (b)); } while (0)
+#define MG_DCHECK_GT(a, b, ...) do { (void)sizeof((a) > (b)); } while (0)
+#define MG_DCHECK_GE(a, b, ...) do { (void)sizeof((a) >= (b)); } while (0)
+#endif
+
 #endif  // MOCOGRAD_BASE_CHECK_H_

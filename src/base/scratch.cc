@@ -1,6 +1,7 @@
 #include "base/scratch.h"
 
 #include <atomic>
+#include <cstring>
 #include <new>
 
 #include "base/check.h"
@@ -13,9 +14,30 @@ namespace {
 // without growth, small enough that idle threads don't hoard memory.
 constexpr size_t kFirstChunkBytes = size_t{1} << 20;  // 1 MiB
 
+// Poisoned builds place this many canary bytes after every allocation
+// (verified on Release). One cache line, so kDefaultAlign-aligned
+// allocations stay cache-line spaced with the canary in between.
+constexpr size_t kCanaryBytes = 64;
+constexpr unsigned char kCanaryByte = 0xcb;
+
+// Extra bytes Alloc reserves past the user region in poisoned builds.
+constexpr size_t kAllocSlack =
+    ScratchArena::PoisoningEnabled() ? kCanaryBytes : 0;
+
 std::atomic<int64_t> g_total_chunk_allocs{0};
 
 size_t AlignUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+
+// Fills [p, p + bytes) with the signaling-NaN poison pattern (whole words;
+// a non-multiple-of-4 tail gets 0xa5 filler bytes).
+void PoisonFill(std::byte* p, size_t bytes) {
+  const uint32_t word = ScratchArena::kPoisonPattern;
+  size_t i = 0;
+  for (; i + sizeof(word) <= bytes; i += sizeof(word)) {
+    std::memcpy(p + i, &word, sizeof(word));
+  }
+  if (i < bytes) std::memset(p + i, 0xa5, bytes - i);
+}
 
 }  // namespace
 
@@ -43,34 +65,82 @@ void ScratchArena::Grow(size_t min_bytes) {
   offset_ = 0;
 }
 
+// MG_HOT_PATH — Alloc/Release are the steady-state bump path; the only
+// heap work is the explicitly cold Grow() (outside this region) and the
+// debug-only canary bookkeeping below.
 void* ScratchArena::Alloc(size_t bytes, size_t align) {
-  MG_CHECK_GE(align, 1u);
-  MG_CHECK((align & (align - 1)) == 0, "scratch alignment must be a power of 2");
+  MG_DCHECK_GE(align, 1u);
+  MG_DCHECK((align & (align - 1)) == 0,
+            "scratch alignment must be a power of 2");
   // Chunk bases are kDefaultAlign-aligned, so offset alignment suffices for
   // any align <= kDefaultAlign; larger requests still work because AlignUp
   // is applied to the offset of an aligned base only when align divides it.
-  MG_CHECK_LE(align, kDefaultAlign, "scratch alignment above one cache line");
-  while (active_chunk_ < chunks_.size()) {
+  MG_DCHECK_LE(align, kDefaultAlign, "scratch alignment above one cache line");
+  std::byte* user = nullptr;
+  size_t at = 0;
+  while (user == nullptr && active_chunk_ < chunks_.size()) {
     Chunk& c = chunks_[active_chunk_];
-    const size_t at = AlignUp(offset_, align);
-    if (at + bytes <= c.size) {
-      offset_ = at + bytes;
-      return c.data + at;
+    at = AlignUp(offset_, align);
+    if (at + bytes + kAllocSlack <= c.size) {
+      offset_ = at + bytes + kAllocSlack;
+      user = c.data + at;
+      break;
     }
     // Advance into the next (strictly larger) pre-grown chunk, if any.
     ++active_chunk_;
     offset_ = 0;
   }
-  Grow(bytes);
-  offset_ = bytes;  // Grow aligned the base; bytes start at offset 0
-  return chunks_[active_chunk_].data;
+  if (user == nullptr) {
+    Grow(bytes + kAllocSlack);
+    at = 0;  // Grow aligned the base; bytes start at offset 0
+    offset_ = bytes + kAllocSlack;
+    user = chunks_[active_chunk_].data;
+  }
+  if constexpr (PoisoningEnabled()) {
+    // Read-before-write of scratch must surface as NaN, and a linear
+    // overrun of the user region must trip the canary on Release.
+    PoisonFill(user, bytes);
+    std::memset(user + bytes, kCanaryByte, kCanaryBytes);
+    // Debug/sanitized builds only — compiled out of the Release steady
+    // state entirely. mg_lint:allow(hot-path-alloc)
+    canaries_.push_back({active_chunk_, at, at + bytes});
+  }
+  return user;
 }
 
 void ScratchArena::Release(const Marker& m) {
   MG_CHECK_LE(m.chunk, active_chunk_, "scratch marker released out of order");
+  if constexpr (PoisoningEnabled()) {
+    // Verify and retire the canary of every allocation past the marker
+    // (LIFO — ScratchScope guarantees release order).
+    while (!canaries_.empty()) {
+      const CanaryRecord& r = canaries_.back();
+      if (r.chunk < m.chunk || (r.chunk == m.chunk && r.start < m.offset)) {
+        break;
+      }
+      const std::byte* canary = chunks_[r.chunk].data + r.canary_offset;
+      for (size_t i = 0; i < kCanaryBytes; ++i) {
+        MG_CHECK_EQ(static_cast<unsigned>(canary[i]),
+                    static_cast<unsigned>(kCanaryByte),
+                    "scratch canary overwritten ", i, " bytes past a ",
+                    r.canary_offset - r.start, "-byte allocation");
+      }
+      canaries_.pop_back();
+    }
+    // Re-poison the rolled-back span so use-after-release reads NaN. The
+    // common case releases within one chunk ([m.offset, offset_)); a span
+    // that crossed chunks poisons the exhausted chunks to their ends.
+    for (size_t ci = m.chunk; ci <= active_chunk_ && ci < chunks_.size();
+         ++ci) {
+      const size_t lo = ci == m.chunk ? m.offset : 0;
+      const size_t hi = ci == active_chunk_ ? offset_ : chunks_[ci].size;
+      if (hi > lo) PoisonFill(chunks_[ci].data + lo, hi - lo);
+    }
+  }
   active_chunk_ = m.chunk;
   offset_ = m.offset;
 }
+// MG_HOT_PATH_END
 
 size_t ScratchArena::capacity_bytes() const {
   size_t total = 0;

@@ -33,6 +33,26 @@ class ScratchArena {
  public:
   static constexpr size_t kDefaultAlign = 64;  // one cache line
 
+  /// True when this build poisons scratch memory (MOCOGRAD_DEBUG_POISON:
+  /// Debug and sanitized builds). Poisoned builds fill every Alloc'd and
+  /// every Release'd region with signaling NaNs — a kernel that reads
+  /// scratch before writing it computes NaNs instead of silently reusing
+  /// stale values — and place a canary word block after each allocation
+  /// that Release verifies, catching linear overruns of packed buffers.
+  /// See docs/CORRECTNESS.md.
+  static constexpr bool PoisoningEnabled() {
+#ifdef MOCOGRAD_DEBUG_POISON
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Bit pattern poisoned float scratch reads back as: a signaling NaN
+  /// (quiet bit clear, non-zero payload), so any arithmetic on it yields
+  /// NaN and std::isnan flags it.
+  static constexpr uint32_t kPoisonPattern = 0x7fa0dead;
+
   ScratchArena() = default;
   ~ScratchArena();
 
@@ -74,12 +94,23 @@ class ScratchArena {
     size_t size = 0;
   };
 
+  // One live allocation's canary record (poisoned builds only): Release
+  // verifies the canary block at [chunk.data + canary_offset,
+  // + kCanaryBytes) is intact for every allocation it rolls back, then
+  // re-poisons the freed span.
+  struct CanaryRecord {
+    size_t chunk = 0;
+    size_t start = 0;          // user region begins here
+    size_t canary_offset = 0;  // user region ends here; canary follows
+  };
+
   // Appends a chunk of at least `min_bytes` and makes it active.
   void Grow(size_t min_bytes);
 
   std::vector<Chunk> chunks_;
   size_t active_chunk_ = 0;
   size_t offset_ = 0;
+  std::vector<CanaryRecord> canaries_;  // used only when PoisoningEnabled()
 };
 
 /// RAII window onto the calling thread's arena: everything allocated

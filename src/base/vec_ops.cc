@@ -5,6 +5,10 @@
 namespace mocograd {
 namespace vec {
 
+// MG_HOT_PATH — every kernel below runs on the per-step steady state;
+// mg_lint enforces that no heap allocation or container growth appears
+// before the matching end marker (docs/CORRECTNESS.md).
+
 namespace {
 
 // Reduction core shared by DotF64/SquaredNormF64/SumF64: `lane_fn(acc, lo,
@@ -112,6 +116,8 @@ double SumF64(int64_t n, const float* a) {
         [&](double s, int64_t i) { return s + static_cast<double>(a[i]); });
   });
 }
+
+// MG_HOT_PATH_END
 
 }  // namespace vec
 }  // namespace mocograd

@@ -47,6 +47,7 @@ AggregationResult GradVac::Aggregate(const AggregationContext& ctx) {
   std::vector<float> gi(p);
   std::vector<int> others(k);
   std::iota(others.begin(), others.end(), 0);
+  // MG_HOT_PATH — the O(K²·p) vaccination sweep; vec:: kernels only.
   for (int i = 0; i < k; ++i) {
     const float* row = g.Row(i);
     std::copy(row, row + p, gi.begin());
@@ -82,6 +83,7 @@ AggregationResult GradVac::Aggregate(const AggregationContext& ctx) {
     }
     vec::Add(p, gi.data(), out.shared_grad.data());
   }
+  // MG_HOT_PATH_END
   return out;
 }
 

@@ -84,6 +84,8 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
     obs::ScopedPhase calibrate_phase(ctx.profile, "calibrate");
     std::vector<int> others(k);
     std::iota(others.begin(), others.end(), 0);
+    // MG_HOT_PATH — the O(K²·p) conflict/calibration sweep; all vector
+    // arithmetic goes through the vec:: kernels, no allocation.
     for (int i = 0; i < k; ++i) {
       const float* gi = g.Row(i);
       int chosen = -1;
@@ -104,6 +106,7 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
       // Eq. (8): ĝ_i = g_i + λ (‖g_j‖/‖m_j‖) m_j for the chosen partner.
       if (chosen >= 0) add_calibration(chosen);
     }
+    // MG_HOT_PATH_END
   }
 
   // Eq. (9): one EMA update per task per step.

@@ -15,6 +15,7 @@ namespace {
 // arithmetic (explicit MulAdd where lanes fuse), so updates are
 // bit-identical across backends and the MOCOGRAD_SIMD knob. Weight decay
 // folds into the gradient with a fused multiply-add, matching the lane op.
+// MG_HOT_PATH — per-step parameter updates; no allocation.
 
 template <typename B>
 void SgdMomentumSpan(int64_t n, float lr, float momentum, float wd,
@@ -109,6 +110,7 @@ void AdagradSpan(int64_t n, float lr, float eps, const float* g, float* a,
     x[j] -= (lr * g[j]) / (simd::Sqrt(a[j]) + eps);
   }
 }
+// MG_HOT_PATH_END
 
 }  // namespace
 

@@ -109,6 +109,12 @@ GemmBlockSizes& BlockConfig() {
   return cfg;
 }
 
+// MG_HOT_PATH — everything below (pack, microkernel, macro-kernel, GEMV and
+// rank-update paths, and Gemm itself) is the per-step steady state: all
+// scratch must come from ScratchScope, never the heap (docs/CORRECTNESS.md;
+// the steady-state allocation tests in tests/tensor/gemm_microkernel_test.cc
+// measure the same contract dynamically).
+
 // One 16-column panel of op(B): `data` points at row p=0, rows are `stride`
 // floats apart. Full panels of a non-transposed B are read in place
 // (stride = ldb) on the small-m path; transposed, blocked-path, and edge
@@ -632,6 +638,14 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   MG_CHECK_GE(n, 0);
   MG_CHECK_GE(k, 0);
   if (m == 0 || n == 0) return;
+  MG_CHECK(c != nullptr, "Gemm: null C for m=", m, " n=", n);
+  MG_CHECK_GE(ldc, n, "Gemm: ldc below row width");
+  if (k > 0) {
+    MG_CHECK(a != nullptr && b != nullptr, "Gemm: null operand for m=", m,
+             " n=", n, " k=", k);
+    MG_CHECK_GE(lda, trans_a ? m : k, "Gemm: lda below op(A) row width");
+    MG_CHECK_GE(ldb, trans_b ? k : n, "Gemm: ldb below op(B) row width");
+  }
   MG_TRACE_SCOPE("gemm");
   MG_METRIC_TIME_SCOPE("gemm.seconds");
   MG_METRIC_COUNT("gemm.calls", 1);
@@ -793,5 +807,7 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     });
   });
 }
+
+// MG_HOT_PATH_END
 
 }  // namespace mocograd

@@ -65,25 +65,31 @@ class Tensor {
     return storage_->data();
   }
 
-  /// Element access by flat index.
+  /// Element access by flat index. Bounds are MG_DCHECK'd: enforced in
+  /// Debug and sanitized builds, free in Release (these accessors sit on
+  /// per-element hot paths).
   float& operator[](int64_t i) {
-    MG_CHECK_GE(i, 0);
-    MG_CHECK_LT(i, NumElements());
+    MG_DCHECK_GE(i, 0, "index into ", shape_.ToString());
+    MG_DCHECK_LT(i, NumElements(), "index into ", shape_.ToString());
     return data()[i];
   }
   float operator[](int64_t i) const {
-    MG_CHECK_GE(i, 0);
-    MG_CHECK_LT(i, NumElements());
+    MG_DCHECK_GE(i, 0, "index into ", shape_.ToString());
+    MG_DCHECK_LT(i, NumElements(), "index into ", shape_.ToString());
     return data()[i];
   }
 
-  /// 2-D element access; tensor must be rank 2.
+  /// 2-D element access; tensor must be rank 2 (bounds MG_DCHECK'd).
   float& At(int64_t r, int64_t c) {
-    MG_CHECK_EQ(Rank(), 2);
+    MG_DCHECK_EQ(Rank(), 2, "At() on ", shape_.ToString());
+    MG_DCHECK(r >= 0 && r < Dim(0) && c >= 0 && c < Dim(1), "At(", r, ", ",
+              c, ") out of bounds for ", shape_.ToString());
     return data()[r * Dim(1) + c];
   }
   float At(int64_t r, int64_t c) const {
-    MG_CHECK_EQ(Rank(), 2);
+    MG_DCHECK_EQ(Rank(), 2, "At() on ", shape_.ToString());
+    MG_DCHECK(r >= 0 && r < Dim(0) && c >= 0 && c < Dim(1), "At(", r, ", ",
+              c, ") out of bounds for ", shape_.ToString());
     return data()[r * Dim(1) + c];
   }
 

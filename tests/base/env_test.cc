@@ -38,6 +38,58 @@ TEST(EnvTest, IntOutOfRangeUsesFallback) {
   unsetenv("MG_ENV_TEST_RANGE");
 }
 
+TEST(EnvTest, ListParsesCommaSeparatedValues) {
+  ASSERT_EQ(setenv("MG_ENV_TEST_LIST", "10,24,32", 1), 0);
+  const std::vector<int> v = GetEnvIntList("MG_ENV_TEST_LIST", 1, 1 << 20);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 24);
+  EXPECT_EQ(v[2], 32);
+  unsetenv("MG_ENV_TEST_LIST");
+}
+
+TEST(EnvTest, ListSingleElement) {
+  ASSERT_EQ(setenv("MG_ENV_TEST_LIST1", "64", 1), 0);
+  const std::vector<int> v = GetEnvIntList("MG_ENV_TEST_LIST1", 1, 1 << 20);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 64);
+  unsetenv("MG_ENV_TEST_LIST1");
+}
+
+TEST(EnvTest, ListUnsetOrEmptyIsEmpty) {
+  unsetenv("MG_ENV_TEST_LIST_UNSET");
+  EXPECT_TRUE(GetEnvIntList("MG_ENV_TEST_LIST_UNSET", 1, 64).empty());
+  ASSERT_EQ(setenv("MG_ENV_TEST_LIST_UNSET", "", 1), 0);
+  EXPECT_TRUE(GetEnvIntList("MG_ENV_TEST_LIST_UNSET", 1, 64).empty());
+  unsetenv("MG_ENV_TEST_LIST_UNSET");
+}
+
+// Any malformed element rejects the whole list — a partially-applied knob
+// would be worse than a silently ignored one.
+TEST(EnvTest, ListMalformedIsEmpty) {
+  const char* bad[] = {"banana", "1,two,3", "1,,3",  "1,2,",
+                       ",1,2",   "1;2",     "1,2 3", "1.5,2,3"};
+  for (const char* value : bad) {
+    ASSERT_EQ(setenv("MG_ENV_TEST_LIST_BAD", value, 1), 0);
+    EXPECT_TRUE(GetEnvIntList("MG_ENV_TEST_LIST_BAD", 1, 1 << 20).empty())
+        << "value: " << value;
+  }
+  unsetenv("MG_ENV_TEST_LIST_BAD");
+}
+
+// Out-of-range elements reject the whole list, including values too large
+// for long (strtol clamps to LONG_MAX, which is above any sane max).
+TEST(EnvTest, ListOutOfRangeIsEmpty) {
+  const char* bad[] = {"0,24,32", "-3,24,32", "10,24,2000000",
+                       "99999999999999999999"};
+  for (const char* value : bad) {
+    ASSERT_EQ(setenv("MG_ENV_TEST_LIST_RANGE", value, 1), 0);
+    EXPECT_TRUE(GetEnvIntList("MG_ENV_TEST_LIST_RANGE", 1, 1 << 20).empty())
+        << "value: " << value;
+  }
+  unsetenv("MG_ENV_TEST_LIST_RANGE");
+}
+
 TEST(EnvTest, StringReturnsValueOrFallback) {
   ASSERT_EQ(setenv("MG_ENV_TEST_STR", "/tmp/trace.json", 1), 0);
   EXPECT_EQ(GetEnvString("MG_ENV_TEST_STR"), "/tmp/trace.json");

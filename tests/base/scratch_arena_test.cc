@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <thread>
@@ -108,6 +109,64 @@ TEST(ScratchArenaTest, ThreadLocalArenasAreDistinct) {
     EXPECT_EQ(main_ptr[0], 1.0f);
   }
 }
+
+// --- Debug poisoning (MOCOGRAD_DEBUG_POISON; Debug and sanitized builds).
+// These tests prove the poisoning contract of docs/CORRECTNESS.md: scratch
+// read before it is written is a signaling NaN, released scratch reads as
+// NaN again, and writing past an allocation trips the bounds canary. They
+// skip in Release builds, where poisoning compiles out.
+
+TEST(ScratchArenaTest, PoisonCatchesReadBeforeWrite) {
+  if (!ScratchArena::PoisoningEnabled()) {
+    GTEST_SKIP() << "poisoning compiled out (Release build)";
+  }
+  ScratchArena arena;
+  ScratchScope scope(arena);
+  float* p = scope.AllocFloats(256);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(std::isnan(p[i])) << "read-before-write not NaN at " << i;
+    uint32_t bits;
+    std::memcpy(&bits, &p[i], sizeof(bits));
+    ASSERT_EQ(bits, ScratchArena::kPoisonPattern) << "at " << i;
+  }
+  // The poison survives arithmetic: a kernel accumulating stale scratch
+  // produces NaN output instead of a silently wrong number.
+  EXPECT_TRUE(std::isnan(p[0] * 0.0f + 1.0f));
+}
+
+TEST(ScratchArenaTest, ReleasedScratchIsRepoisoned) {
+  if (!ScratchArena::PoisoningEnabled()) {
+    GTEST_SKIP() << "poisoning compiled out (Release build)";
+  }
+  ScratchArena arena;
+  float* p = nullptr;
+  {
+    ScratchScope scope(arena);
+    p = scope.AllocFloats(64);
+    for (int i = 0; i < 64; ++i) p[i] = 1.0f;
+  }
+  // The chunk still backs the arena, so the pointer is dereferenceable —
+  // but a use-after-release computes NaN, not yesterday's values.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(std::isnan(p[i])) << "stale value visible at " << i;
+  }
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(ScratchArenaDeathTest, CanaryCatchesOverrun) {
+  if (!ScratchArena::PoisoningEnabled()) {
+    GTEST_SKIP() << "poisoning compiled out (Release build)";
+  }
+  EXPECT_DEATH(
+      {
+        ScratchArena arena;
+        ScratchScope scope(arena);
+        float* p = scope.AllocFloats(8);
+        p[8] = 1.0f;  // first byte past the allocation
+      },
+      "scratch canary overwritten");
+}
+#endif  // GTEST_HAS_DEATH_TEST
 
 }  // namespace
 }  // namespace mocograd

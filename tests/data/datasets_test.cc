@@ -268,8 +268,10 @@ TEST(OfficeHomeSimTest, LabelNoiseInjectsMislabels) {
   noisy.label_noise = 0.5f;
   data::OfficeHomeSim a(clean), b(noisy);
   // Under 50% label noise, a sizeable fraction of train labels differ from
-  // the class index implied by generation order.
-  const auto& labels = b.TestBatches()[0].labels;
+  // the class index implied by generation order. TestBatches() returns by
+  // value; keep the batches alive past the subscript.
+  const auto batches = b.TestBatches();
+  const auto& labels = batches[0].labels;
   int mismatches = 0;
   int row = 0;
   for (int cls = 0; cls < 10; ++cls) {

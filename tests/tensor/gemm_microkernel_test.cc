@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
@@ -178,6 +179,44 @@ TEST(GemmMicrokernelTest, BlockingOverrideRoundsAndResets) {
   EXPECT_EQ(b.mc, defaults.mc);
   EXPECT_EQ(b.kc, defaults.kc);
   EXPECT_EQ(b.nc, defaults.nc);
+}
+
+// Garbage in MOCOGRAD_GEMM_BLOCK must fall back to the default blocking
+// without crashing — the GetEnvIntList contract (src/base/env.h) is that an
+// env typo never aborts a training run. SetGemmBlockingForTest(0,0,0)
+// re-reads the env, so each garbage value exercises the same parse path the
+// first Gemm call takes.
+TEST(GemmMicrokernelTest, GarbageGemmBlockEnvFallsBackToDefaults) {
+  unsetenv("MOCOGRAD_GEMM_BLOCK");
+  SetGemmBlockingForTest(0, 0, 0);
+  const GemmBlockSizes defaults = GemmBlocking();
+
+  const char* garbage[] = {"banana", "10,24", "10,24,32,64", "10,,32",
+                           "0,24,32", "-96,256,256", "99999999999999999999",
+                           "10,24,32trailing"};
+  for (const char* value : garbage) {
+    ASSERT_EQ(setenv("MOCOGRAD_GEMM_BLOCK", value, 1), 0);
+    SetGemmBlockingForTest(0, 0, 0);
+    const GemmBlockSizes b = GemmBlocking();
+    EXPECT_EQ(b.mc, defaults.mc) << "value: " << value;
+    EXPECT_EQ(b.kc, defaults.kc) << "value: " << value;
+    EXPECT_EQ(b.nc, defaults.nc) << "value: " << value;
+
+    // And a Gemm under the fallen-back configuration still computes.
+    Rng rng(7);
+    const int64_t m = 5, n = 6, k = 4;
+    std::vector<float> a(m * k), bm(k * n), c(m * n, 0.0f), c_ref = c;
+    for (float& v : a) v = rng.Normal();
+    for (float& v : bm) v = rng.Normal();
+    Gemm(false, false, m, n, k, 1.0f, a.data(), k, bm.data(), n, 0.0f,
+         c.data(), n);
+    ReferenceGemm(false, false, m, n, k, 1.0f, a, k, bm, n, 0.0f, c_ref, n);
+    for (size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], c_ref[i], 1e-4f) << "value: " << value;
+    }
+  }
+  unsetenv("MOCOGRAD_GEMM_BLOCK");
+  SetGemmBlockingForTest(0, 0, 0);
 }
 
 // The point of the scratch arena: once a Gemm shape has run a couple of

@@ -1,0 +1,257 @@
+// Behavior tests for tools/mg_lint.cc: each forbidden pattern is planted in
+// a fixture tree and the real binary (path injected via MG_LINT_BIN) must
+// exit non-zero naming the right rule; clean trees and mg_lint:allow()
+// annotations must pass. The `lint` ctest runs the same binary over the
+// actual repository.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintResult RunLint(const fs::path& root) {
+  const std::string cmd =
+      std::string(MG_LINT_BIN) + " " + root.string() + " 2>&1";
+  LintResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to spawn: " << cmd;
+  if (pipe == nullptr) return result;
+  char buf[512];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+void WriteFile(const fs::path& p, const std::string& content) {
+  fs::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  ASSERT_TRUE(out.good()) << p;
+  out << content;
+}
+
+// A fresh fixture root per test; README.md documents the one sanctioned
+// knob fixtures may reference.
+class MgLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "mg_lint_fixture" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    WriteFile(root_ / "README.md",
+              "Runtime knobs:\n- `MOCOGRAD_DOCUMENTED_KNOB=n` does a thing\n");
+    WriteFile(root_ / "src" / "base" / "ok.cc",
+              "namespace mocograd {\nint Fine() { return 1; }\n}\n");
+  }
+
+  fs::path root_;
+};
+
+TEST_F(MgLintTest, CleanTreePasses) {
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("mg_lint: OK"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsRand) {
+  WriteFile(root_ / "src" / "core" / "bad.cc",
+            "int Noise() { return rand(); }\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[nondeterminism]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad.cc:1"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsTimeAndClock) {
+  WriteFile(root_ / "src" / "tensor" / "bad.cc",
+            "long Now() { return time(nullptr); }\n"
+            "long Ticks() { return clock(); }\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("bad.cc:1: [nondeterminism]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("bad.cc:2: [nondeterminism]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(MgLintTest, RuntimeDoesNotTripTimeRule) {
+  WriteFile(root_ / "src" / "base" / "fine.cc",
+            "int runtime(int x) { return x; }\n"
+            "int Call() { return runtime(3); }\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsUnorderedContainerUse) {
+  WriteFile(root_ / "src" / "core" / "bad.cc",
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, int> g_table;\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // The use site (line 2) is flagged; the #include line is exempt.
+  EXPECT_NE(r.output.find("bad.cc:2: [nondeterminism]"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("bad.cc:1:"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsStdReduce) {
+  WriteFile(root_ / "src" / "core" / "bad.cc",
+            "float Sum(const float* p, int n) {\n"
+            "  return std::reduce(p, p + n);\n"
+            "}\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[nondeterminism]"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsOpenMpPragma) {
+  WriteFile(root_ / "src" / "tensor" / "bad.cc",
+            "#pragma omp parallel for\n"
+            "void K() {}\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[nondeterminism]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("omp"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsHotPathAllocation) {
+  WriteFile(root_ / "src" / "tensor" / "bad.cc",
+            "#include <vector>\n"
+            "// MG_HOT_PATH\n"
+            "void Kernel(std::vector<float>& v) { v.push_back(1.0f); }\n"
+            "// MG_HOT_PATH_END\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[hot-path-alloc]"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, HotPathEndClosesRegion) {
+  WriteFile(root_ / "src" / "tensor" / "fine.cc",
+            "#include <vector>\n"
+            "// MG_HOT_PATH\n"
+            "void Kernel(const float* x) { (void)x; }\n"
+            "// MG_HOT_PATH_END\n"
+            "void Setup(std::vector<float>& v) { v.push_back(1.0f); }\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsRawNewInHotPath) {
+  WriteFile(root_ / "src" / "tensor" / "bad.cc",
+            "// MG_HOT_PATH\n"
+            "float* Kernel() { return new float[64]; }\n"
+            "// MG_HOT_PATH_END\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[hot-path-alloc]"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsLayeringBackEdge) {
+  WriteFile(root_ / "src" / "base" / "bad.cc",
+            "#include \"tensor/tensor.h\"\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[layering]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("back-edge"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsSiblingLayerInclude) {
+  WriteFile(root_ / "src" / "nn" / "bad.cc",
+            "#include \"optim/optimizer.h\"\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[layering]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("sibling"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, DownwardIncludePasses) {
+  WriteFile(root_ / "src" / "mtl" / "fine.cc",
+            "#include \"core/aggregator.h\"\n"
+            "#include \"base/check.h\"\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsBareAssert) {
+  WriteFile(root_ / "src" / "base" / "bad.cc",
+            "#include <cassert>\n"
+            "void F(int x) { assert(x > 0); }\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[bare-assert]"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, StaticAssertPasses) {
+  WriteFile(root_ / "src" / "base" / "fine.cc",
+            "static_assert(sizeof(int) == 4, \"ILP32/LP64 only\");\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MgLintTest, FlagsUndocumentedEnvKnob) {
+  WriteFile(root_ / "src" / "base" / "bad.cc",
+            "#include \"base/env.h\"\n"
+            "int K() { return mocograd::GetEnvInt(\"MOCOGRAD_SECRET_KNOB\", "
+            "0, 0, 1); }\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[env-registry]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("MOCOGRAD_SECRET_KNOB"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(MgLintTest, DocumentedEnvKnobPasses) {
+  WriteFile(root_ / "src" / "base" / "fine.cc",
+            "#include \"base/env.h\"\n"
+            "int K() { return mocograd::GetEnvInt(\"MOCOGRAD_DOCUMENTED_KNOB"
+            "\", 0, 0, 1); }\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MgLintTest, AllowAnnotationOnLineSuppresses) {
+  WriteFile(root_ / "src" / "core" / "fine.cc",
+            "int Noise() { return rand(); }  // mg_lint:allow(nondeterminism)"
+            " -- fixture\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MgLintTest, AllowAnnotationOnPrecedingLineSuppresses) {
+  WriteFile(root_ / "src" / "core" / "fine.cc",
+            "// lookup-only table, never iterated:\n"
+            "// mg_lint:allow(nondeterminism)\n"
+            "std::unordered_map<int, int> g_table;\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(MgLintTest, AllowForWrongRuleDoesNotSuppress) {
+  WriteFile(root_ / "src" / "core" / "bad.cc",
+            "int Noise() { return rand(); }  // mg_lint:allow(layering)\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[nondeterminism]"), std::string::npos) << r.output;
+}
+
+TEST_F(MgLintTest, CommentsAndStringsDoNotTrip) {
+  WriteFile(root_ / "src" / "base" / "fine.cc",
+            "// rand() and time() are banned; std::unordered_map too.\n"
+            "/* #pragma omp would be flagged in code */\n"
+            "const char* kDoc = \"never call rand() or malloc()\";\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

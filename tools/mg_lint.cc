@@ -1,0 +1,519 @@
+// mg_lint — repo invariant checker (docs/CORRECTNESS.md).
+//
+// The repo has three contracts that types cannot express: the fork–join
+// thread-safety contract (docs/ARCHITECTURE.md), the cross-ISA
+// bit-determinism contract (docs/SIMD.md), and the zero-steady-state-
+// allocation contract of the scratch arenas (base/scratch.h). This tool
+// makes the textual shadows of those contracts machine-checked:
+//
+//   nondeterminism   no nondeterminism sources in src/: rand()/srand()/
+//                    random()/time()/clock()/std::random_device (use
+//                    base/rng.h), std::unordered_* (iteration order is
+//                    implementation-defined — use it only with an allow
+//                    annotation proving lookup-only access), std::reduce
+//                    (unspecified reduction tree), #pragma omp (threading
+//                    goes through base/thread_pool.h), and fast-math-style
+//                    pragmas (the determinism contract pins -ffp-contract).
+//   hot-path-alloc   no raw heap allocation or container growth inside
+//                    regions bracketed by // MG_HOT_PATH ... // MG_HOT_PATH_END
+//                    (GEMM, vec_ops, scratch release, surgery loops): the
+//                    steady state must be allocation-free; scratch comes
+//                    from base/scratch.h arenas.
+//   layering         includes must respect the module layering
+//                    base → obs → tensor → autograd → {nn,optim,solvers,
+//                    data,eval} → core → mtl → harness; no back-edges, no
+//                    cross-includes between same-layer siblings.
+//   bare-assert      no bare assert() in src/ — use MG_CHECK / MG_DCHECK
+//                    (base/check.h), which report expression and file:line
+//                    in every build type.
+//   env-registry     every MOCOGRAD_* env knob parsed in src/ or bench/
+//                    must be documented in README.md's runtime-knob table.
+//
+// Suppression grammar: `// mg_lint:allow(<rule>)` on the offending line, or
+// on a comment-only line directly above it. An allow is a reviewed claim
+// that the invariant holds for a reason the textual check cannot see — pair
+// it with a comment saying why.
+//
+// Usage: mg_lint <repo_root>
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct KnobRef {
+  std::string name;
+  std::string file;
+  int line = 0;
+};
+
+// Module ranks for the layering rule. A file under src/<dir>/ may include
+// "e/..." only when rank(e) <= rank(dir), and equal ranks only within the
+// same directory (nn, optim, solvers, data, eval are siblings that must not
+// couple to each other).
+const std::map<std::string, int>& LayerRanks() {
+  static const std::map<std::string, int> ranks = {
+      {"base", 0},    {"obs", 1},  {"tensor", 2}, {"autograd", 3},
+      {"nn", 4},      {"optim", 4}, {"solvers", 4}, {"data", 4},
+      {"eval", 4},    {"core", 5}, {"mtl", 6},    {"harness", 7},
+  };
+  return ranks;
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// Blanks comments, string-literal bodies, and char-literal bodies out of
+// each line (preserving length and line structure) so token rules never
+// fire on prose. Comment text is preserved separately for the annotation
+// and hot-path-marker scans.
+void StripCommentsAndStrings(const std::vector<std::string>& raw,
+                             std::vector<std::string>* code,
+                             std::vector<std::string>* comments) {
+  enum class State { kCode, kString, kChar, kBlockComment };
+  State state = State::kCode;
+  code->assign(raw.size(), "");
+  comments->assign(raw.size(), "");
+  for (size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    std::string& out = (*code)[li];
+    std::string& cmt = (*comments)[li];
+    out.assign(line.size(), ' ');
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            cmt += line.substr(i + 2);
+            i = line.size();  // rest of line is comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kChar;
+          } else {
+            out[i] = c;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            out[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            out[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          } else {
+            cmt.push_back(c);
+          }
+          break;
+      }
+    }
+    // Unterminated line states: strings don't span lines in this codebase;
+    // reset to be safe. Block comments do span lines.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+  }
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Finds `token` in `code` requiring a non-identifier character before it
+// (so `time(` never fires on `runtime(`, and `static_assert(` never fires
+// the bare-assert rule). Returns npos if absent.
+size_t FindToken(const std::string& code, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    if (pos == 0 || !IsIdentChar(code[pos - 1])) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+struct TokenRule {
+  std::string token;
+  std::string rule;
+  std::string message;
+};
+
+const std::vector<TokenRule>& NondeterminismTokens() {
+  static const std::vector<TokenRule> rules = {
+      {"rand(", "nondeterminism", "rand() — use base/rng.h (seeded, stable)"},
+      {"srand(", "nondeterminism", "srand() — use base/rng.h"},
+      {"random(", "nondeterminism", "random() — use base/rng.h"},
+      {"rand_r(", "nondeterminism", "rand_r() — use base/rng.h"},
+      {"drand48(", "nondeterminism", "drand48() — use base/rng.h"},
+      {"random_device", "nondeterminism",
+       "std::random_device — nondeterministic seed; use base/rng.h"},
+      {"time(", "nondeterminism",
+       "time() — wall-clock in kernel code; obs/ owns timing"},
+      {"clock(", "nondeterminism",
+       "clock() — wall-clock in kernel code; obs/ owns timing"},
+      {"unordered_map", "nondeterminism",
+       "std::unordered_map — iteration order is implementation-defined; "
+       "annotate lookup-only uses with mg_lint:allow(nondeterminism)"},
+      {"unordered_set", "nondeterminism",
+       "std::unordered_set — iteration order is implementation-defined; "
+       "annotate lookup-only uses with mg_lint:allow(nondeterminism)"},
+      {"unordered_multimap", "nondeterminism",
+       "std::unordered_multimap — iteration order is implementation-defined"},
+      {"std::reduce", "nondeterminism",
+       "std::reduce — unspecified reduction tree; use vec:: kernels"},
+  };
+  return rules;
+}
+
+const std::vector<TokenRule>& HotPathTokens() {
+  static const std::vector<TokenRule> rules = {
+      {"new", "hot-path-alloc", "raw new in a hot-path region"},
+      {"malloc(", "hot-path-alloc", "malloc in a hot-path region"},
+      {"calloc(", "hot-path-alloc", "calloc in a hot-path region"},
+      {"realloc(", "hot-path-alloc", "realloc in a hot-path region"},
+      {"aligned_alloc(", "hot-path-alloc",
+       "aligned_alloc in a hot-path region"},
+      {"free(", "hot-path-alloc", "free in a hot-path region"},
+      {"push_back(", "hot-path-alloc", "container growth in a hot-path region"},
+      {"emplace_back(", "hot-path-alloc",
+       "container growth in a hot-path region"},
+      {"emplace(", "hot-path-alloc", "container growth in a hot-path region"},
+      {"resize(", "hot-path-alloc", "container growth in a hot-path region"},
+      {"reserve(", "hot-path-alloc", "container growth in a hot-path region"},
+      {"make_unique", "hot-path-alloc",
+       "heap allocation in a hot-path region"},
+      {"make_shared", "hot-path-alloc",
+       "heap allocation in a hot-path region"},
+      {"std::vector<", "hot-path-alloc",
+       "vector construction in a hot-path region — use a ScratchScope"},
+  };
+  return rules;
+}
+
+// `new` needs a both-sides boundary: `news`, `renew`, `new_x` must not fire.
+bool HasNewToken(const std::string& code, size_t* at) {
+  size_t pos = 0;
+  while ((pos = code.find("new", pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const bool right_ok =
+        pos + 3 >= code.size() || !IsIdentChar(code[pos + 3]);
+    if (left_ok && right_ok) {
+      *at = pos;
+      return true;
+    }
+    pos += 3;
+  }
+  return false;
+}
+
+struct FileScan {
+  std::vector<Violation> violations;
+  std::vector<KnobRef> knobs;
+};
+
+// True when `line_comments[i]` (or a comment-only predecessor line) carries
+// mg_lint:allow(rule).
+bool IsAllowed(const std::vector<std::string>& code,
+               const std::vector<std::string>& comments, size_t li,
+               const std::string& rule) {
+  const std::string needle = "mg_lint:allow(" + rule + ")";
+  if (comments[li].find(needle) != std::string::npos) return true;
+  // A comment-only line directly above suppresses the next code line.
+  for (size_t i = li; i > 0;) {
+    --i;
+    const std::string& code_part = code[i];
+    const bool comment_only =
+        code_part.find_first_not_of(" \t") == std::string::npos &&
+        !comments[i].empty();
+    if (!comment_only) break;
+    if (comments[i].find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void ExtractKnobs(const std::string& raw_line, const std::string& rel_path,
+                  int line_no, std::vector<KnobRef>* knobs) {
+  if (raw_line.find("GetEnv") == std::string::npos &&
+      raw_line.find("getenv") == std::string::npos) {
+    return;
+  }
+  size_t pos = 0;
+  while ((pos = raw_line.find("\"MOCOGRAD_", pos)) != std::string::npos) {
+    size_t end = pos + 1;
+    while (end < raw_line.size() &&
+           (std::isupper(static_cast<unsigned char>(raw_line[end])) ||
+            std::isdigit(static_cast<unsigned char>(raw_line[end])) ||
+            raw_line[end] == '_')) {
+      ++end;
+    }
+    if (end < raw_line.size() && raw_line[end] == '"') {
+      knobs->push_back({raw_line.substr(pos + 1, end - pos - 1), rel_path,
+                        line_no});
+    }
+    pos = end;
+  }
+}
+
+// Lints one src/ file. `dir` is the first path component under src/.
+FileScan ScanSource(const std::string& rel_path, const std::string& dir,
+                    const std::string& content) {
+  FileScan result;
+  const std::vector<std::string> raw = SplitLines(content);
+  std::vector<std::string> code, comments;
+  StripCommentsAndStrings(raw, &code, &comments);
+
+  const auto& ranks = LayerRanks();
+  const auto self_rank = ranks.find(dir);
+  bool hot_region = false;
+
+  for (size_t li = 0; li < raw.size(); ++li) {
+    const int line_no = static_cast<int>(li) + 1;
+    auto emit = [&](const std::string& rule, const std::string& message) {
+      if (!IsAllowed(code, comments, li, rule)) {
+        result.violations.push_back({rel_path, line_no, rule, message});
+      }
+    };
+
+    // Hot-path region markers live in comments.
+    if (comments[li].find("MG_HOT_PATH_END") != std::string::npos) {
+      hot_region = false;
+    } else if (comments[li].find("MG_HOT_PATH") != std::string::npos) {
+      hot_region = true;
+    }
+
+    // Pragmas (code view keeps preprocessor text).
+    if (code[li].find("#pragma omp") != std::string::npos) {
+      emit("nondeterminism",
+           "#pragma omp — threading goes through base/thread_pool.h");
+    }
+    if (code[li].find("#pragma GCC optimize") != std::string::npos ||
+        code[li].find("#pragma clang fp") != std::string::npos ||
+        code[li].find("#pragma STDC FP_CONTRACT") != std::string::npos ||
+        code[li].find("fast-math") != std::string::npos) {
+      emit("nondeterminism",
+           "fast-math-style pragma — breaks the docs/SIMD.md determinism "
+           "contract (-ffp-contract=off is global)");
+    }
+
+    // #include <unordered_map> lines are exempt: the *use* sites are what
+    // carry the iteration-order risk and what the allow annotation reviews.
+    const bool is_include_line =
+        code[li].find("#include") != std::string::npos;
+    for (const TokenRule& tr : NondeterminismTokens()) {
+      if (is_include_line) break;
+      if (FindToken(code[li], tr.token) != std::string::npos) {
+        emit(tr.rule, tr.message);
+      }
+    }
+
+    if (FindToken(code[li], "assert(") != std::string::npos) {
+      emit("bare-assert",
+           "bare assert() — use MG_CHECK/MG_DCHECK (base/check.h)");
+    }
+
+    if (hot_region) {
+      size_t at = 0;
+      if (HasNewToken(code[li], &at)) {
+        emit("hot-path-alloc",
+             "raw new in a hot-path region — use a ScratchScope "
+             "(base/scratch.h)");
+      }
+      for (const TokenRule& tr : HotPathTokens()) {
+        if (tr.token == "new") continue;  // handled above with both-side check
+        if (FindToken(code[li], tr.token) != std::string::npos) {
+          emit(tr.rule, tr.message);
+        }
+      }
+    }
+
+    // Layering: #include "dir/..." edges.
+    const std::string& cl = code[li];
+    const size_t inc = cl.find("#include");
+    if (inc != std::string::npos && self_rank != ranks.end()) {
+      const size_t q0 = cl.find('"', inc);
+      if (q0 != std::string::npos) {
+        // Raw line carries the path (the code view blanked the literal).
+        const size_t slash = raw[li].find('/', q0 + 1);
+        const size_t q1 = raw[li].find('"', q0 + 1);
+        if (slash != std::string::npos && q1 != std::string::npos &&
+            slash < q1) {
+          const std::string target =
+              raw[li].substr(q0 + 1, slash - q0 - 1);
+          const auto target_rank = ranks.find(target);
+          if (target_rank != ranks.end() && target != dir) {
+            if (target_rank->second > self_rank->second) {
+              emit("layering", "back-edge include: " + dir + " (layer " +
+                                   std::to_string(self_rank->second) +
+                                   ") must not include " + target +
+                                   " (layer " +
+                                   std::to_string(target_rank->second) + ")");
+            } else if (target_rank->second == self_rank->second) {
+              emit("layering", "sibling include: " + dir + " and " + target +
+                                   " are same-layer modules and must not "
+                                   "couple");
+            }
+          }
+        }
+      }
+    }
+
+    ExtractKnobs(raw[li], rel_path, line_no, &result.knobs);
+  }
+  return result;
+}
+
+std::string ReadFile(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: mg_lint <repo_root>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::fprintf(stderr, "mg_lint: %s is not a directory\n",
+                 src.string().c_str());
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  std::vector<KnobRef> knobs;
+  int files_scanned = 0;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& p : files) {
+    bool ok = false;
+    const std::string content = ReadFile(p, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "mg_lint: cannot read %s\n", p.string().c_str());
+      return 2;
+    }
+    const std::string rel = fs::relative(p, root).generic_string();
+    // First path component under src/ is the module directory.
+    const std::string under_src = fs::relative(p, src).generic_string();
+    const std::string dir = under_src.substr(0, under_src.find('/'));
+    FileScan scan = ScanSource(rel, dir, content);
+    violations.insert(violations.end(), scan.violations.begin(),
+                      scan.violations.end());
+    knobs.insert(knobs.end(), scan.knobs.begin(), scan.knobs.end());
+    ++files_scanned;
+  }
+
+  // bench/ is scanned for env knobs only (benchmarks may use wall-clock).
+  const fs::path bench = root / "bench";
+  if (fs::is_directory(bench)) {
+    for (const auto& entry : fs::recursive_directory_iterator(bench)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      bool ok = false;
+      const std::string content = ReadFile(entry.path(), &ok);
+      if (!ok) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      const std::vector<std::string> lines = SplitLines(content);
+      for (size_t li = 0; li < lines.size(); ++li) {
+        ExtractKnobs(lines[li], rel, static_cast<int>(li) + 1, &knobs);
+      }
+    }
+  }
+
+  // Every parsed MOCOGRAD_* knob must appear in README.md's knob table.
+  bool readme_ok = false;
+  const std::string readme = ReadFile(root / "README.md", &readme_ok);
+  if (!readme_ok) {
+    std::fprintf(stderr, "mg_lint: cannot read %s\n",
+                 (root / "README.md").string().c_str());
+    return 2;
+  }
+  std::set<std::string> reported;
+  for (const KnobRef& k : knobs) {
+    if (readme.find(k.name) == std::string::npos &&
+        reported.insert(k.name).second) {
+      violations.push_back(
+          {k.file, k.line, "env-registry",
+           k.name + " is parsed here but missing from README.md's "
+                    "runtime-knob table"});
+    }
+  }
+
+  for (const Violation& v : violations) {
+    std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::printf("mg_lint: %zu violation(s) in %d files\n", violations.size(),
+                files_scanned);
+    return 1;
+  }
+  std::printf("mg_lint: OK (%d files scanned)\n", files_scanned);
+  return 0;
+}

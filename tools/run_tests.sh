@@ -1,63 +1,232 @@
 #!/usr/bin/env sh
-# Build the repository and run the full test suite twice: once with the
-# thread pool forced serial (MOCOGRAD_NUM_THREADS=1) and once at 4
-# threads. The two runs must both pass — the parallel compute layer's
-# contract is that pool size never changes results (bit-identical; see
-# docs/ARCHITECTURE.md and tests/integration/parallel_determinism_test.cc).
-# A third pass exercises the observability layer end to end: one traced +
-# metered training run (MOCOGRAD_TRACE / MOCOGRAD_METRICS set) whose
-# emitted Chrome-trace JSON and metrics JSONL must parse
-# (docs/OBSERVABILITY.md). A fourth pass enforces the SIMD determinism
-# contract (docs/SIMD.md): the suite must also pass with the hardware
-# backend disabled (MOCOGRAD_SIMD=0), and a training run's stdout must be
-# byte-identical with the backend on and off. A fifth pass stresses the
-# GEMM macro-kernel's cache blocking (docs/SIMD.md): the suite must pass
-# with deliberately tiny, ragged block sizes (MOCOGRAD_GEMM_BLOCK) on both
-# the hardware and scalar backends — blocking is a loop-order choice, never
-# a results choice.
+# Build the repository and run the full verification suite as a sequence of
+# named passes, printing a PASS/FAIL summary table at the end and exiting
+# non-zero if any pass failed (the table and the exit message name the
+# failing passes).
 #
-# Usage: tools/run_tests.sh [build-dir]   (default: build)
-set -eu
+# Release passes:
+#   release-build      configure + build the default (Release) tree
+#   ctest-threads-1/4  full suite with the pool forced serial and at 4
+#                      threads — pool size never changes results
+#                      (docs/ARCHITECTURE.md, parallel_determinism_test)
+#   obs-smoke          traced + metered training run; emitted Chrome-trace
+#                      JSON and metrics JSONL must parse
+#                      (docs/OBSERVABILITY.md)
+#   ctest-simd-off     full suite with the hardware SIMD backend disabled
+#                      (docs/SIMD.md)
+#   ctest-gemm-block   full suite under deliberately tiny, ragged GEMM
+#                      blocking, hardware and scalar backends — blocking is
+#                      a loop-order choice, never a results choice
+#   simd-diff          training stdout byte-identical with SIMD on and off
+#   lint               tools/mg_lint invariant checker over the tree
+#                      (docs/CORRECTNESS.md)
+#   docs-links         markdown cross-reference checker
+#
+# Sanitizer passes (skipped with --fast; see docs/CORRECTNESS.md):
+#   asan-build/ctest/smoke   AddressSanitizer + UBSan build in build-asan:
+#                            full suite serial, the determinism tests at
+#                            pools 2 and 8, and a trainer smoke run
+#   tsan-build/ctest/smoke   ThreadSanitizer build in build-tsan: same
+#                            shape, pools stress the fork-join contract
+#
+# Usage: tools/run_tests.sh [--fast] [build-dir]   (default: build)
+set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+fast=0
+if [ "${1:-}" = "--fast" ]; then
+  fast=1
+  shift
+fi
 build_dir=${1:-"$repo_root/build"}
+asan_dir="$repo_root/build-asan"
+tsan_dir="$repo_root/build-tsan"
 
-cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j
+# Sanitizer runtime options: fail hard on any finding, with usable stacks.
+# Suppression files under tools/sanitizers/ are picked up when present —
+# each entry there must carry a justifying comment (docs/CORRECTNESS.md).
+ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+if [ -f "$repo_root/tools/sanitizers/asan.supp" ]; then
+  ASAN_OPTIONS="$ASAN_OPTIONS:suppressions=$repo_root/tools/sanitizers/asan.supp"
+fi
+if [ -f "$repo_root/tools/sanitizers/ubsan.supp" ]; then
+  UBSAN_OPTIONS="$UBSAN_OPTIONS:suppressions=$repo_root/tools/sanitizers/ubsan.supp"
+fi
+if [ -f "$repo_root/tools/sanitizers/tsan.supp" ]; then
+  TSAN_OPTIONS="$TSAN_OPTIONS:suppressions=$repo_root/tools/sanitizers/tsan.supp"
+fi
+export ASAN_OPTIONS UBSAN_OPTIONS TSAN_OPTIONS
 
-for threads in 1 4; do
-  echo "==> ctest with MOCOGRAD_NUM_THREADS=$threads"
-  (cd "$build_dir" && MOCOGRAD_NUM_THREADS=$threads ctest --output-on-failure -j)
-done
+results=""   # newline-separated "status name" records, in run order
+failed=""    # space-separated names of failing passes
 
-echo "==> traced run: example_quickstart with MOCOGRAD_TRACE/MOCOGRAD_METRICS"
-trace_json="$build_dir/obs_smoke_trace.json"
-metrics_jsonl="$build_dir/obs_smoke_metrics.jsonl"
-rm -f "$trace_json" "$metrics_jsonl"
-MOCOGRAD_TRACE="$trace_json" MOCOGRAD_METRICS="$metrics_jsonl" \
-  "$build_dir/examples/example_quickstart" > /dev/null
-test -s "$trace_json" || { echo "FAIL: no trace written to $trace_json"; exit 1; }
-test -s "$metrics_jsonl" || { echo "FAIL: no metrics written to $metrics_jsonl"; exit 1; }
-"$build_dir/tools/validate_json" "$trace_json"
-"$build_dir/tools/validate_json" --jsonl "$metrics_jsonl"
-
-echo "==> ctest with MOCOGRAD_SIMD=0 (lane-blocked scalar fallback)"
-(cd "$build_dir" && MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
-
-echo "==> ctest with tiny MOCOGRAD_GEMM_BLOCK=10,24,32 (SIMD on and off)"
-(cd "$build_dir" && MOCOGRAD_GEMM_BLOCK=10,24,32 ctest --output-on-failure -j)
-(cd "$build_dir" && MOCOGRAD_GEMM_BLOCK=10,24,32 MOCOGRAD_SIMD=0 \
-  ctest --output-on-failure -j)
-
-echo "==> SIMD on/off diff: example_quickstart stdout must be byte-identical"
-simd_on="$build_dir/simd_smoke_on.txt"
-simd_off="$build_dir/simd_smoke_off.txt"
-"$build_dir/examples/example_quickstart" > "$simd_on"
-MOCOGRAD_SIMD=0 "$build_dir/examples/example_quickstart" > "$simd_off"
-diff "$simd_on" "$simd_off" || {
-  echo "FAIL: training output differs between MOCOGRAD_SIMD=1 and =0"; exit 1;
+# run_pass <name> <function> — runs the pass, records PASS/FAIL, and keeps
+# going so the summary table covers every pass even after a failure.
+run_pass() {
+  pass_name=$1
+  echo ""
+  echo "==> pass: $pass_name"
+  if "$2"; then
+    results="${results}PASS $pass_name
+"
+  else
+    results="${results}FAIL $pass_name
+"
+    failed="$failed $pass_name"
+  fi
 }
 
-echo "OK: tests pass at pool sizes 1 and 4, with MOCOGRAD_SIMD=0, and" \
-  "under tiny GEMM blocking; traced artifacts parse; SIMD on/off" \
-  "training output is byte-identical"
+# skip_pass <name> <why> — records a skip without running anything.
+skip_pass() {
+  echo ""
+  echo "==> pass: $1 (skipped: $2)"
+  results="${results}SKIP $1
+"
+}
+
+# --- Release passes ---------------------------------------------------------
+
+pass_release_build() {
+  cmake -B "$build_dir" -S "$repo_root" &&
+    cmake --build "$build_dir" -j
+}
+
+pass_ctest_threads_1() {
+  (cd "$build_dir" && MOCOGRAD_NUM_THREADS=1 ctest --output-on-failure -j)
+}
+
+pass_ctest_threads_4() {
+  (cd "$build_dir" && MOCOGRAD_NUM_THREADS=4 ctest --output-on-failure -j)
+}
+
+pass_obs_smoke() {
+  trace_json="$build_dir/obs_smoke_trace.json"
+  metrics_jsonl="$build_dir/obs_smoke_metrics.jsonl"
+  rm -f "$trace_json" "$metrics_jsonl"
+  MOCOGRAD_TRACE="$trace_json" MOCOGRAD_METRICS="$metrics_jsonl" \
+    "$build_dir/examples/example_quickstart" > /dev/null || return 1
+  test -s "$trace_json" ||
+    { echo "no trace written to $trace_json"; return 1; }
+  test -s "$metrics_jsonl" ||
+    { echo "no metrics written to $metrics_jsonl"; return 1; }
+  "$build_dir/tools/validate_json" "$trace_json" &&
+    "$build_dir/tools/validate_json" --jsonl "$metrics_jsonl"
+}
+
+pass_ctest_simd_off() {
+  (cd "$build_dir" && MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
+}
+
+pass_ctest_gemm_block() {
+  (cd "$build_dir" &&
+    MOCOGRAD_GEMM_BLOCK=10,24,32 ctest --output-on-failure -j) &&
+  (cd "$build_dir" &&
+    MOCOGRAD_GEMM_BLOCK=10,24,32 MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
+}
+
+pass_simd_diff() {
+  simd_on="$build_dir/simd_smoke_on.txt"
+  simd_off="$build_dir/simd_smoke_off.txt"
+  "$build_dir/examples/example_quickstart" > "$simd_on" || return 1
+  MOCOGRAD_SIMD=0 "$build_dir/examples/example_quickstart" > "$simd_off" ||
+    return 1
+  diff "$simd_on" "$simd_off" || {
+    echo "training output differs between MOCOGRAD_SIMD=1 and =0"
+    return 1
+  }
+}
+
+pass_lint() {
+  "$build_dir/tools/mg_lint" "$repo_root"
+}
+
+pass_docs_links() {
+  "$repo_root/tools/check_docs_links.sh"
+}
+
+# --- Sanitizer passes -------------------------------------------------------
+# Each sanitizer gets its own build tree; ASan+UBSan and TSan are mutually
+# exclusive instrumentations. The ctest passes run the full suite with the
+# pool forced serial, then re-run the determinism integration tests at
+# pools 2 and 8 — the configurations where the fork-join and SIMD
+# determinism contracts can actually break.
+
+sanitizer_ctest() {
+  dir=$1
+  (cd "$dir" && MOCOGRAD_NUM_THREADS=1 ctest --output-on-failure -j) &&
+  (cd "$dir" &&
+    MOCOGRAD_NUM_THREADS=2 ctest -R determinism --output-on-failure -j) &&
+  (cd "$dir" &&
+    MOCOGRAD_NUM_THREADS=8 ctest -R determinism --output-on-failure -j)
+}
+
+pass_asan_build() {
+  cmake -B "$asan_dir" -S "$repo_root" \
+    -DMOCOGRAD_SANITIZE=address,undefined &&
+    cmake --build "$asan_dir" -j
+}
+
+pass_asan_ctest() {
+  sanitizer_ctest "$asan_dir"
+}
+
+pass_asan_smoke() {
+  "$asan_dir/examples/example_quickstart" > /dev/null
+}
+
+pass_tsan_build() {
+  cmake -B "$tsan_dir" -S "$repo_root" -DMOCOGRAD_SANITIZE=thread &&
+    cmake --build "$tsan_dir" -j
+}
+
+pass_tsan_ctest() {
+  sanitizer_ctest "$tsan_dir"
+}
+
+pass_tsan_smoke() {
+  MOCOGRAD_NUM_THREADS=4 "$tsan_dir/examples/example_quickstart" > /dev/null
+}
+
+# --- Drive ------------------------------------------------------------------
+
+run_pass release-build pass_release_build
+run_pass ctest-threads-1 pass_ctest_threads_1
+run_pass ctest-threads-4 pass_ctest_threads_4
+run_pass obs-smoke pass_obs_smoke
+run_pass ctest-simd-off pass_ctest_simd_off
+run_pass ctest-gemm-block pass_ctest_gemm_block
+run_pass simd-diff pass_simd_diff
+run_pass lint pass_lint
+run_pass docs-links pass_docs_links
+
+if [ "$fast" = 1 ]; then
+  skip_pass asan-build "--fast"
+  skip_pass asan-ctest "--fast"
+  skip_pass asan-smoke "--fast"
+  skip_pass tsan-build "--fast"
+  skip_pass tsan-ctest "--fast"
+  skip_pass tsan-smoke "--fast"
+else
+  run_pass asan-build pass_asan_build
+  run_pass asan-ctest pass_asan_ctest
+  run_pass asan-smoke pass_asan_smoke
+  run_pass tsan-build pass_tsan_build
+  run_pass tsan-ctest pass_tsan_ctest
+  run_pass tsan-smoke pass_tsan_smoke
+fi
+
+echo ""
+echo "== run_tests.sh summary =="
+printf '%s' "$results" | while IFS=' ' read -r status name; do
+  printf '  %-4s  %s\n' "$status" "$name"
+done
+
+if [ -n "$failed" ]; then
+  echo ""
+  echo "FAIL: failing passes:$failed"
+  exit 1
+fi
+echo "OK: all passes green"
