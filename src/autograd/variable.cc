@@ -1,10 +1,7 @@
 #include "autograd/variable.h"
 
-#include <unordered_map>
-#include <unordered_set>
-
+#include "autograd/executor.h"
 #include "base/check.h"
-#include "tensor/ops.h"
 
 namespace mocograd {
 namespace autograd {
@@ -91,86 +88,11 @@ void Variable::BackwardImpl(const Tensor& seed, GradSink* sink) const {
   MG_CHECK(seed.shape() == value().shape(), "Backward seed shape ",
            seed.shape().ToString(), " vs value ", value().shape().ToString());
   if (!node_->requires_grad) return;
-
-  // Iterative post-order DFS to get a topological order (children after all
-  // of their users when reversed).
-  std::vector<Node*> order;
-  // Membership test only; traversal order comes from the explicit stack and
-  // the `order` vector. mg_lint:allow(nondeterminism)
-  std::unordered_set<Node*> visited;
-  struct Frame {
-    Node* node;
-    size_t next_parent;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({node_.get(), 0});
-  visited.insert(node_.get());
-  while (!stack.empty()) {
-    Frame& f = stack.back();
-    if (f.next_parent < f.node->parents.size()) {
-      Node* parent = f.node->parents[f.next_parent++].get();
-      if (parent->requires_grad && !visited.count(parent)) {
-        visited.insert(parent);
-        stack.push_back({parent, 0});
-      }
-    } else {
-      order.push_back(f.node);
-      stack.pop_back();
-    }
-  }
-  // `order` is post-order: parents before users; traverse in reverse.
-
-  // Per-sweep upstream accumulators, separate from node->grad so that
-  // repeated Backward calls on different roots (per-task losses) compose via
-  // += on leaves only, while interior nodes get a fresh accumulator.
-  // Keyed lookup only; the sweep walks `order`, never this map, so hash
-  // order cannot affect accumulation order. mg_lint:allow(nondeterminism)
-  std::unordered_map<Node*, Tensor> upstream;
-  upstream.reserve(order.size());
-  upstream[node_.get()] = seed.Clone();
-
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Node* n = *it;
-    auto found = upstream.find(n);
-    if (found == upstream.end()) continue;  // unreachable from the seed
-    Tensor& g = found->second;
-
-    // Leaves (and anything a user may later inspect) accumulate into the
-    // persistent grad buffer — or, in sink mode, leaf gradients go into the
-    // caller's map and the tape stays untouched (so concurrent sweeps over
-    // one tape never write shared state). Both start from zeros and add in
-    // the same sweep order, so the values are bit-identical.
-    if (sink == nullptr) {
-      if (!n->grad.defined()) n->grad = Tensor::Zeros(n->value.shape());
-      tops::AddInPlace(n->grad, g);
-    } else if (!n->grad_fn) {
-      Tensor& slot = (*sink)[n];
-      if (!slot.defined()) slot = Tensor::Zeros(n->value.shape());
-      tops::AddInPlace(slot, g);
-    }
-
-    if (!n->grad_fn) continue;
-    std::vector<Tensor> parent_grads = n->grad_fn(g);
-    MG_CHECK_EQ(parent_grads.size(), n->parents.size(), "grad_fn arity in op ",
-                n->op);
-    for (size_t i = 0; i < n->parents.size(); ++i) {
-      Node* p = n->parents[i].get();
-      if (!p->requires_grad) continue;
-      Tensor& pg = parent_grads[i];
-      MG_CHECK(pg.defined(), "grad_fn of ", n->op,
-               " returned undefined grad for a requires_grad parent");
-      MG_CHECK(pg.shape() == p->value.shape(), "grad shape mismatch in op ",
-               n->op, ": ", pg.shape().ToString(), " vs ",
-               p->value.shape().ToString());
-      auto slot = upstream.find(p);
-      if (slot == upstream.end()) {
-        upstream.emplace(p, std::move(pg));
-      } else {
-        tops::AddInPlace(slot->second, pg);
-      }
-    }
-    upstream.erase(found);
-  }
+  // The sweep itself lives in autograd/executor.cc: a linear tape replay
+  // (seq) or the dependency-counted ready-queue engine (ready, the default),
+  // selected by MOCOGRAD_AUTOGRAD_EXEC / SetBackwardExecutor. Both produce
+  // bit-identical gradients — see docs/AUTOGRAD.md.
+  RunBackward(node_.get(), seed, sink);
 }
 
 }  // namespace autograd

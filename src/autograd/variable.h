@@ -81,9 +81,13 @@ class Variable {
   /// the tape itself is never written. Because sweeps only read the tape,
   /// several BackwardInto calls over the *same* tape may run concurrently
   /// from different threads with distinct sinks — this is what the trainer's
-  /// parallel per-task backward builds on. Each sweep is internally
-  /// sequential, so a sink's contents are bit-identical to what Backward()
-  /// would have left in the leaves' grad buffers (from a zeroed state).
+  /// parallel per-task backward builds on. A sink's contents are
+  /// bit-identical to what Backward() would have left in the leaves' grad
+  /// buffers (from a zeroed state) on either executor: the default
+  /// ready-queue engine runs independent tape branches concurrently but
+  /// merges gradient contributions through fixed per-edge slots in the
+  /// sequential engine's accumulation order (autograd/executor.h,
+  /// docs/AUTOGRAD.md).
   void BackwardInto(GradSink* sink) const;
   void BackwardInto(const Tensor& seed, GradSink* sink) const;
 
@@ -91,8 +95,9 @@ class Variable {
   const std::shared_ptr<Node>& node() const { return node_; }
 
  private:
-  /// Shared sweep behind Backward/BackwardInto; sink == nullptr selects the
-  /// persistent node->grad destination.
+  /// Shared entry behind Backward/BackwardInto; sink == nullptr selects the
+  /// persistent node->grad destination. Dispatches to the executor selected
+  /// by MOCOGRAD_AUTOGRAD_EXEC (autograd/executor.h).
   void BackwardImpl(const Tensor& seed, GradSink* sink) const;
 
   std::shared_ptr<Node> node_;

@@ -34,8 +34,13 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
-  /// Enqueues a task for the workers. Internal plumbing — ParallelFor below
-  /// is the intended API.
+  /// Enqueues a task for the workers. Low-level plumbing with two sanctioned
+  /// clients: ParallelFor below (the intended API for index loops) and the
+  /// autograd ready-queue executor (autograd/executor.cc), whose helpers
+  /// drain per-sweep node queues. Submitted tasks must never block waiting
+  /// on other submitted tasks — pool workers are a finite resource, and the
+  /// no-deadlock argument for nested waits (see ParallelFor) relies on
+  /// every queued task running to completion on its own.
   void Submit(std::function<void()> task);
 
   /// The process-wide pool, created on first use (see class comment for

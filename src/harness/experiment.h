@@ -34,6 +34,13 @@ struct TrainConfig {
   /// step appends one record with losses, phase times, and counter deltas —
   /// see docs/OBSERVABILITY.md.
   std::string metrics_jsonl_path;
+  /// Backward-executor override for this run: "" keeps the process-wide
+  /// setting (MOCOGRAD_AUTOGRAD_EXEC / SetBackwardExecutor), "seq" forces
+  /// the linear tape replay, "ready" forces the ready-queue engine. The
+  /// previous setting is restored when the run finishes. Both executors are
+  /// bit-identical (docs/AUTOGRAD.md); this knob exists for A/B timing runs
+  /// like bench_backward.
+  std::string autograd_executor;
 };
 
 /// One named metric value.

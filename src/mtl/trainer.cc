@@ -82,14 +82,18 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
 
   Stopwatch backward_timer;
 
-  // One backward per task. Each task's tape walk only *reads* the shared
-  // tape — leaf gradients are routed into a per-task sink instead of the
-  // nodes' grad buffers — so the K sweeps run on K pool workers, with each
-  // task's flattened gradients written straight into its own GradMatrix row
-  // (a merge that is deterministic by construction: row t belongs to task
-  // t). When the pool has spare workers beyond K, the GEMMs inside each
-  // sweep's grad_fns parallelize too (nested ParallelFor). Results are
-  // bit-identical to a serial ZeroGrad+Backward loop for any pool size.
+  // One backward per task. Each task's sweep only *reads* the shared tape —
+  // leaf gradients are routed into a per-task sink instead of the nodes'
+  // grad buffers — so the K sweeps launch concurrently on the pool, with
+  // each task's flattened gradients written straight into its own GradMatrix
+  // row (a merge that is deterministic by construction: row t belongs to
+  // task t). Under the default ready-queue executor the sweeps additionally
+  // overlap at tape-node granularity: every sweep feeds its ready nodes to
+  // the shared pool, so workers drain whichever task currently has runnable
+  // branches instead of being pinned one-per-task, and the GEMMs inside each
+  // grad_fn still parallelize underneath (nested ParallelFor). Results are
+  // bit-identical to a serial ZeroGrad+Backward loop for any pool size and
+  // either executor — see docs/AUTOGRAD.md.
   std::vector<Variable*> shared = model_->SharedParameters();
   int64_t shared_dim = 0;
   for (Variable* p : shared) shared_dim += p->NumElements();

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "autograd/executor.h"
 #include "autograd/ops.h"
 #include "base/rng.h"
 #include "base/thread_pool.h"
@@ -38,9 +39,20 @@ bool BitIdentical(const Tensor& a, const Tensor& b) {
 
 class ParallelDeterminismTest : public ::testing::Test {
  protected:
-  // Leave a serial pool behind so other binaries' expectations about the
-  // default environment still hold if this process forks more work.
-  void TearDown() override { ThreadPool::SetGlobalNumThreads(1); }
+  void SetUp() override {
+    previous_exec_ = autograd::CurrentBackwardExecutor();
+  }
+  // Leave a serial pool (and the entry executor) behind so other binaries'
+  // expectations about the default environment still hold if this process
+  // forks more work.
+  void TearDown() override {
+    autograd::SetBackwardExecutor(previous_exec_);
+    ThreadPool::SetGlobalNumThreads(1);
+  }
+
+ private:
+  autograd::BackwardExecutor previous_exec_ =
+      autograd::BackwardExecutor::kReadyQueue;
 };
 
 TEST_F(ParallelDeterminismTest, GemmBitIdenticalAcrossThreadCounts) {
@@ -208,6 +220,104 @@ TEST_F(ParallelDeterminismTest, TrainerStepsBitIdenticalAcrossThreadCounts) {
                           losses.size() * sizeof(float)),
               0)
         << "losses differ at " << threads << " threads";
+  }
+}
+
+// The tentpole scenario for the ready-queue executor: K per-task sweeps over
+// one shared trunk launched concurrently, each feeding its ready nodes to the
+// same pool. For every pool size and either executor, each task's sink must
+// hold exactly the bits a serial 1-thread sequential sweep produces.
+TEST_F(ParallelDeterminismTest, ConcurrentSharedTrunkSweepsBitIdentical) {
+  constexpr int kTasks = 4;
+  Rng rng(2024);
+  // One shared trunk, K task heads — the trainer's tape shape in miniature.
+  Variable w_trunk(Tensor::Randn({40, 56}, rng), /*requires_grad=*/true);
+  Variable x(Tensor::Randn({24, 40}, rng), /*requires_grad=*/false);
+  std::vector<Variable> heads;
+  std::vector<Tensor> targets;
+  for (int t = 0; t < kTasks; ++t) {
+    heads.emplace_back(Tensor::Randn({56, 3}, rng), /*requires_grad=*/true);
+    targets.push_back(Tensor::Randn({24, 3}, rng));
+  }
+  Variable trunk = autograd::Tanh(autograd::MatMul(x, w_trunk));
+  std::vector<Variable> losses;
+  for (int t = 0; t < kTasks; ++t) {
+    losses.push_back(autograd::MseLoss(autograd::MatMul(trunk, heads[t]),
+                                       targets[t]));
+  }
+
+  // Reference: serial sequential sweeps at pool size 1.
+  autograd::SetBackwardExecutor(autograd::BackwardExecutor::kSequential);
+  ThreadPool::SetGlobalNumThreads(1);
+  std::vector<Variable::GradSink> reference(kTasks);
+  for (int t = 0; t < kTasks; ++t) losses[t].BackwardInto(&reference[t]);
+
+  for (autograd::BackwardExecutor exec :
+       {autograd::BackwardExecutor::kSequential,
+        autograd::BackwardExecutor::kReadyQueue}) {
+    autograd::SetBackwardExecutor(exec);
+    for (int threads : kThreadCounts) {
+      ThreadPool::SetGlobalNumThreads(threads);
+      std::vector<Variable::GradSink> sinks(kTasks);
+      ParallelFor(0, kTasks, 1, [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          losses[t].BackwardInto(&sinks[t]);
+        }
+      });
+      for (int t = 0; t < kTasks; ++t) {
+        for (const Variable* leaf : {&w_trunk, &heads[t]}) {
+          auto ref_it = reference[t].find(leaf->node().get());
+          auto got_it = sinks[t].find(leaf->node().get());
+          ASSERT_NE(ref_it, reference[t].end());
+          ASSERT_NE(got_it, sinks[t].end());
+          EXPECT_TRUE(BitIdentical(ref_it->second, got_it->second))
+              << "task " << t << " differs at " << threads << " threads, "
+              << (exec == autograd::BackwardExecutor::kReadyQueue ? "ready"
+                                                                  : "seq");
+        }
+      }
+    }
+  }
+}
+
+// Regression for MOCOGRAD_AUTOGRAD_EXEC: the seq fallback and the default
+// ready engine must leave bit-identical parameters after full trainer steps.
+TEST_F(ParallelDeterminismTest, TrainerSeqVsReadyBitIdentical) {
+  auto run = [](autograd::BackwardExecutor exec) {
+    autograd::SetBackwardExecutor(exec);
+    ThreadPool::SetGlobalNumThreads(4);
+    Rng rng(321);
+    mtl::HpsConfig cfg;
+    cfg.input_dim = 32;
+    cfg.shared_dims = {64, 48};
+    cfg.task_output_dims = {1, 1};
+    mtl::HpsModel model(cfg, rng);
+
+    Tensor x = Tensor::Randn({48, 32}, rng);
+    std::vector<Batch> batches;
+    for (int t = 0; t < 2; ++t) {
+      Tensor y = Tensor::Randn({48, 1}, rng);
+      batches.push_back(Batch{.x = x, .y = y, .labels = {}});
+    }
+
+    auto aggregator = core::MakeAggregator("mocograd").value();
+    optim::Adam opt(model.Parameters(), 1e-2f);
+    mtl::MtlTrainer trainer(&model, aggregator.get(), &opt,
+                            {TaskKind::kRegression, TaskKind::kRegression},
+                            /*seed=*/29);
+    for (int step = 0; step < 3; ++step) trainer.Step(batches);
+
+    std::vector<Tensor> params;
+    for (Variable* p : model.Parameters()) params.push_back(p->value().Clone());
+    return params;
+  };
+
+  std::vector<Tensor> seq = run(autograd::BackwardExecutor::kSequential);
+  std::vector<Tensor> ready = run(autograd::BackwardExecutor::kReadyQueue);
+  ASSERT_EQ(seq.size(), ready.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(seq[i], ready[i]))
+        << "parameter " << i << " differs between seq and ready executors";
   }
 }
 

@@ -17,6 +17,10 @@
 #   ctest-gemm-block   full suite under deliberately tiny, ragged GEMM
 #                      blocking, hardware and scalar backends — blocking is
 #                      a loop-order choice, never a results choice
+#   ctest-autograd-seq full suite on the sequential backward executor
+#                      (MOCOGRAD_AUTOGRAD_EXEC=seq) — the ready-queue
+#                      engine is bit-identical to the linear replay, so the
+#                      fallback must stay green too (docs/AUTOGRAD.md)
 #   simd-diff          training stdout byte-identical with SIMD on and off
 #   lint               tools/mg_lint invariant checker over the tree
 #                      (docs/CORRECTNESS.md)
@@ -127,6 +131,11 @@ pass_ctest_gemm_block() {
     MOCOGRAD_GEMM_BLOCK=10,24,32 MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
 }
 
+pass_ctest_autograd_seq() {
+  (cd "$build_dir" &&
+    MOCOGRAD_AUTOGRAD_EXEC=seq ctest --output-on-failure -j)
+}
+
 pass_simd_diff() {
   simd_on="$build_dir/simd_smoke_on.txt"
   simd_off="$build_dir/simd_smoke_off.txt"
@@ -198,6 +207,7 @@ run_pass ctest-threads-4 pass_ctest_threads_4
 run_pass obs-smoke pass_obs_smoke
 run_pass ctest-simd-off pass_ctest_simd_off
 run_pass ctest-gemm-block pass_ctest_gemm_block
+run_pass ctest-autograd-seq pass_ctest_autograd_seq
 run_pass simd-diff pass_simd_diff
 run_pass lint pass_lint
 run_pass docs-links pass_docs_links
