@@ -7,6 +7,7 @@
 #include "base/rng.h"
 #include "core/grad_matrix.h"
 #include "obs/phase_profile.h"
+#include "obs/telemetry.h"
 
 namespace mocograd {
 namespace core {
@@ -29,6 +30,14 @@ struct AggregationContext {
   /// "momentum", "combine" — see docs/OBSERVABILITY.md). May stay null;
   /// methods must not change behavior based on it.
   obs::PhaseProfile* profile = nullptr;
+  /// Optional decision-trace sink (docs/OBSERVABILITY.md "Conflict
+  /// telemetry"). When non-null (the trainer calls Begin before
+  /// Aggregate), methods report which pairs conflicted, the repair
+  /// magnitudes applied, solver iterations/weights, and — when they already
+  /// computed them — the raw pairwise cosines. Same contract as `profile`:
+  /// may stay null, and methods must not change any computed value, RNG
+  /// draw, or accumulation order because of it.
+  obs::AggregatorTrace* trace = nullptr;
 };
 
 /// Output of one aggregation step.

@@ -26,6 +26,7 @@ AggregationResult AlignedMtl::Aggregate(const AggregationContext& ctx) {
     obs::ScopedPhase phase(ctx.profile, "gram");
     gram = g.Gram();
   }
+  if (ctx.trace != nullptr) ctx.trace->SetCosinesFromGram(gram);
   solvers::EigenDecomposition eig;
   {
     obs::ScopedPhase eigen_phase(ctx.profile, "eigen");
@@ -58,6 +59,11 @@ AggregationResult AlignedMtl::Aggregate(const AggregationContext& ctx) {
     for (int i = 0; i < k; ++i) w[i] += coef * eig.vectors[r][i];
   }
 
+  if (ctx.trace != nullptr) {
+    ctx.trace->set_solver_weights(w);
+    ctx.trace->AddStat("alignedmtl.rank", rank);
+    ctx.trace->AddStat("alignedmtl.sigma_min", sigma_min);
+  }
   {
     obs::ScopedPhase combine_phase(ctx.profile, "combine");
     out.shared_grad = g.WeightedSumRows(w);

@@ -8,7 +8,13 @@ namespace mocograd {
 namespace core {
 
 void ConflictTracker::Record(const GradMatrix& grads) {
-  const int k = grads.num_tasks();
+  RecordFromCosines(grads.num_tasks(), PairwiseCosines(grads));
+}
+
+void ConflictTracker::RecordFromCosines(int num_tasks,
+                                        const std::vector<double>& cosines) {
+  const int k = num_tasks;
+  MG_CHECK_EQ(static_cast<size_t>(k) * k, cosines.size());
   if (num_tasks_ == 0) {
     num_tasks_ = k;
     conflict_counts_.assign(static_cast<size_t>(k) * k, 0);
@@ -20,7 +26,7 @@ void ConflictTracker::Record(const GradMatrix& grads) {
   int pairs = 0;
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
-      const double gcd = Gcd(grads.Row(i), grads.Row(j), grads.dim());
+      const double gcd = 1.0 - cosines[Index(i, j)];
       gcd_sums_[Index(i, j)] += gcd;
       gcd_sums_[Index(j, i)] += gcd;
       if (gcd > 1.0) {

@@ -23,6 +23,7 @@ AggregationResult CaGrad::Aggregate(const AggregationContext& ctx) {
     obs::ScopedPhase phase(ctx.profile, "gram");
     gram = g.Gram();
   }
+  if (ctx.trace != nullptr) ctx.trace->SetCosinesFromGram(gram);
 
   // Combined coefficients per task, produced by the inner solver:
   // (u_i + λ w_i) · rescale · K (the K factor restores EW magnitude — u
@@ -80,6 +81,11 @@ AggregationResult CaGrad::Aggregate(const AggregationContext& ctx) {
     for (int i = 0; i < k; ++i) {
       coef[i] = (uk + lam * w[i]) * rescale * static_cast<double>(k);
     }
+  }
+
+  if (ctx.trace != nullptr) {
+    ctx.trace->set_solver_iterations(options_.inner_iters);
+    ctx.trace->set_solver_weights(coef);
   }
 
   AggregationResult out;

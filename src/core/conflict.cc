@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/check.h"
+
 namespace mocograd {
 namespace core {
 
@@ -31,12 +33,31 @@ bool IsConflicting(const float* a, const float* b, int64_t n) {
 }
 
 ConflictStats ComputeConflictStats(const GradMatrix& grads) {
-  ConflictStats stats;
+  return ConflictStatsFromCosines(grads.num_tasks(), PairwiseCosines(grads));
+}
+
+std::vector<double> PairwiseCosines(const GradMatrix& grads) {
   const int k = grads.num_tasks();
-  double total = 0.0;
+  std::vector<double> cosines(static_cast<size_t>(k) * k, 1.0);
   for (int i = 0; i < k; ++i) {
     for (int j = i + 1; j < k; ++j) {
-      const double gcd = Gcd(grads.Row(i), grads.Row(j), grads.dim());
+      const double cos =
+          CosineSimilarity(grads.Row(i), grads.Row(j), grads.dim());
+      cosines[static_cast<size_t>(i) * k + j] = cos;
+      cosines[static_cast<size_t>(j) * k + i] = cos;
+    }
+  }
+  return cosines;
+}
+
+ConflictStats ConflictStatsFromCosines(int num_tasks,
+                                       const std::vector<double>& cosines) {
+  MG_CHECK_EQ(static_cast<size_t>(num_tasks) * num_tasks, cosines.size());
+  ConflictStats stats;
+  double total = 0.0;
+  for (int i = 0; i < num_tasks; ++i) {
+    for (int j = i + 1; j < num_tasks; ++j) {
+      const double gcd = 1.0 - cosines[static_cast<size_t>(i) * num_tasks + j];
       total += gcd;
       stats.max_gcd = std::max(stats.max_gcd, gcd);
       if (gcd > 1.0) ++stats.num_conflicting_pairs;

@@ -34,7 +34,19 @@ struct ConflictStats {
 };
 
 /// Computes pairwise conflict statistics over the task-gradient matrix.
+/// Equivalent to ConflictStatsFromCosines(PairwiseCosines(grads)).
 ConflictStats ComputeConflictStats(const GradMatrix& grads);
+
+/// The full K×K pairwise cosine matrix of the task gradients (row-major,
+/// symmetric, diagonal 1). Same per-pair math as CosineSimilarity.
+std::vector<double> PairwiseCosines(const GradMatrix& grads);
+
+/// Conflict statistics from an already-computed K×K cosine matrix — the
+/// dedupe path for aggregators that publish their cosines through
+/// obs::AggregatorTrace (GCD = 1 − cos, pairs visited in i<j row order,
+/// matching ComputeConflictStats exactly).
+ConflictStats ConflictStatsFromCosines(int num_tasks,
+                                       const std::vector<double>& cosines);
 
 }  // namespace core
 }  // namespace mocograd

@@ -43,6 +43,7 @@ AggregationResult Dwa::Aggregate(const AggregationContext& ctx) {
   prev_prev_losses_ = prev_losses_;
   prev_losses_ = *ctx.losses;
 
+  if (ctx.trace != nullptr) ctx.trace->set_solver_weights(w);
   AggregationResult out;
   out.shared_grad = g.WeightedSumRows(w);
   out.task_weights.resize(k);

@@ -16,6 +16,8 @@ AggregationResult GradDrop::Aggregate(const AggregationContext& ctx) {
   out.shared_grad.assign(p, 0.0f);
   out.task_weights = OnesWeights(k);
 
+  int64_t active_coords = 0;
+  int64_t kept_positive_coords = 0;
   for (int64_t q = 0; q < p; ++q) {
     double sum = 0.0, abs_sum = 0.0;
     for (int i = 0; i < k; ++i) {
@@ -24,8 +26,10 @@ AggregationResult GradDrop::Aggregate(const AggregationContext& ctx) {
       abs_sum += std::fabs(v);
     }
     if (abs_sum <= 1e-12) continue;
+    ++active_coords;
     const double purity = 0.5 * (1.0 + sum / abs_sum);
     const bool keep_positive = ctx.rng->Uniform() < purity;
+    if (keep_positive) ++kept_positive_coords;
     double kept = 0.0;
     for (int i = 0; i < k; ++i) {
       const float v = g.Row(i)[q];
@@ -34,6 +38,15 @@ AggregationResult GradDrop::Aggregate(const AggregationContext& ctx) {
       }
     }
     out.shared_grad[q] = static_cast<float>(kept);
+  }
+  if (ctx.trace != nullptr && active_coords > 0) {
+    // GradDrop decides per coordinate, not per pair: report the fraction of
+    // active coordinates whose positive sign won the dropout lottery.
+    ctx.trace->AddStat("graddrop.keep_positive_frac",
+                       static_cast<double>(kept_positive_coords) /
+                           static_cast<double>(active_coords));
+    ctx.trace->AddStat("graddrop.active_coords",
+                       static_cast<double>(active_coords));
   }
   return out;
 }

@@ -63,6 +63,10 @@ AggregationResult GradNorm::Aggregate(const AggregationContext& ctx) {
   for (double w : weights_) sum += w;
   for (double& w : weights_) w *= static_cast<double>(k) / sum;
 
+  if (ctx.trace != nullptr) {
+    ctx.trace->set_grad_norms(norms);
+    ctx.trace->set_solver_weights(weights_);
+  }
   AggregationResult out;
   out.shared_grad = g.WeightedSumRows(weights_);
   out.task_weights.resize(k);

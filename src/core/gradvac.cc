@@ -75,6 +75,13 @@ AggregationResult GradVac::Aggregate(const AggregationContext& ctx) {
           const double alpha = ni * (cos_gamma * sin_phi - cos_phi * sin_gamma) /
                                (norms[j] * sin_gamma);
           vec::Axpy(p, static_cast<float>(alpha), gj, gi.data());
+          if (ctx.trace != nullptr) {
+            // cos_phi was measured against the possibly already-vaccinated
+            // g_i, so it is the decision-time cosine, not the raw one.
+            ctx.trace->RecordPair(i, j, cos_phi, alpha, true);
+          }
+        } else if (ctx.trace != nullptr) {
+          ctx.trace->RecordPair(i, j, cos_phi, 0.0, false);
         }
       }
       // EMA update of the adaptive target from the observed cosine.

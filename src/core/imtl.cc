@@ -24,6 +24,7 @@ AggregationResult Imtl::Aggregate(const AggregationContext& ctx) {
     obs::ScopedPhase phase(ctx.profile, "gram");
     gram = g.Gram();
   }
+  if (ctx.trace != nullptr) ctx.trace->SetCosinesFromGram(gram);
   std::vector<double> norms(k);
   bool degenerate = false;
   for (int i = 0; i < k; ++i) {
@@ -61,6 +62,7 @@ AggregationResult Imtl::Aggregate(const AggregationContext& ctx) {
     // else: singular system, keep equal weights (α = 1 each).
   }
 
+  if (ctx.trace != nullptr) ctx.trace->set_solver_weights(alpha);
   {
     obs::ScopedPhase combine_phase(ctx.profile, "combine");
     out.shared_grad = g.WeightedSumRows(alpha);

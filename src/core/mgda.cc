@@ -17,6 +17,8 @@ AggregationResult Mgda::Aggregate(const AggregationContext& ctx) {
     gram = g.Gram();
   }
 
+  if (ctx.trace != nullptr) ctx.trace->SetCosinesFromGram(gram);
+
   std::vector<double> w;
   {
     obs::ScopedPhase solver_phase(ctx.profile, "solver");
@@ -24,6 +26,7 @@ AggregationResult Mgda::Aggregate(const AggregationContext& ctx) {
     // Scale so Σ w_k = K (matches the magnitude of the EW sum).
     for (double& x : w) x *= static_cast<double>(k);
   }
+  if (ctx.trace != nullptr) ctx.trace->set_solver_weights(w);
 
   AggregationResult out;
   {

@@ -50,6 +50,10 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
       m_norm[i] = std::sqrt(vec::SquaredNormF64(p, momenta_[i].data()));
     }
   }
+  if (ctx.trace != nullptr) {
+    ctx.trace->set_grad_norms(g_norm);
+    ctx.trace->set_momentum_norms(m_norm);
+  }
 
   AggregationResult out;
   out.shared_grad.assign(p, 0.0f);
@@ -61,8 +65,9 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
   // the random order provides the calibration — equivalently, a uniformly
   // random conflicting partner. This is what makes Theorem 1's ‖ĝ‖ ≤
   // K(1+λ)G bound hold (exactly one calibration term per task).
-  // Adds the Eq. (8) calibration term for partner j to the output.
-  auto add_calibration = [&](int j) {
+  // Adds the Eq. (8) calibration term for partner j to the output and
+  // returns the applied scale λ·‖g_j‖/‖m_j‖ (0 when nothing was added).
+  auto add_calibration = [&](int j) -> double {
     // Cold start (‖m_j‖ ≈ 0) falls back to the raw gradient g_j, the
     // history-free limit of Eq. (9).
     const float* dir;
@@ -74,10 +79,11 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
       dir = g.Row(j);
       dir_norm = g_norm[j];
     }
-    if (dir_norm <= kNormEps) return;  // zero gradient: nothing to add
+    if (dir_norm <= kNormEps) return 0.0;  // zero gradient: nothing to add
     const float scale =
         static_cast<float>(options_.lambda * g_norm[j] / dir_norm);
     vec::Axpy(p, scale, dir, out.shared_grad.data());
+    return scale;
   };
 
   {
@@ -94,17 +100,36 @@ AggregationResult MoCoGrad::Aggregate(const AggregationContext& ctx) {
         if (j == i) continue;
         // GCD(g_i, g_j) > 1 ⇔ g_i · g_j < 0 (Definition 3); the dot product
         // is the numerically robust form of the test.
-        if (g.RowDot(i, j) >= 0.0) continue;
+        const double dot = g.RowDot(i, j);
+        if (ctx.trace != nullptr) {
+          // The sweep visits every ordered pair, so MoCoGrad publishes the
+          // complete raw cosine matrix for free.
+          const double denom = g_norm[i] * g_norm[j];
+          ctx.trace->SetCosine(i, j, denom <= kNormEps ? 0.0 : dot / denom);
+        }
+        if (dot >= 0.0) continue;
         ++out.num_conflicts;
         if (options_.accumulate_all_conflicts) {
-          add_calibration(j);
+          const double scale = add_calibration(j);
+          if (ctx.trace != nullptr) {
+            ctx.trace->RecordPair(i, j, ctx.trace->cosine(i, j), scale,
+                                  scale != 0.0);
+          }
         } else {
           chosen = j;
+          if (ctx.trace != nullptr) {
+            ctx.trace->RecordPair(i, j, ctx.trace->cosine(i, j), 0.0, false);
+          }
         }
       }
       vec::Add(p, gi, out.shared_grad.data());
       // Eq. (8): ĝ_i = g_i + λ (‖g_j‖/‖m_j‖) m_j for the chosen partner.
-      if (chosen >= 0) add_calibration(chosen);
+      if (chosen >= 0) {
+        const double scale = add_calibration(chosen);
+        if (ctx.trace != nullptr && scale != 0.0) {
+          ctx.trace->MarkActed(i, chosen, scale);
+        }
+      }
     }
     // MG_HOT_PATH_END
   }

@@ -21,6 +21,7 @@ AggregationResult NashMtl::Aggregate(const AggregationContext& ctx) {
     obs::ScopedPhase phase(ctx.profile, "gram");
     gram = g.Gram();
   }
+  if (ctx.trace != nullptr) ctx.trace->SetCosinesFromGram(gram);
 
   std::vector<double> alpha(k, 1.0 / std::sqrt(static_cast<double>(k)));
   {
@@ -55,6 +56,11 @@ AggregationResult NashMtl::Aggregate(const AggregationContext& ctx) {
     if (sum > 1e-12) {
       for (double& x : alpha) x *= static_cast<double>(k) / sum;
     }
+  }
+
+  if (ctx.trace != nullptr) {
+    ctx.trace->set_solver_iterations(options_.iters);
+    ctx.trace->set_solver_weights(alpha);
   }
 
   AggregationResult out;

@@ -1,5 +1,6 @@
 #include "core/pcgrad.h"
 
+#include <cmath>
 #include <numeric>
 
 #include "base/vec_ops.h"
@@ -40,6 +41,11 @@ AggregationResult PcGrad::Aggregate(const AggregationContext& ctx) {
       ++out.num_conflicts;
       const float c = static_cast<float>(dot / nj2);
       vec::Axpy(p, -c, gj, gi.data());
+      if (ctx.trace != nullptr) {
+        // No raw cosine: the dot used the chained-projected g_i. The
+        // magnitude is the projection coefficient dot/‖g_j‖².
+        ctx.trace->RecordPair(i, j, std::nan(""), dot / nj2, true);
+      }
     }
     vec::Add(p, gi.data(), out.shared_grad.data());
   }

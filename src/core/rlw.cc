@@ -27,6 +27,7 @@ AggregationResult Rlw::Aggregate(const AggregationContext& ctx) {
     w[i] = z[i] / denom * static_cast<double>(k);
   }
 
+  if (ctx.trace != nullptr) ctx.trace->set_solver_weights(w);
   AggregationResult out;
   out.shared_grad = g.WeightedSumRows(w);
   out.task_weights.resize(k);

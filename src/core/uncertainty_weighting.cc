@@ -42,6 +42,7 @@ AggregationResult UncertaintyWeighting::Aggregate(
   }
   for (double& x : w) x *= static_cast<double>(k) / sum;
 
+  if (ctx.trace != nullptr) ctx.trace->set_solver_weights(w);
   AggregationResult out;
   out.shared_grad = g.WeightedSumRows(w);
   out.task_weights.resize(k);

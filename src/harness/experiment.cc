@@ -7,6 +7,7 @@
 #include "base/env.h"
 #include "eval/metrics.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "mtl/cgc.h"
 #include "mtl/cross_stitch.h"
@@ -204,10 +205,16 @@ RunResult TrainAndEvaluate(const data::MtlDataset& dataset,
   mtl::MtlTrainer trainer(model.get(), aggregator, optimizer.get(), kinds,
                           config.seed ^ 0x9e3779b9u);
 
-  // Optional per-step metrics JSONL (config wins over MOCOGRAD_METRICS).
+  // Optional per-step metrics JSONL (config wins over MOCOGRAD_METRICS),
+  // sampled every `metrics_every` steps (config wins over
+  // MOCOGRAD_METRICS_EVERY).
   const std::string metrics_path =
       !config.metrics_jsonl_path.empty() ? config.metrics_jsonl_path
                                          : GetEnvString("MOCOGRAD_METRICS");
+  const int metrics_every =
+      config.metrics_every > 0
+          ? config.metrics_every
+          : GetEnvInt("MOCOGRAD_METRICS_EVERY", 1, 1, 1 << 30);
   std::unique_ptr<obs::StepMetricsSink> metrics_sink;
   if (!metrics_path.empty()) {
     metrics_sink = std::make_unique<obs::StepMetricsSink>(metrics_path);
@@ -216,6 +223,28 @@ RunResult TrainAndEvaluate(const data::MtlDataset& dataset,
                    metrics_sink->status().ToString().c_str());
       metrics_sink.reset();
     }
+  }
+
+  // Optional conflict-telemetry JSONL (config wins over MOCOGRAD_TELEMETRY /
+  // MOCOGRAD_TELEMETRY_EVERY). Attached to the trainer; observation-only.
+  const std::string telemetry_path =
+      !config.telemetry_jsonl_path.empty()
+          ? config.telemetry_jsonl_path
+          : GetEnvString("MOCOGRAD_TELEMETRY");
+  const int telemetry_every =
+      config.telemetry_every > 0
+          ? config.telemetry_every
+          : GetEnvInt("MOCOGRAD_TELEMETRY_EVERY", 1, 1, 1 << 30);
+  std::unique_ptr<obs::TelemetrySink> telemetry_sink;
+  if (!telemetry_path.empty()) {
+    telemetry_sink =
+        std::make_unique<obs::TelemetrySink>(telemetry_path, telemetry_every);
+    if (!telemetry_sink->ok()) {
+      std::fprintf(stderr, "mocograd: telemetry sink disabled: %s\n",
+                   telemetry_sink->status().ToString().c_str());
+      telemetry_sink.reset();
+    }
+    trainer.set_telemetry_sink(telemetry_sink.get());
   }
 
   RunResult result;
@@ -239,7 +268,7 @@ RunResult TrainAndEvaluate(const data::MtlDataset& dataset,
       result.loss_curve.push_back(stats.losses);
     }
     if (step + 1 == config.steps) result.final_losses = stats.losses;
-    if (metrics_sink) {
+    if (metrics_sink && step % metrics_every == 0) {
       std::vector<std::pair<std::string, double>> fields;
       for (size_t t = 0; t < stats.losses.size(); ++t) {
         fields.emplace_back("loss_" + std::to_string(t), stats.losses[t]);

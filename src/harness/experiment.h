@@ -34,6 +34,19 @@ struct TrainConfig {
   /// step appends one record with losses, phase times, and counter deltas —
   /// see docs/OBSERVABILITY.md.
   std::string metrics_jsonl_path;
+  /// Sampling stride for the metrics sink: write every `metrics_every`-th
+  /// step (0 = fall back to MOCOGRAD_METRICS_EVERY, default 1 = every step).
+  int metrics_every = 0;
+  /// Conflict-telemetry JSONL destination ("-" = stdout, empty = fall back
+  /// to the MOCOGRAD_TELEMETRY env var; off when both are empty). Sampled
+  /// steps append one typed record with losses, per-task gradient/momentum
+  /// norms, the pairwise cosine matrix, and the aggregator's decision trace
+  /// — see docs/OBSERVABILITY.md "Conflict telemetry". Observation-only:
+  /// enabling it never changes computed results.
+  std::string telemetry_jsonl_path;
+  /// Telemetry sampling stride (0 = fall back to MOCOGRAD_TELEMETRY_EVERY,
+  /// default 1). Watchdog events are written regardless of the stride.
+  int telemetry_every = 0;
   /// Backward-executor override for this run: "" keeps the process-wide
   /// setting (MOCOGRAD_AUTOGRAD_EXEC / SetBackwardExecutor), "seq" forces
   /// the linear tape replay, "ready" forces the ready-queue engine. The

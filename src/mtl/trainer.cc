@@ -1,6 +1,7 @@
 #include "mtl/trainer.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 #include "autograd/ops.h"
@@ -46,6 +47,7 @@ MtlTrainer::MtlTrainer(MtlModel* model, core::GradientAggregator* aggregator,
       rng_(seed) {
   MG_CHECK(model_ != nullptr && aggregator_ != nullptr &&
            optimizer_ != nullptr);
+  method_name_ = aggregator_->name();
   MG_CHECK_EQ(static_cast<int>(kinds_.size()), model_->num_tasks(),
               "one TaskKind per task");
 }
@@ -147,27 +149,21 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
     }
   }
 
-  if (conflict_stats_enabled_) {
-    MG_TRACE_SCOPE("trainer.conflict_stats");
-    phase_timer.Restart();
-    stats.conflicts = core::ComputeConflictStats(task_grads);
-    stats.phase.conflict_stats = phase_timer.ElapsedSeconds();
-    MG_METRIC_COUNT("trainer.conflicting_pairs",
-                    stats.conflicts.num_conflicting_pairs);
-  }
-  if (tracker_ != nullptr) tracker_->Record(task_grads);
-
-  // Aggregate.
+  // Aggregate. The decision trace is attached unconditionally — it is
+  // observation-only by contract, and always filling it keeps every
+  // downstream value identical whether or not a telemetry sink is attached.
   core::AggregationResult agg;
   {
     MG_TRACE_SCOPE("trainer.aggregate");
     phase_timer.Restart();
+    trace_.Begin(method_name_, k);
     core::AggregationContext ctx;
     ctx.task_grads = &task_grads;
     ctx.losses = &stats.losses;
     ctx.step = step_;
     ctx.rng = &rng_;
     ctx.profile = &stats.phase.aggregator;
+    ctx.trace = &trace_;
     agg = aggregator_->Aggregate(ctx);
     stats.phase.aggregate = phase_timer.ElapsedSeconds();
   }
@@ -176,7 +172,60 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
   MG_CHECK_EQ(static_cast<int64_t>(agg.shared_grad.size()), shared_dim);
   MG_CHECK_EQ(static_cast<int>(agg.task_weights.size()), k);
 
+  // Conflict statistics, deduped against the aggregator's own pairwise
+  // sweep: when the method published a complete cosine matrix through the
+  // trace (MoCoGrad's calibration scan, the Gram-based solvers), those
+  // cosines are reused; otherwise one O(K²·P) PairwiseCosines pass covers
+  // stats, tracker, and telemetry together.
+  const bool telemetry_sampled = telemetry_ != nullptr && telemetry_->ok() &&
+                                 telemetry_->ShouldSample(step_);
+  std::vector<double> fallback_cosines;
+  const std::vector<double>* cosines = nullptr;
+  if (conflict_stats_enabled_ || tracker_ != nullptr || telemetry_sampled) {
+    MG_TRACE_SCOPE("trainer.conflict_stats");
+    phase_timer.Restart();
+    if (trace_.cosines_complete()) {
+      cosines = &trace_.cosine_matrix();
+    } else {
+      fallback_cosines = core::PairwiseCosines(task_grads);
+      cosines = &fallback_cosines;
+    }
+    if (conflict_stats_enabled_) {
+      stats.conflicts = core::ConflictStatsFromCosines(k, *cosines);
+      MG_METRIC_COUNT("trainer.conflicting_pairs",
+                      stats.conflicts.num_conflicting_pairs);
+    }
+    if (tracker_ != nullptr) tracker_->RecordFromCosines(k, *cosines);
+    stats.phase.conflict_stats = phase_timer.ElapsedSeconds();
+  }
+
   stats.backward_seconds = backward_timer.ElapsedSeconds();
+
+  // Watchdog scan over this step's losses and aggregated gradient.
+  // Observation-only unless abort_on_event is set.
+  if (watchdog_.options().enabled) {
+    stats.watchdog_events = watchdog_.Observe(step_, stats.losses,
+                                              agg.shared_grad);
+    if (!stats.watchdog_events.empty()) {
+      MG_METRIC_COUNT("trainer.watchdog_events",
+                      static_cast<int64_t>(stats.watchdog_events.size()));
+      for (const obs::WatchdogEvent& ev : stats.watchdog_events) {
+        std::fprintf(stderr,
+                     "mocograd: watchdog: step %lld: %s (task %d, value %g, "
+                     "threshold %g)\n",
+                     static_cast<long long>(ev.step), ev.kind.c_str(), ev.task,
+                     ev.value, ev.threshold);
+        if (telemetry_ != nullptr && telemetry_->ok()) {
+          telemetry_->WriteWatchdogEvent(method_name_, ev);
+        }
+      }
+      if (watchdog_.options().abort_on_event) {
+        MG_FATAL("watchdog abort: ", stats.watchdog_events.size(),
+                 " anomalies at step ", step_, " (first: ",
+                 stats.watchdog_events.front().kind, ")");
+      }
+    }
+  }
 
   // Write the combined gradient back onto the parameters and step.
   {
@@ -229,6 +278,46 @@ StepStats MtlTrainer::Step(const std::vector<Batch>& batches) {
     phase_timer.Restart();
     optimizer_->Step();
     stats.phase.optimizer = phase_timer.ElapsedSeconds();
+  }
+
+  // Telemetry record, written last so the phase breakdown is complete.
+  // Everything here *reads* finished step state — nothing feeds back.
+  if (telemetry_sampled) {
+    obs::TelemetryRecord rec;
+    rec.step = step_;
+    rec.method = method_name_;
+    rec.num_tasks = k;
+    rec.losses = stats.losses;
+    rec.task_weights = agg.task_weights;
+    rec.grad_norms = trace_.grad_norms();
+    if (rec.grad_norms.empty()) {
+      rec.grad_norms.reserve(k);
+      for (int t = 0; t < k; ++t) {
+        rec.grad_norms.push_back(task_grads.RowNorm(t));
+      }
+    }
+    rec.momentum_norms = trace_.momentum_norms();
+    if (cosines != nullptr) {
+      rec.cosines = *cosines;
+      const core::ConflictStats cs =
+          conflict_stats_enabled_
+              ? stats.conflicts
+              : core::ConflictStatsFromCosines(k, *cosines);
+      rec.mean_gcd = cs.mean_gcd;
+      rec.max_gcd = cs.max_gcd;
+      rec.num_conflicting_pairs = cs.num_conflicting_pairs;
+      rec.num_pairs = cs.num_pairs;
+    }
+    rec.trace = &trace_;
+    rec.phase_seconds = {{"forward", stats.phase.forward},
+                         {"backward", stats.phase.backward},
+                         {"flatten", stats.phase.flatten},
+                         {"conflict_stats", stats.phase.conflict_stats},
+                         {"aggregate", stats.phase.aggregate},
+                         {"write_back", stats.phase.write_back},
+                         {"clip", stats.phase.clip},
+                         {"optimizer", stats.phase.optimizer}};
+    telemetry_->WriteRecord(rec);
   }
   ++step_;
   return stats;

@@ -2,6 +2,7 @@
 #define MOCOGRAD_MTL_TRAINER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/rng.h"
@@ -10,7 +11,9 @@
 #include "core/conflict.h"
 #include "data/batch.h"
 #include "mtl/model.h"
+#include "mtl/watchdog.h"
 #include "obs/phase_profile.h"
+#include "obs/telemetry.h"
 #include "optim/optimizer.h"
 
 namespace mocograd {
@@ -92,6 +95,9 @@ struct StepStats {
   double backward_seconds = 0.0;
   /// Per-phase wall-clock breakdown of the whole step.
   StepPhaseTimes phase;
+  /// Anomalies the TrainingWatchdog flagged this step (empty when healthy
+  /// or when the watchdog is disabled).
+  std::vector<obs::WatchdogEvent> watchdog_events;
 };
 
 /// The per-task loss for a prediction given its batch and task kind.
@@ -147,6 +153,20 @@ class MtlTrainer {
   }
   float max_grad_norm() const { return max_grad_norm_; }
 
+  /// Optional: stream sampled per-step telemetry records (and every watchdog
+  /// event) into `sink` (borrowed; pass nullptr to stop). Observation-only:
+  /// attaching a sink never changes RNG streams, accumulation order, or any
+  /// computed result.
+  void set_telemetry_sink(obs::TelemetrySink* sink) { telemetry_ = sink; }
+
+  /// The watchdog scanning each step's losses and aggregated gradient.
+  /// Mutable so callers can tune thresholds or disable it entirely.
+  TrainingWatchdog* watchdog() { return &watchdog_; }
+
+  /// The decision trace the aggregator filled during the most recent Step
+  /// (cosines, per-pair calibration/projection decisions, solver weights).
+  const obs::AggregatorTrace& last_trace() const { return trace_; }
+
  private:
   MtlModel* model_;
   core::GradientAggregator* aggregator_;
@@ -157,6 +177,10 @@ class MtlTrainer {
   core::ConflictTracker* tracker_ = nullptr;
   float max_grad_norm_ = 0.0f;
   bool conflict_stats_enabled_ = true;
+  std::string method_name_;       // cached aggregator_->name()
+  obs::AggregatorTrace trace_;    // reused across steps (no per-step alloc)
+  TrainingWatchdog watchdog_;     // options from env by default
+  obs::TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace mtl

@@ -1,0 +1,77 @@
+#ifndef MOCOGRAD_MTL_WATCHDOG_H_
+#define MOCOGRAD_MTL_WATCHDOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace mocograd {
+namespace mtl {
+
+/// Anomaly-detection thresholds for TrainingWatchdog. The defaults are
+/// deliberately loose: the watchdog flags runs that are *rotting* (NaNs,
+/// runaway losses, exploding updates), not runs that are merely noisy.
+struct WatchdogOptions {
+  /// Master switch (MOCOGRAD_WATCHDOG; default on — the clean-run cost is
+  /// one O(P) finite-check/norm pass per step).
+  bool enabled = true;
+  /// Abort the process (MG_FATAL) on any event instead of just reporting
+  /// (MOCOGRAD_WATCHDOG_ABORT; default off).
+  bool abort_on_event = false;
+  /// A task's loss diverges when it exceeds `loss_divergence_factor ×` its
+  /// running minimum (after warmup).
+  double loss_divergence_factor = 100.0;
+  /// The aggregated gradient explodes when its norm exceeds
+  /// `grad_explosion_factor ×` its EMA (after warmup).
+  double grad_explosion_factor = 1000.0;
+  /// Steps before the divergence/explosion detectors arm; the non-finite
+  /// sentinels are always armed.
+  int warmup_steps = 20;
+  /// EMA coefficient for the gradient-norm baseline.
+  double norm_ema_beta = 0.9;
+};
+
+/// Per-run anomaly watchdog over training dynamics: a NaN/Inf sentinel on
+/// losses and the aggregated gradient, a loss-divergence detector against
+/// each task's running-minimum loss, and a gradient-explosion detector
+/// against an EMA of the aggregated-gradient norm.
+///
+/// Observation-only: Observe never touches RNG streams, accumulation order,
+/// or any training value — its state (running minima, norm EMA) feeds back
+/// only into which events it reports. The one behavioral knob,
+/// `abort_on_event`, is opt-in and handled by the caller (MtlTrainer).
+class TrainingWatchdog {
+ public:
+  TrainingWatchdog() : TrainingWatchdog(OptionsFromEnv()) {}
+  explicit TrainingWatchdog(const WatchdogOptions& options)
+      : options_(options) {}
+
+  /// Reads MOCOGRAD_WATCHDOG / MOCOGRAD_WATCHDOG_ABORT (defaults otherwise).
+  static WatchdogOptions OptionsFromEnv();
+
+  const WatchdogOptions& options() const { return options_; }
+  void set_options(const WatchdogOptions& options) { options_ = options; }
+
+  /// Scans one step's losses and aggregated shared-parameter gradient.
+  /// Returns the anomalies detected this step (empty for a healthy step, and
+  /// always empty when disabled).
+  std::vector<obs::WatchdogEvent> Observe(
+      int64_t step, const std::vector<float>& losses,
+      const std::vector<float>& aggregated_grad);
+
+  /// Clears the running minima / EMA (reuse across training runs).
+  void Reset();
+
+ private:
+  WatchdogOptions options_;
+  std::vector<double> min_loss_;  // per-task running min of finite losses
+  double norm_ema_ = 0.0;
+  bool norm_ema_valid_ = false;
+  int64_t steps_seen_ = 0;
+};
+
+}  // namespace mtl
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_MTL_WATCHDOG_H_

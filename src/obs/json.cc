@@ -1,6 +1,9 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace mocograd {
@@ -8,15 +11,17 @@ namespace obs {
 
 namespace {
 
-// Recursive-descent JSON syntax checker. Tracks position for error
+// Recursive-descent JSON parser. With a null `out` it is a pure syntax
+// checker (no allocation beyond the recursion); with a non-null `out` it
+// additionally builds the JsonValue DOM. Tracks position for error
 // reporting; depth is bounded to reject pathological nesting.
 class Parser {
  public:
   explicit Parser(const std::string& text) : s_(text) {}
 
-  Status Run() {
+  Status Run(JsonValue* out) {
     SkipWs();
-    Status st = ParseValue(0);
+    Status st = ParseValue(0, out);
     if (!st.ok()) return st;
     SkipWs();
     if (pos_ != s_.size()) return Fail("trailing characters");
@@ -49,29 +54,44 @@ class Parser {
     return true;
   }
 
-  Status ParseValue(int depth) {
+  Status ParseValue(int depth, JsonValue* out) {
     if (depth > kMaxDepth) return Fail("nesting too deep");
     if (Eof()) return Fail("unexpected end of input");
     const char c = Peek();
     switch (c) {
       case '{':
-        return ParseObject(depth);
+        if (out != nullptr) out->kind = JsonValue::Kind::kObject;
+        return ParseObject(depth, out);
       case '[':
-        return ParseArray(depth);
+        if (out != nullptr) out->kind = JsonValue::Kind::kArray;
+        return ParseArray(depth, out);
       case '"':
-        return ParseString();
+        if (out != nullptr) out->kind = JsonValue::Kind::kString;
+        return ParseString(out != nullptr ? &out->string_value : nullptr);
       case 't':
-        return Literal("true") ? Status::Ok() : Fail("bad literal");
+        if (!Literal("true")) return Fail("bad literal");
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = true;
+        }
+        return Status::Ok();
       case 'f':
-        return Literal("false") ? Status::Ok() : Fail("bad literal");
+        if (!Literal("false")) return Fail("bad literal");
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = false;
+        }
+        return Status::Ok();
       case 'n':
-        return Literal("null") ? Status::Ok() : Fail("bad literal");
+        if (!Literal("null")) return Fail("bad literal");
+        if (out != nullptr) out->kind = JsonValue::Kind::kNull;
+        return Status::Ok();
       default:
-        return ParseNumber();
+        return ParseNumber(out);
     }
   }
 
-  Status ParseObject(int depth) {
+  Status ParseObject(int depth, JsonValue* out) {
     ++pos_;  // '{'
     SkipWs();
     if (!Eof() && Peek() == '}') {
@@ -81,13 +101,19 @@ class Parser {
     for (;;) {
       SkipWs();
       if (Eof() || Peek() != '"') return Fail("expected object key");
-      Status st = ParseString();
+      std::string key;
+      Status st = ParseString(out != nullptr ? &key : nullptr);
       if (!st.ok()) return st;
       SkipWs();
       if (Eof() || Peek() != ':') return Fail("expected ':'");
       ++pos_;
       SkipWs();
-      st = ParseValue(depth + 1);
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->members.emplace_back(std::move(key), JsonValue());
+        slot = &out->members.back().second;
+      }
+      st = ParseValue(depth + 1, slot);
       if (!st.ok()) return st;
       SkipWs();
       if (Eof()) return Fail("unterminated object");
@@ -103,7 +129,7 @@ class Parser {
     }
   }
 
-  Status ParseArray(int depth) {
+  Status ParseArray(int depth, JsonValue* out) {
     ++pos_;  // '['
     SkipWs();
     if (!Eof() && Peek() == ']') {
@@ -112,7 +138,12 @@ class Parser {
     }
     for (;;) {
       SkipWs();
-      Status st = ParseValue(depth + 1);
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->items.emplace_back();
+        slot = &out->items.back();
+      }
+      Status st = ParseValue(depth + 1, slot);
       if (!st.ok()) return st;
       SkipWs();
       if (Eof()) return Fail("unterminated array");
@@ -128,7 +159,47 @@ class Parser {
     }
   }
 
-  Status ParseString() {
+  // Appends a Unicode code point to `decoded` as UTF-8.
+  static void AppendUtf8(std::string* decoded, uint32_t cp) {
+    if (cp < 0x80) {
+      decoded->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      decoded->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      decoded->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      decoded->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      decoded->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      decoded->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      decoded->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      decoded->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      decoded->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      decoded->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  // Parses the four hex digits after `\u`; pos_ is on the 'u' on entry and
+  // on the last hex digit on success (the caller's ++pos_ advances past it).
+  Status ParseHex4(uint32_t* cp) {
+    *cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      ++pos_;
+      if (Eof() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("bad \\u escape");
+      }
+      const char h = s_[pos_];
+      uint32_t digit;
+      if (h >= '0' && h <= '9') {
+        digit = h - '0';
+      } else {
+        digit = (std::tolower(static_cast<unsigned char>(h)) - 'a') + 10;
+      }
+      *cp = (*cp << 4) | digit;
+    }
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* decoded) {
     ++pos_;  // '"'
     while (!Eof()) {
       const unsigned char c = static_cast<unsigned char>(s_[pos_]);
@@ -142,22 +213,57 @@ class Parser {
         if (Eof()) return Fail("unterminated escape");
         const char e = s_[pos_];
         if (e == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            ++pos_;
-            if (Eof() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
-              return Fail("bad \\u escape");
+          uint32_t cp;
+          Status st = ParseHex4(&cp);
+          if (!st.ok()) return st;
+          // Combine a UTF-16 surrogate pair when the low half follows.
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 2 < s_.size() &&
+              s_[pos_ + 1] == '\\' && s_[pos_ + 2] == 'u') {
+            pos_ += 2;
+            uint32_t lo;
+            st = ParseHex4(&lo);
+            if (!st.ok()) return st;
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return Fail("unpaired surrogate");
             }
           }
-        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          if (decoded != nullptr) AppendUtf8(decoded, cp);
+        } else if (std::strchr("\"\\/bfnrt", e) != nullptr) {
+          if (decoded != nullptr) {
+            switch (e) {
+              case 'b':
+                decoded->push_back('\b');
+                break;
+              case 'f':
+                decoded->push_back('\f');
+                break;
+              case 'n':
+                decoded->push_back('\n');
+                break;
+              case 'r':
+                decoded->push_back('\r');
+                break;
+              case 't':
+                decoded->push_back('\t');
+                break;
+              default:
+                decoded->push_back(e);
+            }
+          }
+        } else {
           return Fail("bad escape character");
         }
+      } else if (decoded != nullptr) {
+        decoded->push_back(static_cast<char>(c));
       }
       ++pos_;
     }
     return Fail("unterminated string");
   }
 
-  Status ParseNumber() {
+  Status ParseNumber(JsonValue* out) {
     const size_t start = pos_;
     if (!Eof() && Peek() == '-') ++pos_;
     if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
@@ -183,7 +289,14 @@ class Parser {
       }
       while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
     }
-    return pos_ > start ? Status::Ok() : Fail("bad number");
+    if (pos_ <= start) return Fail("bad number");
+    if (out != nullptr) {
+      out->kind = JsonValue::Kind::kNumber;
+      // The grammar above only accepts strtod-compatible spellings.
+      out->number_value = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                                      nullptr);
+    }
+    return Status::Ok();
   }
 
   const std::string& s_;
@@ -192,7 +305,73 @@ class Parser {
 
 }  // namespace
 
-Status ValidateJson(const std::string& text) { return Parser(text).Run(); }
+Status ValidateJson(const std::string& text) {
+  return Parser(text).Run(nullptr);
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  JsonValue root;
+  Status st = Parser(text).Run(&root);
+  if (!st.ok()) return st;
+  return root;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_value : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value : fallback;
+}
+
+void AppendJsonKey(std::string* out, const std::string& key) {
+  AppendJsonString(out, key);
+  *out += ':';
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips doubles; integers print without exponent noise.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+  *out += '"';
+}
 
 }  // namespace obs
 }  // namespace mocograd

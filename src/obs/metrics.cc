@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "base/check.h"
+#include "obs/json.h"
 
 namespace mocograd {
 namespace obs {
@@ -235,34 +236,6 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, g] : i.gauges) g->Reset();
   for (auto& [name, h] : i.histograms) h->Reset();
 }
-
-namespace {
-
-void AppendJsonKey(std::string* out, const std::string& key) {
-  *out += '"';
-  for (char c : key) {
-    if (c == '"' || c == '\\') *out += '\\';
-    *out += c;
-  }
-  *out += "\":";
-}
-
-void AppendJsonNumber(std::string* out, double v) {
-  if (!std::isfinite(v)) {
-    *out += "null";
-    return;
-  }
-  char buf[40];
-  // %.17g round-trips doubles; integers print without exponent noise.
-  if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%.0f", v);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-  }
-  *out += buf;
-}
-
-}  // namespace
 
 StepMetricsSink::StepMetricsSink(const std::string& path) {
   if (path == "-") {

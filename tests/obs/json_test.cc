@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 namespace mocograd {
@@ -58,6 +59,70 @@ TEST(ValidateJsonTest, AcceptsReasonableNesting) {
   std::string ok(100, '[');
   ok += std::string(100, ']');
   EXPECT_TRUE(ValidateJson(ok).ok());
+}
+
+TEST(ParseJsonTest, BuildsDomForTelemetryShapedRecord) {
+  Result<JsonValue> parsed = ParseJson(
+      "{\"type\":\"step\",\"step\":12,\"losses\":[1.5,null],"
+      "\"gcd\":{\"mean\":0.25},\"ok\":true,\"name\":\"mocograd\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = parsed.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.StringOr("type", ""), "step");
+  EXPECT_EQ(v.NumberOr("step", -1), 12.0);
+  const JsonValue* losses = v.Find("losses");
+  ASSERT_NE(losses, nullptr);
+  ASSERT_TRUE(losses->is_array());
+  ASSERT_EQ(losses->items.size(), 2u);
+  EXPECT_EQ(losses->items[0].number_value, 1.5);
+  EXPECT_TRUE(losses->items[1].is_null());
+  ASSERT_NE(v.Find("gcd"), nullptr);
+  EXPECT_EQ(v.Find("gcd")->NumberOr("mean", 0), 0.25);
+  ASSERT_NE(v.Find("ok"), nullptr);
+  EXPECT_TRUE(v.Find("ok")->bool_value);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_EQ(v.NumberOr("missing", -3.0), -3.0);
+  EXPECT_EQ(v.StringOr("step", "fb"), "fb");  // wrong type → fallback
+}
+
+TEST(ParseJsonTest, DecodesEscapesIncludingSurrogatePairs) {
+  Result<JsonValue> parsed =
+      ParseJson("\"a\\n\\t\\\"\\\\ \\u00e9 \\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().string_value,
+            "a\n\t\"\\ \xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(ParseJsonTest, KeepsObjectMembersInSourceOrder) {
+  Result<JsonValue> parsed = ParseJson("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_TRUE(parsed.ok());
+  const auto& members = parsed.value().members;
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(ParseJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(JsonHelpersTest, NumberFormattingRoundTrips) {
+  std::string out;
+  AppendJsonNumber(&out, 3.0);
+  out += " ";
+  AppendJsonNumber(&out, 0.1);
+  out += " ";
+  AppendJsonNumber(&out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out.substr(0, 2), "3 ");
+  EXPECT_NE(out.find("0.1"), std::string::npos);
+  EXPECT_NE(out.find("null"), std::string::npos);
+
+  std::string esc;
+  AppendJsonString(&esc, "a\"b\\c\nd");
+  EXPECT_EQ(esc, "\"a\\\"b\\\\c\\u000ad\"");
 }
 
 }  // namespace

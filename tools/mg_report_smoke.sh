@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# mg_report end-to-end smoke: trains two small runs (MoCoGrad vs PCGrad)
+# with the conflict-telemetry channel on, schema-validates both JSONL
+# files, renders the single-run HTML report and the A/B diff, and fails on
+# watchdog events. Registered as the `mg_report_smoke` ctest; the CI job
+# uploads the HTML artifacts.
+#
+# usage: mg_report_smoke.sh <build_dir> [out_dir]
+set -euo pipefail
+
+build_dir=${1:?usage: mg_report_smoke.sh <build_dir> [out_dir]}
+out_dir=${2:-"$build_dir/mg_report_smoke"}
+mkdir -p "$out_dir"
+rm -f "$out_dir"/moco.jsonl "$out_dir"/pcgrad.jsonl
+
+demo="$build_dir/examples/example_telemetry_demo"
+validate="$build_dir/tools/validate_json"
+report="$build_dir/tools/mg_report"
+
+"$demo" mocograd "$out_dir/moco.jsonl" 60 > /dev/null
+"$demo" pcgrad "$out_dir/pcgrad.jsonl" 60 > /dev/null
+
+"$validate" --telemetry "$out_dir/moco.jsonl" "$out_dir/pcgrad.jsonl"
+
+"$report" --out "$out_dir/report.html" --fail-on-watchdog \
+  "$out_dir/moco.jsonl"
+"$report" --out "$out_dir/diff.html" --fail-on-watchdog \
+  "$out_dir/moco.jsonl" "$out_dir/pcgrad.jsonl"
+
+# The reports must be non-trivial self-contained HTML with rendered charts.
+for f in "$out_dir/report.html" "$out_dir/diff.html"; do
+  grep -q "<svg" "$f" || { echo "mg_report_smoke: no SVG in $f"; exit 1; }
+  grep -q "watchdog" "$f" || { echo "mg_report_smoke: no watchdog section in $f"; exit 1; }
+done
+grep -q "run diff" "$out_dir/diff.html" || {
+  echo "mg_report_smoke: diff.html is missing the A/B section"; exit 1; }
+
+echo "mg_report_smoke: OK ($out_dir)"

@@ -1,8 +1,13 @@
 // Validates that stdin (or each file argument) is well-formed JSON — or,
-// with --jsonl, that every non-empty line is. Exit 0 iff everything parses;
-// the first error is reported with its byte offset. Used by run_tests.sh to
-// check the Chrome-trace and metrics files the observability layer emits.
+// with --jsonl, that every non-empty line is. With --telemetry, each line
+// is additionally checked against the conflict-telemetry schema emitted by
+// obs::TelemetrySink (docs/OBSERVABILITY.md "Conflict telemetry"): typed
+// records, required keys, finite floats, and per-run monotone step ids.
+// Exit 0 iff everything validates; the first error on each file is
+// reported. Used by run_tests.sh and the mg_report CI smoke to check the
+// Chrome-trace / metrics / telemetry files the observability layer emits.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -12,6 +17,10 @@
 
 namespace {
 
+using mocograd::Result;
+using mocograd::Status;
+using mocograd::obs::JsonValue;
+
 std::string ReadAll(std::FILE* f) {
   std::string out;
   char buf[1 << 16];
@@ -20,9 +29,206 @@ std::string ReadAll(std::FILE* f) {
   return out;
 }
 
-bool Validate(const std::string& name, const std::string& text, bool jsonl) {
-  using mocograd::Status;
-  if (!jsonl) {
+// --- Telemetry schema ------------------------------------------------------
+
+// Appends "key" context to an error message.
+Status Bad(const std::string& what) {
+  return Status::InvalidArgument("telemetry schema: " + what);
+}
+
+bool IsInt(double v) { return std::isfinite(v) && v == std::floor(v); }
+
+// Requires `key` to be an array of finite numbers (no nulls — the writer
+// serializes non-finite values as null, so a null here means a NaN/Inf
+// leaked into the training run). `min_len` guards non-empty arrays.
+Status CheckFiniteArray(const JsonValue& obj, const std::string& key,
+                        size_t min_len) {
+  const JsonValue* arr = obj.Find(key);
+  if (arr == nullptr) return Status::Ok();
+  if (!arr->is_array()) return Bad("\"" + key + "\" must be an array");
+  if (arr->items.size() < min_len) {
+    return Bad("\"" + key + "\" must have at least " +
+               std::to_string(min_len) + " entries");
+  }
+  for (const JsonValue& v : arr->items) {
+    if (!v.is_number() || !std::isfinite(v.number_value)) {
+      return Bad("\"" + key + "\" contains a non-finite entry");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckStepRecord(const JsonValue& rec) {
+  const JsonValue* step = rec.Find("step");
+  if (step == nullptr || !step->is_number() || !IsInt(step->number_value) ||
+      step->number_value < 0) {
+    return Bad("\"step\" must be a non-negative integer");
+  }
+  const JsonValue* method = rec.Find("method");
+  if (method == nullptr || !method->is_string() ||
+      method->string_value.empty()) {
+    return Bad("\"method\" must be a non-empty string");
+  }
+  if (rec.Find("losses") == nullptr) return Bad("\"losses\" is required");
+  Status s = CheckFiniteArray(rec, "losses", 1);
+  if (!s.ok()) return s;
+  const size_t k = rec.Find("losses")->items.size();
+  for (const char* key : {"task_weights", "grad_norms", "momentum_norms"}) {
+    s = CheckFiniteArray(rec, key, 0);
+    if (!s.ok()) return s;
+    const JsonValue* arr = rec.Find(key);
+    if (arr != nullptr && arr->items.size() != k) {
+      return Bad(std::string("\"") + key + "\" length must match \"losses\"");
+    }
+  }
+
+  const JsonValue* gcd = rec.Find("gcd");
+  if (gcd == nullptr || !gcd->is_object()) {
+    return Bad("\"gcd\" must be an object");
+  }
+  for (const char* key : {"mean", "max", "conflicting_pairs", "pairs"}) {
+    const JsonValue* v = gcd->Find(key);
+    if (v == nullptr || !v->is_number() || !std::isfinite(v->number_value)) {
+      return Bad(std::string("\"gcd.") + key + "\" must be a finite number");
+    }
+  }
+  const double conflicting = gcd->NumberOr("conflicting_pairs", 0.0);
+  const double pairs = gcd->NumberOr("pairs", 0.0);
+  if (!IsInt(conflicting) || !IsInt(pairs) || conflicting < 0 || pairs < 0 ||
+      conflicting > pairs) {
+    return Bad("\"gcd\" pair counts must satisfy 0 <= conflicting <= pairs");
+  }
+
+  const JsonValue* cosines = rec.Find("cosines");
+  if (cosines != nullptr) {
+    if (!cosines->is_array()) return Bad("\"cosines\" must be an array");
+    for (const JsonValue& triple : cosines->items) {
+      if (!triple.is_array() || triple.items.size() != 3 ||
+          !triple.items[0].is_number() || !triple.items[1].is_number() ||
+          !triple.items[2].is_number()) {
+        return Bad("\"cosines\" entries must be [i, j, cos] number triples");
+      }
+      const double i = triple.items[0].number_value;
+      const double j = triple.items[1].number_value;
+      const double cos = triple.items[2].number_value;
+      if (!IsInt(i) || !IsInt(j) || i < 0 || j <= i ||
+          j >= static_cast<double>(k)) {
+        return Bad("\"cosines\" indices must satisfy 0 <= i < j < K");
+      }
+      if (!std::isfinite(cos) || cos < -1.000001 || cos > 1.000001) {
+        return Bad("\"cosines\" values must be finite in [-1, 1]");
+      }
+    }
+  }
+
+  const JsonValue* decisions = rec.Find("decisions");
+  if (decisions != nullptr) {
+    if (!decisions->is_array()) return Bad("\"decisions\" must be an array");
+    for (const JsonValue& d : decisions->items) {
+      if (!d.is_object()) return Bad("\"decisions\" entries must be objects");
+      const JsonValue* di = d.Find("i");
+      const JsonValue* dj = d.Find("j");
+      const JsonValue* mag = d.Find("mag");
+      const JsonValue* acted = d.Find("acted");
+      const JsonValue* cos = d.Find("cos");
+      if (di == nullptr || !di->is_number() || !IsInt(di->number_value) ||
+          dj == nullptr || !dj->is_number() || !IsInt(dj->number_value)) {
+        return Bad("decision \"i\"/\"j\" must be integers");
+      }
+      if (mag == nullptr || !mag->is_number() ||
+          !std::isfinite(mag->number_value)) {
+        return Bad("decision \"mag\" must be a finite number");
+      }
+      if (acted == nullptr || !acted->is_bool()) {
+        return Bad("decision \"acted\" must be a bool");
+      }
+      // cos is number-or-null: null marks "raw cosine unknown" (methods
+      // that test against an already-projected gradient).
+      if (cos != nullptr && !cos->is_null() && !cos->is_number()) {
+        return Bad("decision \"cos\" must be a number or null");
+      }
+    }
+  }
+
+  const JsonValue* phase = rec.Find("phase");
+  if (phase != nullptr) {
+    if (!phase->is_object()) return Bad("\"phase\" must be an object");
+    for (const auto& [key, v] : phase->members) {
+      if (!v.is_number() || !std::isfinite(v.number_value) ||
+          v.number_value < 0) {
+        return Bad("\"phase." + key +
+                   "\" must be a finite non-negative number of seconds");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckWatchdogRecord(const JsonValue& rec) {
+  const JsonValue* step = rec.Find("step");
+  if (step == nullptr || !step->is_number() || !IsInt(step->number_value) ||
+      step->number_value < 0) {
+    return Bad("\"step\" must be a non-negative integer");
+  }
+  const JsonValue* kind = rec.Find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->string_value.empty()) {
+    return Bad("\"kind\" must be a non-empty string");
+  }
+  const JsonValue* task = rec.Find("task");
+  if (task == nullptr || !task->is_number() || !IsInt(task->number_value) ||
+      task->number_value < -1) {
+    return Bad("\"task\" must be an integer >= -1");
+  }
+  const JsonValue* value = rec.Find("value");
+  if (value == nullptr || (!value->is_null() && !value->is_number())) {
+    return Bad("\"value\" must be a number or null");
+  }
+  const JsonValue* threshold = rec.Find("threshold");
+  if (threshold == nullptr || !threshold->is_number()) {
+    return Bad("\"threshold\" must be a number");
+  }
+  return Status::Ok();
+}
+
+// Per-file telemetry state: step ids must be monotone within a run; a
+// record with step 0 starts a new run (several TrainAndEvaluate calls may
+// append to one file).
+struct TelemetryState {
+  double prev_step = -1.0;
+};
+
+Status CheckTelemetryLine(const std::string& line, TelemetryState* state) {
+  Result<JsonValue> parsed = mocograd::obs::ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& rec = parsed.value();
+  if (!rec.is_object()) return Bad("record must be an object");
+  const JsonValue* type = rec.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return Bad("\"type\" must be a string");
+  }
+  if (type->string_value == "step") {
+    Status s = CheckStepRecord(rec);
+    if (!s.ok()) return s;
+    const double step = rec.Find("step")->number_value;
+    if (step == 0.0) {
+      state->prev_step = 0.0;  // new run
+    } else if (step <= state->prev_step) {
+      return Bad("step ids must be strictly increasing within a run");
+    } else {
+      state->prev_step = step;
+    }
+    return Status::Ok();
+  }
+  if (type->string_value == "watchdog") return CheckWatchdogRecord(rec);
+  return Bad("unknown record type: \"" + type->string_value + "\"");
+}
+
+// --- Driver ----------------------------------------------------------------
+
+enum class Mode { kJson, kJsonl, kTelemetry };
+
+bool Validate(const std::string& name, const std::string& text, Mode mode) {
+  if (mode == Mode::kJson) {
     Status s = mocograd::obs::ValidateJson(text);
     if (!s.ok()) {
       std::fprintf(stderr, "%s: %s\n", name.c_str(), s.ToString().c_str());
@@ -30,6 +236,7 @@ bool Validate(const std::string& name, const std::string& text, bool jsonl) {
     }
     return true;
   }
+  TelemetryState state;
   size_t pos = 0;
   int line_no = 0;
   while (pos < text.size()) {
@@ -39,7 +246,9 @@ bool Validate(const std::string& name, const std::string& text, bool jsonl) {
     const std::string line = text.substr(pos, nl - pos);
     pos = nl + 1;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    Status s = mocograd::obs::ValidateJson(line);
+    Status s = mode == Mode::kTelemetry
+                   ? CheckTelemetryLine(line, &state)
+                   : mocograd::obs::ValidateJson(line);
     if (!s.ok()) {
       std::fprintf(stderr, "%s:%d: %s\n", name.c_str(), line_no,
                    s.ToString().c_str());
@@ -52,14 +261,18 @@ bool Validate(const std::string& name, const std::string& text, bool jsonl) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool jsonl = false;
+  Mode mode = Mode::kJson;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jsonl") == 0) {
-      jsonl = true;
+      mode = Mode::kJsonl;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      mode = Mode::kTelemetry;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: validate_json [--jsonl] [file...]\n"
-                  "Checks files (or stdin) for JSON well-formedness.\n");
+      std::printf(
+          "usage: validate_json [--jsonl|--telemetry] [file...]\n"
+          "Checks files (or stdin) for JSON well-formedness; --telemetry\n"
+          "additionally enforces the conflict-telemetry JSONL schema.\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
@@ -68,7 +281,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   if (paths.empty()) {
-    ok = Validate("<stdin>", ReadAll(stdin), jsonl);
+    ok = Validate("<stdin>", ReadAll(stdin), mode);
   } else {
     for (const char* path : paths) {
       std::FILE* f = std::fopen(path, "rb");
@@ -79,7 +292,7 @@ int main(int argc, char** argv) {
       }
       const std::string text = ReadAll(f);
       std::fclose(f);
-      ok = Validate(path, text, jsonl) && ok;
+      ok = Validate(path, text, mode) && ok;
     }
   }
   return ok ? 0 : 1;
