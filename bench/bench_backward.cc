@@ -34,6 +34,7 @@
 #include "base/rng.h"
 #include "base/stopwatch.h"
 #include "base/thread_pool.h"
+#include "bench_common.h"
 #include "core/registry.h"
 #include "mtl/hps.h"
 #include "mtl/trainer.h"
@@ -56,15 +57,7 @@ const char* ExecName(BackwardExecutor e) {
 // Best-of-kTrials mean milliseconds for `reps` calls of `run` per trial.
 template <typename Fn>
 double BestMsPerIter(int reps, Fn run) {
-  run();  // warm up (faults in pages, primes the pool)
-  double best_ms = 0.0;
-  for (int t = 0; t < kTrials; ++t) {
-    Stopwatch sw;
-    for (int r = 0; r < reps; ++r) run();
-    const double ms = sw.ElapsedSeconds() * 1e3 / reps;
-    if (t == 0 || ms < best_ms) best_ms = ms;
-  }
-  return best_ms;
+  return bench::BestSecondsPerRep(kTrials, reps, run) * 1e3;
 }
 
 // --- Workload A: one raw sweep over an MLP-shaped tape ---------------------

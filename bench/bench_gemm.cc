@@ -27,8 +27,8 @@
 
 #include "base/rng.h"
 #include "base/simd.h"
-#include "base/stopwatch.h"
 #include "base/thread_pool.h"
+#include "bench_common.h"
 #include "tensor/gemm.h"
 
 namespace mocograd {
@@ -79,17 +79,8 @@ int RepsFor(int64_t m, int64_t n, int64_t k, double target_flops) {
 
 template <typename Fn>
 double TimeGFlops(int64_t m, int64_t n, int64_t k, int reps, Fn run) {
-  run();  // warm up (and fault in pages)
-  double best = 0.0;
-  for (int t = 0; t < kTrials; ++t) {
-    Stopwatch sw;
-    for (int r = 0; r < reps; ++r) run();
-    const double seconds = sw.ElapsedSeconds();
-    const double flops = 2.0 * static_cast<double>(m) * n * k * reps;
-    const double gf = flops / seconds / 1e9;
-    if (gf > best) best = gf;
-  }
-  return best;
+  const double sec = bench::BestSecondsPerRep(kTrials, reps, run);
+  return 2.0 * static_cast<double>(m) * n * k / sec / 1e9;
 }
 
 }  // namespace

@@ -134,21 +134,17 @@ void ThreadPool::SetGlobalNumThreads(int n) {
 
 int ThreadPool::GlobalNumThreads() { return Global().num_threads(); }
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body) {
+// Callers arrive through the ParallelFor template in the header, which has
+// already handled the empty range, clamped the grain, and run the serial
+// fast path — here the loop genuinely fans out.
+void internal::ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                               const std::function<void(int64_t, int64_t)>& body) {
   const int64_t n = end - begin;
-  if (n <= 0) return;
-  if (grain < 1) grain = 1;
-
   ThreadPool& pool = ThreadPool::Global();
   const int threads = pool.num_threads();
-  if (threads <= 1 || n <= grain) {
-    body(begin, end);  // serial fallback: no state, no synchronization
-    return;
-  }
 
   // Only loops that actually fan out get a span — the serial fallback
-  // above is the hottest path in the library and stays untouched.
+  // in the header is the hottest path in the library and stays untouched.
   MG_TRACE_SCOPE("parallel_for");
   MG_METRIC_TIME_SCOPE("parallel_for.seconds");
   MG_METRIC_COUNT("pool.parallel_fors", 1);

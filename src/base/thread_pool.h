@@ -88,8 +88,29 @@ class ThreadPool {
 /// index independently or (for reductions) use a fixed block decomposition
 /// whose partials are combined in block order — see tensor/ops.cc — so any
 /// pool size, including 1, produces bit-identical output.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body);
+///
+/// ParallelFor is a template so the serial fast path never materializes a
+/// std::function: wrapping a capturing lambda in std::function heap-allocates
+/// once its captures outgrow the small-buffer slot, which would put an
+/// allocation on every kernel call even when the loop runs inline (pool of 1,
+/// or n <= grain). Only loops that actually fan out pay the type-erasure
+/// cost, inside ParallelForImpl.
+namespace internal {
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& body);
+}  // namespace internal
+
+template <typename Body>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Body&& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (ThreadPool::Global().num_threads() <= 1 || n <= grain) {
+    body(begin, end);  // serial fallback: no state, no synchronization
+    return;
+  }
+  internal::ParallelForImpl(begin, end, grain, body);
+}
 
 }  // namespace mocograd
 

@@ -13,6 +13,21 @@ std::vector<Variable*> Module::Parameters() {
   return out;
 }
 
+std::vector<std::pair<std::string, Variable*>> Module::NamedParameters() {
+  std::vector<std::pair<std::string, Variable*>> out;
+  AppendNamedParameters("", &out);
+  return out;
+}
+
+void Module::AppendNamedParameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Variable*>>* out) {
+  for (auto& [name, p] : params_) out->emplace_back(prefix + name, p.get());
+  for (auto& [name, child] : children_) {
+    child->AppendNamedParameters(prefix + name + ".", out);
+  }
+}
+
 int64_t Module::NumParameters() {
   int64_t n = 0;
   for (Variable* p : Parameters()) n += p->NumElements();

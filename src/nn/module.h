@@ -27,6 +27,13 @@ class Module {
   /// All parameters of this module and its children, depth-first.
   std::vector<Variable*> Parameters();
 
+  /// Parameters() with the dotted registration path of every parameter
+  /// ("trunk.fc0.weight"), in the same depth-first order. The paths give
+  /// each parameter a stable human-readable identity that checkpoint and
+  /// serving tooling can validate against (serve::ServeModel matches its
+  /// packed-arena layout to these names — see docs/SERVING.md).
+  std::vector<std::pair<std::string, Variable*>> NamedParameters();
+
   /// Total number of scalar parameters.
   int64_t NumParameters();
 
@@ -49,6 +56,10 @@ class Module {
   }
 
  private:
+  void AppendNamedParameters(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, Variable*>>* out);
+
   std::vector<std::pair<std::string, std::unique_ptr<Variable>>> params_;
   std::vector<std::pair<std::string, std::unique_ptr<Module>>> children_;
 };

@@ -1,0 +1,132 @@
+#include "serve/batcher.h"
+
+#include <cstring>
+
+#include "base/check.h"
+#include "base/env.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mocograd {
+namespace serve {
+
+MicroBatcher::MicroBatcher(const ServeModel& model, BatcherOptions options)
+    : model_(&model),
+      session_(model),
+      max_batch_(options.max_batch > 0
+                     ? options.max_batch
+                     : GetEnvInt("MOCOGRAD_SERVE_BATCH", 32, 1, 4096)),
+      deadline_us_(options.deadline_us >= 0
+                       ? options.deadline_us
+                       : GetEnvInt("MOCOGRAD_SERVE_DEADLINE_US", 200, 0,
+                                   10000000)),
+      input_dim_(model.input_dim()) {
+  for (int s = 0; s < 2; ++s) {
+    staging_[s].resize(static_cast<size_t>(max_batch_) * input_dim_);
+    slot_outputs_[s].resize(max_batch_, nullptr);
+  }
+  int64_t out_total = 0;
+  for (int k = 0; k < model.num_tasks(); ++k) {
+    out_total += model.task_output_dim(k);
+  }
+  out_slab_.resize(static_cast<size_t>(max_batch_) * out_total);
+  out_ptrs_.reserve(model.num_tasks());
+  int64_t off = 0;
+  for (int k = 0; k < model.num_tasks(); ++k) {
+    out_ptrs_.push_back(out_slab_.data() + off);
+    off += max_batch_ * model.task_output_dim(k);
+  }
+}
+
+void MicroBatcher::Infer(const float* row, float* const* outputs) {
+  const Clock::time_point enqueue_time = Clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  // The active slab is full only while its filler waits for a previous
+  // flush to finish; the swap that starts our flush frees it.
+  while (count_ == max_batch_) cv_.wait(lock);
+
+  const int slot = count_++;
+  const int64_t my_batch = next_batch_id_;
+  if (slot == 0) batch_open_ = enqueue_time;
+  std::memcpy(staging_[active_].data() + slot * input_dim_, row,
+              static_cast<size_t>(input_dim_) * sizeof(float));
+  slot_outputs_[active_][slot] = outputs;
+
+  if (count_ == max_batch_) {
+    // Size trigger: this requester executes the batch inline.
+    FlushBatch(lock, my_batch);
+    return;
+  }
+  const Clock::time_point deadline =
+      batch_open_ + std::chrono::microseconds(deadline_us_);
+  while (executed_batch_id_ < my_batch) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        executed_batch_id_ < my_batch) {
+      // Deadline trigger: force the flush (possibly after an in-flight
+      // one drains).
+      FlushBatch(lock, my_batch);
+      return;
+    }
+  }
+}
+
+void MicroBatcher::FlushBatch(std::unique_lock<std::mutex>& lock,
+                              int64_t batch_id) {
+  while (executed_batch_id_ < batch_id) {
+    if (!flushing_ && next_batch_id_ == batch_id && count_ > 0) {
+      // Claim the flush: swap slabs so arrivals keep queueing while we
+      // execute without the lock.
+      flushing_ = true;
+      const int slab = active_;
+      const int n = count_;
+      const Clock::time_point open = batch_open_;
+      active_ ^= 1;
+      count_ = 0;
+      ++next_batch_id_;
+      lock.unlock();
+      cv_.notify_all();  // the freed slab unblocks space waiters
+      ExecuteBatch(slab, n, open);
+      lock.lock();
+      executed_batch_id_ = batch_id;
+      flushing_ = false;
+      cv_.notify_all();
+    } else {
+      // Another requester owns the pending flush (or an earlier batch is
+      // still executing) — wait for it.
+      cv_.wait(lock);
+    }
+  }
+}
+
+void MicroBatcher::ExecuteBatch(int slab, int n, Clock::time_point open) {
+  MG_TRACE_SCOPE("serve.flush");
+  MG_METRIC_TIME_SCOPE("serve.flush");
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram* batch_hist =
+        obs::MetricsRegistry::Global().GetHistogram("serve.batch_size");
+    static obs::Histogram* wait_hist =
+        obs::MetricsRegistry::Global().GetHistogram("serve.queue_wait");
+    batch_hist->Record(static_cast<double>(n));
+    wait_hist->Record(
+        std::chrono::duration<double>(Clock::now() - open).count());
+  }
+  MG_METRIC_COUNT("serve.rows", n);
+  MG_METRIC_COUNT("serve.batches", 1);
+
+  session_.Forward(staging_[slab].data(), n, out_ptrs_.data());
+  // Scatter each requester's rows out of the batched per-task outputs.
+  const int num_tasks = model_->num_tasks();
+  for (int k = 0; k < num_tasks; ++k) {
+    const int64_t w = model_->task_output_dim(k);
+    const float* batch_out = out_ptrs_[k];
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(slot_outputs_[slab][i][k], batch_out + i * w,
+                  static_cast<size_t>(w) * sizeof(float));
+    }
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace mocograd

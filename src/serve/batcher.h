@@ -1,0 +1,108 @@
+#ifndef MOCOGRAD_SERVE_BATCHER_H_
+#define MOCOGRAD_SERVE_BATCHER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace mocograd {
+namespace serve {
+
+/// Micro-batcher knobs. Zero/negative fields fall back to the
+/// MOCOGRAD_SERVE_BATCH / MOCOGRAD_SERVE_DEADLINE_US environment knobs
+/// (README "Runtime knobs").
+struct BatcherOptions {
+  int max_batch = 0;     // rows per batch; <= 0: MOCOGRAD_SERVE_BATCH (32)
+  int deadline_us = -1;  // flush deadline; < 0: MOCOGRAD_SERVE_DEADLINE_US
+                         // (200); 0 flushes every request immediately
+};
+
+/// Coalesces concurrent single-row queries into GEMM-friendly batches.
+///
+/// A batch flushes when it reaches `max_batch` rows or when `deadline_us`
+/// has elapsed since its first row arrived — production dynamic batching.
+/// Execution is cooperative: the requester that fills the batch (or the
+/// first requester whose deadline fires) runs the batched forward inline
+/// and scatters results to every waiting requester; the forward's GEMMs
+/// fan out over the global ThreadPool as usual. This keeps the batcher
+/// deadlock-free at any pool size (no Submit'd task ever blocks on another
+/// task, honoring the ThreadPool::Submit contract) and keeps the request
+/// path heap-allocation-free in steady state: the two staging slabs and the
+/// scatter tables are preallocated at construction, and the forward runs on
+/// arena scratch (docs/SERVING.md "The micro-batcher").
+///
+/// Bit-exact contract: a batched forward of N queued rows equals N
+/// single-row InferenceSession::Forward calls bitwise whenever
+/// PlanIsBatchInvariant(plan) holds — enforced by
+/// tests/serve/serve_batcher_determinism_test.cc across pool sizes and
+/// SIMD backends.
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(const ServeModel& model, BatcherOptions options = {});
+
+  /// Blocking single-row inference: queues `row` (input_dim floats), waits
+  /// for its batch to execute, and writes task k's prediction to
+  /// outputs[k] (task_output_dim(k) floats). Safe to call from any number
+  /// of threads; both pointers must stay valid until return.
+  void Infer(const float* row, float* const* outputs);
+
+  /// Cumulative counters (batch occupancy = rows / batches).
+  int64_t batches_executed() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  int64_t rows_executed() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+  int max_batch() const { return max_batch_; }
+  int64_t deadline_us() const { return deadline_us_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Blocks until batch `batch_id` has executed, claiming and running the
+  /// flush inline when it is this thread's turn. Called with `lock` held.
+  void FlushBatch(std::unique_lock<std::mutex>& lock, int64_t batch_id);
+
+  /// Runs the batched forward for `n` rows of staging slab `slab` and
+  /// scatters per-task rows to the queued requesters. Called without the
+  /// lock; serialized by flushing_.
+  void ExecuteBatch(int slab, int n, Clock::time_point open);
+
+  const ServeModel* model_;
+  InferenceSession session_;
+  int max_batch_;
+  int64_t deadline_us_;
+  int64_t input_dim_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Double-buffered pending batch: enqueuers fill staging_[active_] under
+  // the lock while a flush may be executing the other slab without it.
+  std::vector<float> staging_[2];
+  std::vector<float* const*> slot_outputs_[2];
+  int active_ = 0;
+  int count_ = 0;                  // rows in the active slab
+  int64_t next_batch_id_ = 0;      // id of the batch currently filling
+  int64_t executed_batch_id_ = -1;
+  bool flushing_ = false;
+  Clock::time_point batch_open_{};  // arrival of the active batch's first row
+
+  // Per-task batched outputs the forward writes before the scatter; one set
+  // suffices because flushes are serialized.
+  std::vector<float> out_slab_;
+  std::vector<float*> out_ptrs_;
+
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> rows_{0};
+};
+
+}  // namespace serve
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_SERVE_BATCHER_H_

@@ -1,0 +1,90 @@
+#ifndef MOCOGRAD_SERVE_ENGINE_H_
+#define MOCOGRAD_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "nn/module.h"
+#include "serve/plan.h"
+
+namespace mocograd {
+namespace serve {
+
+/// A frozen model ready to serve: a ServePlan plus every parameter packed
+/// into one immutable contiguous float arena (cache-friendly sequential
+/// layout, no Variable / autograd machinery, no shared_ptr indirection per
+/// layer). Snapshot a trained model with FromModule, or load a
+/// nn/serialize checkpoint directly with FromCheckpoint — both validate
+/// the parameter names/shapes against the plan before packing
+/// (docs/SERVING.md).
+class ServeModel {
+ public:
+  /// Packs the live parameters of `module` (typically the trained
+  /// MtlModel the plan was built for). Names and shapes from
+  /// Module::NamedParameters() must match the plan's ParamSpecs.
+  static Result<ServeModel> FromModule(const ServePlan& plan,
+                                       nn::Module& module);
+
+  /// Reads a checkpoint written by nn::SaveParameters straight into the
+  /// arena — no module instantiation, no RNG, no tape. Shapes must match
+  /// the plan's ParamSpecs in order.
+  static Result<ServeModel> FromCheckpoint(const ServePlan& plan,
+                                           const std::string& path);
+
+  const ServePlan& plan() const { return plan_; }
+  int64_t input_dim() const { return plan_.input_dim; }
+  int num_tasks() const { return plan_.num_tasks(); }
+  int64_t task_output_dim(int k) const { return plan_.task_output_dims[k]; }
+
+  /// Start of parameter `idx` in the arena.
+  const float* param_data(int idx) const {
+    return arena_.data() + offsets_[idx];
+  }
+
+ private:
+  ServeModel(ServePlan plan, std::vector<float> arena,
+             std::vector<int64_t> offsets)
+      : plan_(std::move(plan)),
+        arena_(std::move(arena)),
+        offsets_(std::move(offsets)) {}
+
+  ServePlan plan_;
+  std::vector<float> arena_;
+  std::vector<int64_t> offsets_;
+};
+
+/// Executes a ServeModel's plan over batches of feature rows. Construction
+/// precomputes the activation-buffer layout ("build once"); Forward is the
+/// run-many hot path: activations live in the calling thread's
+/// ScratchArena, so after warm-up a forward performs zero heap allocations
+/// regardless of batch size (the steady-state assertion in
+/// tests/serve/serve_engine_test.cc). Forward is safe to call concurrently
+/// from several threads — all mutable state is per-call scratch.
+class InferenceSession {
+ public:
+  explicit InferenceSession(const ServeModel& model);
+
+  /// Runs the plan on `input` ([rows, input_dim], row-major) and writes
+  /// task k's predictions to outputs[k] ([rows, task_output_dim(k)]).
+  /// Two bitwise guarantees (docs/SERVING.md "Bit-exactness"): a rows == 1
+  /// call reproduces the training model's single-row Forward exactly, and
+  /// a batched call reproduces `rows` independent single-row calls exactly
+  /// whenever PlanIsBatchInvariant(plan) holds — so every served row gets
+  /// the training model's single-row bits at any batch size. The input is
+  /// read in place (never copied or written).
+  void Forward(const float* input, int64_t rows, float* const* outputs) const;
+
+  const ServeModel& model() const { return *model_; }
+
+ private:
+  const ServeModel* model_;
+  std::vector<int64_t> buffer_prefix_;  // per-row float offset of each buffer
+  int64_t total_width_ = 0;
+};
+
+}  // namespace serve
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_SERVE_ENGINE_H_

@@ -1,0 +1,277 @@
+#include "serve/plan.h"
+
+#include <string>
+
+#include "base/check.h"
+#include "tensor/gemm.h"
+
+namespace mocograd {
+namespace serve {
+
+namespace {
+
+/// Incremental plan assembly. Parameters must be added in the exact order
+/// the corresponding modules register them (experts before gates/heads,
+/// "weight" before "bias") so that a packed arena filled from
+/// Module::Parameters() or a nn/serialize checkpoint lines up index-for-
+/// index with the plan's ParamSpecs.
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(ServePlan* plan) : plan_(plan) {}
+
+  int AddBuffer(int64_t width) {
+    plan_->buffer_widths.push_back(width);
+    return static_cast<int>(plan_->buffer_widths.size()) - 1;
+  }
+
+  int AddParam(std::string name, int64_t rows, int64_t cols) {
+    plan_->params.push_back({std::move(name), rows, cols});
+    return static_cast<int>(plan_->params.size()) - 1;
+  }
+
+  /// Emits the ops of one nn::Mlp chain (Linear / ReLU / ... / Linear, no
+  /// activation after the last layer) reading from buffer `in`, registering
+  /// parameters under `prefix` ("trunk", "expert0", ...). Returns the
+  /// output buffer.
+  int Mlp(const std::string& prefix, int in,
+          const std::vector<int64_t>& dims) {
+    MG_CHECK_GE(dims.size(), 2u);
+    int cur = in;
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+      const std::string fc = prefix + ".fc" + std::to_string(i) + ".";
+      const int w = AddParam(fc + "weight", dims[i], dims[i + 1]);
+      const int b = AddParam(fc + "bias", dims[i + 1], 0);
+      const int out = AddBuffer(dims[i + 1]);
+      PlanOp op;
+      op.kind = PlanOp::Kind::kLinear;
+      op.in = cur;
+      op.out = out;
+      op.weight = w;
+      op.bias = b;
+      plan_->ops.push_back(op);
+      cur = out;
+      if (i + 2 < dims.size()) Relu(cur);
+    }
+    return cur;
+  }
+
+  void Relu(int buf) {
+    PlanOp op;
+    op.kind = PlanOp::Kind::kRelu;
+    op.in = buf;
+    plan_->ops.push_back(op);
+  }
+
+  void Softmax(int buf) {
+    PlanOp op;
+    op.kind = PlanOp::Kind::kSoftmax;
+    op.in = buf;
+    plan_->ops.push_back(op);
+  }
+
+  void GateMulAcc(int src, int gate, int gate_col, int acc, bool first) {
+    PlanOp op;
+    op.kind = PlanOp::Kind::kGateMulAcc;
+    op.in = src;
+    op.out = acc;
+    op.gate = gate;
+    op.gate_col = gate_col;
+    op.first = first;
+    plan_->ops.push_back(op);
+  }
+
+  void CopyOut(int buf, int task) {
+    PlanOp op;
+    op.kind = PlanOp::Kind::kCopyOut;
+    op.in = buf;
+    op.task = task;
+    plan_->ops.push_back(op);
+  }
+
+ private:
+  ServePlan* plan_;
+};
+
+std::vector<int64_t> ChainDims(int64_t in, const std::vector<int64_t>& hidden,
+                               int64_t out) {
+  std::vector<int64_t> dims = {in};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  dims.push_back(out);
+  return dims;
+}
+
+}  // namespace
+
+int64_t ServePlan::TotalParamElements() const {
+  int64_t n = 0;
+  for (const ParamSpec& p : params) n += p.NumElements();
+  return n;
+}
+
+int64_t ServePlan::TotalBufferWidth() const {
+  int64_t n = 0;
+  for (int64_t w : buffer_widths) n += w;
+  return n;
+}
+
+ServePlan BuildHpsPlan(const mtl::HpsConfig& config) {
+  MG_CHECK_GT(config.input_dim, 0);
+  MG_CHECK(!config.shared_dims.empty());
+  MG_CHECK(!config.task_output_dims.empty());
+  ServePlan plan;
+  plan.architecture = "hps";
+  plan.input_dim = config.input_dim;
+  plan.task_output_dims = config.task_output_dims;
+  PlanBuilder b(&plan);
+
+  const int x = b.AddBuffer(config.input_dim);
+  // Shared trunk runs once; HpsModel::Forward applies an extra ReLU on the
+  // trunk output before the heads.
+  std::vector<int64_t> trunk_dims = {config.input_dim};
+  trunk_dims.insert(trunk_dims.end(), config.shared_dims.begin(),
+                    config.shared_dims.end());
+  const int z = b.Mlp("trunk", x, trunk_dims);
+  b.Relu(z);
+  const int64_t feat = config.shared_dims.back();
+  for (size_t k = 0; k < config.task_output_dims.size(); ++k) {
+    const int out =
+        b.Mlp("head" + std::to_string(k), z,
+              ChainDims(feat, config.head_hidden, config.task_output_dims[k]));
+    b.CopyOut(out, static_cast<int>(k));
+  }
+  return plan;
+}
+
+ServePlan BuildMmoePlan(const mtl::MmoeConfig& config) {
+  MG_CHECK_GT(config.input_dim, 0);
+  MG_CHECK_GT(config.num_experts, 0);
+  MG_CHECK(!config.expert_dims.empty());
+  MG_CHECK(!config.task_output_dims.empty());
+  ServePlan plan;
+  plan.architecture = "mmoe";
+  plan.input_dim = config.input_dim;
+  plan.task_output_dims = config.task_output_dims;
+  PlanBuilder b(&plan);
+
+  const int x = b.AddBuffer(config.input_dim);
+  // Experts run once (MmoeModel::Forward recomputes them per task on the
+  // same input — identical floats). Expert outputs are ReLU'd in the mix.
+  std::vector<int64_t> expert_dims = {config.input_dim};
+  expert_dims.insert(expert_dims.end(), config.expert_dims.begin(),
+                     config.expert_dims.end());
+  std::vector<int> z(config.num_experts);
+  for (int e = 0; e < config.num_experts; ++e) {
+    z[e] = b.Mlp("expert" + std::to_string(e), x, expert_dims);
+    b.Relu(z[e]);
+  }
+  const int64_t feat = config.expert_dims.back();
+  for (size_t k = 0; k < config.task_output_dims.size(); ++k) {
+    const std::string gate = "gate" + std::to_string(k) + ".";
+    const int gw = b.AddParam(gate + "weight", config.input_dim,
+                              config.num_experts);
+    const int gb = b.AddParam(gate + "bias", config.num_experts, 0);
+    const int gbuf = b.AddBuffer(config.num_experts);
+    PlanOp op;
+    op.kind = PlanOp::Kind::kLinear;
+    op.in = x;
+    op.out = gbuf;
+    op.weight = gw;
+    op.bias = gb;
+    plan.ops.push_back(op);
+    b.Softmax(gbuf);
+    const int fused = b.AddBuffer(feat);
+    for (int e = 0; e < config.num_experts; ++e) {
+      b.GateMulAcc(z[e], gbuf, e, fused, /*first=*/e == 0);
+    }
+    const int out =
+        b.Mlp("head" + std::to_string(k), fused,
+              ChainDims(feat, config.head_hidden, config.task_output_dims[k]));
+    b.CopyOut(out, static_cast<int>(k));
+  }
+  return plan;
+}
+
+ServePlan BuildCgcPlan(const mtl::CgcConfig& config) {
+  MG_CHECK_GT(config.input_dim, 0);
+  MG_CHECK_GT(config.num_shared_experts, 0);
+  MG_CHECK_GE(config.num_task_experts, 0);
+  MG_CHECK(!config.expert_dims.empty());
+  MG_CHECK(!config.task_output_dims.empty());
+  ServePlan plan;
+  plan.architecture = "cgc";
+  plan.input_dim = config.input_dim;
+  plan.task_output_dims = config.task_output_dims;
+  PlanBuilder b(&plan);
+
+  const int x = b.AddBuffer(config.input_dim);
+  std::vector<int64_t> expert_dims = {config.input_dim};
+  expert_dims.insert(expert_dims.end(), config.expert_dims.begin(),
+                     config.expert_dims.end());
+  // Shared experts run once and are reused by every task's gate mix.
+  std::vector<int> shared_z(config.num_shared_experts);
+  for (int e = 0; e < config.num_shared_experts; ++e) {
+    shared_z[e] = b.Mlp("shared_expert" + std::to_string(e), x, expert_dims);
+    b.Relu(shared_z[e]);
+  }
+  const int gate_width = config.num_shared_experts + config.num_task_experts;
+  const int64_t feat = config.expert_dims.back();
+  for (size_t t = 0; t < config.task_output_dims.size(); ++t) {
+    // Registration order within a task: private experts, gate, head
+    // (CgcModel constructor).
+    std::vector<int> task_z(config.num_task_experts);
+    for (int e = 0; e < config.num_task_experts; ++e) {
+      task_z[e] = b.Mlp("task" + std::to_string(t) + "_expert" +
+                            std::to_string(e),
+                        x, expert_dims);
+      b.Relu(task_z[e]);
+    }
+    const std::string gate = "gate" + std::to_string(t) + ".";
+    const int gw = b.AddParam(gate + "weight", config.input_dim, gate_width);
+    const int gb = b.AddParam(gate + "bias", gate_width, 0);
+    const int gbuf = b.AddBuffer(gate_width);
+    PlanOp op;
+    op.kind = PlanOp::Kind::kLinear;
+    op.in = x;
+    op.out = gbuf;
+    op.weight = gw;
+    op.bias = gb;
+    plan.ops.push_back(op);
+    b.Softmax(gbuf);
+    // Gate slots: shared experts first, then this task's private experts
+    // (CgcModel::Forward's mix_in order).
+    const int fused = b.AddBuffer(feat);
+    int slot = 0;
+    for (int e = 0; e < config.num_shared_experts; ++e) {
+      b.GateMulAcc(shared_z[e], gbuf, slot, fused, /*first=*/slot == 0);
+      ++slot;
+    }
+    for (int e = 0; e < config.num_task_experts; ++e) {
+      b.GateMulAcc(task_z[e], gbuf, slot, fused, /*first=*/slot == 0);
+      ++slot;
+    }
+    const int out =
+        b.Mlp("head" + std::to_string(t), fused,
+              ChainDims(feat, config.head_hidden, config.task_output_dims[t]));
+    b.CopyOut(out, static_cast<int>(t));
+  }
+  return plan;
+}
+
+bool PlanIsBatchInvariant(const ServePlan& plan) {
+  // Mirrors the path-selection constants of tensor/gemm.cc: the kc-sliced
+  // macro-kernel needs m >= kPackBMinRows (16) rows, n >= kBlockedMinCols
+  // (256) columns and more than kc depth. Serving batches can exceed 16
+  // rows, so a plan is invariant iff no layer has both n >= 256 and k > kc.
+  constexpr int64_t kBlockedMinCols = 256;
+  const int64_t kc = GemmBlocking().kc;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind != PlanOp::Kind::kLinear) continue;
+    const int64_t k = plan.buffer_widths[op.in];
+    const int64_t n = plan.buffer_widths[op.out];
+    if (n >= kBlockedMinCols && k > kc) return false;
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace mocograd

@@ -1,0 +1,95 @@
+#ifndef MOCOGRAD_SERVE_PLAN_H_
+#define MOCOGRAD_SERVE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mtl/cgc.h"
+#include "mtl/hps.h"
+#include "mtl/mmoe.h"
+
+namespace mocograd {
+namespace serve {
+
+/// A ServePlan is the frozen, forward-only execution recipe of one MTL
+/// architecture: a flat list of ops over a table of per-row activation
+/// buffers, plus the spec of every parameter in the model's deterministic
+/// registration order (nn::Module::NamedParameters()). Building the plan is
+/// the "build-graph-once" half of serving; InferenceSession::Forward is the
+/// "run-many" half — it replays the op list over a batch with no autograd
+/// tape and no heap allocations (docs/SERVING.md).
+///
+/// Each op mirrors the training-time tensor kernel bit-for-bit (same
+/// summation order, same rounding), and shared-trunk work that the training
+/// Forward recomputes per task (HPS trunk, MMoE/CGC shared experts on a
+/// single-input batch) is computed once and reused — the floats are
+/// identical, so serve outputs equal training outputs bitwise.
+struct PlanOp {
+  enum class Kind {
+    kLinear,      // out = in * W (+ bias broadcast over rows)
+    kRelu,        // in-place: x = (x > 0) ? x : 0
+    kSoftmax,     // in-place per-row softmax (tensor SoftmaxRows mirror)
+    kGateMulAcc,  // acc (+)= in * gate[:, gate_col]  (first: assign)
+    kCopyOut,     // copy buffer `in` to the caller's task output
+  };
+  Kind kind;
+  int in = -1;        // input buffer index
+  int out = -1;       // output buffer index (kLinear, kGateMulAcc acc)
+  int weight = -1;    // parameter index of the [in, out] weight (kLinear)
+  int bias = -1;      // parameter index of the [out] bias, or -1
+  int gate = -1;      // gate buffer index (kGateMulAcc)
+  int gate_col = 0;   // column of the gate buffer (kGateMulAcc)
+  bool first = false; // kGateMulAcc: first contribution assigns instead of +=
+  int task = -1;      // task index (kCopyOut)
+};
+
+/// Shape and dotted name of one parameter, in registration order.
+struct ParamSpec {
+  std::string name;  // dotted path, e.g. "expert0.fc0.weight"
+  int64_t rows = 0;
+  int64_t cols = 0;  // 0 for rank-1 (bias) parameters
+  int64_t NumElements() const { return cols == 0 ? rows : rows * cols; }
+};
+
+struct ServePlan {
+  std::string architecture;  // "hps" | "mmoe" | "cgc"
+  int64_t input_dim = 0;
+  std::vector<int64_t> task_output_dims;
+  std::vector<int64_t> buffer_widths;  // per-row float width of each buffer
+  std::vector<ParamSpec> params;
+  std::vector<PlanOp> ops;
+
+  int num_tasks() const { return static_cast<int>(task_output_dims.size()); }
+  int64_t TotalParamElements() const;
+  /// Sum of buffer widths: per-row floats of activation scratch a forward
+  /// needs.
+  int64_t TotalBufferWidth() const;
+};
+
+/// Plan builders for the architectures the serving layer supports. The op
+/// list reproduces the corresponding MtlModel::Forward (single-input
+/// setting: one feature row in, one prediction per task out).
+ServePlan BuildHpsPlan(const mtl::HpsConfig& config);
+ServePlan BuildMmoePlan(const mtl::MmoeConfig& config);
+ServePlan BuildCgcPlan(const mtl::CgcConfig& config);
+
+/// True when a batched forward of this plan is bitwise identical to N
+/// single-row forwards under the current GEMM blocking. Every per-element
+/// GEMM result is an ascending-k FMA chain — identical across the m == 1
+/// GEMV paths and the batched microkernel — except on the cache-blocked
+/// macro-kernel's kc-sliced path (taken only when m >= 16, n >= 256 and
+/// k > kc), which breaks the chain with per-slice roundings. A plan is
+/// batch-invariant when no kLinear op can reach that path, i.e. every
+/// layer has n < 256 or k <= kc (docs/SERVING.md "Bit-exactness").
+///
+/// Width-1 linears (the task heads) would also diverge — Gemm's n == 1
+/// dispatch reduces in a lane-blocked order for m >= 2 — but the engine
+/// never routes those through Gemm: InferenceSession runs its own per-row
+/// scalar chain for n == 1, so they do not factor into this predicate.
+bool PlanIsBatchInvariant(const ServePlan& plan);
+
+}  // namespace serve
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_SERVE_PLAN_H_

@@ -74,7 +74,9 @@ TEST(ParallelForTest, ChunksRespectGrainAndDisjointness) {
   ParallelFor(0, 1000, 10, [&](int64_t b, int64_t e) {
     EXPECT_GE(e - b, 1);
     // Every chunk except possibly the last must hold at least the grain.
-    if (e != 1000) EXPECT_GE(e - b, 10);
+    if (e != 1000) {
+      EXPECT_GE(e - b, 10);
+    }
     total.fetch_add(e - b);
     chunks.fetch_add(1);
   });

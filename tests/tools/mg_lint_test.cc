@@ -157,6 +157,24 @@ TEST_F(MgLintTest, FlagsRawNewInHotPath) {
   EXPECT_NE(r.output.find("[hot-path-alloc]"), std::string::npos) << r.output;
 }
 
+TEST_F(MgLintTest, FlagsAllocInServeHotPath) {
+  // The serving request path (src/serve) carries the same hot-path
+  // contract as the kernels: inside its MG_HOT_PATH region all scratch
+  // comes from the arena, never the allocator.
+  WriteFile(root_ / "src" / "serve" / "bad.cc",
+            "#include <vector>\n"
+            "// MG_HOT_PATH\n"
+            "void Forward(const float* in, int rows) {\n"
+            "  std::vector<float> activations(rows);\n"
+            "  (void)in;\n"
+            "}\n"
+            "// MG_HOT_PATH_END\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[hot-path-alloc]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("serve/bad.cc"), std::string::npos) << r.output;
+}
+
 TEST_F(MgLintTest, FlagsLayeringBackEdge) {
   WriteFile(root_ / "src" / "base" / "bad.cc",
             "#include \"tensor/tensor.h\"\n");

@@ -21,8 +21,9 @@
 //                    from base/scratch.h arenas.
 //   layering         includes must respect the module layering
 //                    base → obs → tensor → autograd → {nn,optim,solvers,
-//                    data,eval} → core → mtl → harness; no back-edges, no
-//                    cross-includes between same-layer siblings.
+//                    data,eval} → core → mtl → {harness,serve}; no
+//                    back-edges, no cross-includes between same-layer
+//                    siblings.
 //   bare-assert      no bare assert() in src/ — use MG_CHECK / MG_DCHECK
 //                    (base/check.h), which report expression and file:line
 //                    in every build type.
@@ -74,6 +75,7 @@ const std::map<std::string, int>& LayerRanks() {
       {"base", 0},    {"obs", 1},  {"tensor", 2}, {"autograd", 3},
       {"nn", 4},      {"optim", 4}, {"solvers", 4}, {"data", 4},
       {"eval", 4},    {"core", 5}, {"mtl", 6},    {"harness", 7},
+      {"serve", 7},
   };
   return ranks;
 }

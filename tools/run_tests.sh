@@ -13,6 +13,9 @@
 #                      emitted Chrome-trace JSON must parse, metrics JSONL
 #                      must be line-valid, and conflict telemetry must pass
 #                      the --telemetry schema check (docs/OBSERVABILITY.md)
+#   serve-smoke        bench_serve --smoke closed/open-loop sweep; the
+#                      emitted JSON must pass the --serve schema check
+#                      (docs/SERVING.md)
 #   ctest-simd-off     full suite with the hardware SIMD backend disabled
 #                      (docs/SIMD.md)
 #   ctest-gemm-block   full suite under deliberately tiny, ragged GEMM
@@ -126,6 +129,15 @@ pass_obs_smoke() {
     "$build_dir/tools/validate_json" --telemetry "$telemetry_jsonl"
 }
 
+pass_serve_smoke() {
+  serve_json="$build_dir/serve_smoke_bench.json"
+  rm -f "$serve_json"
+  "$build_dir/bench/bench_serve" --smoke "$serve_json" > /dev/null || return 1
+  test -s "$serve_json" ||
+    { echo "no serving results written to $serve_json"; return 1; }
+  "$build_dir/tools/validate_json" --serve "$serve_json"
+}
+
 pass_ctest_simd_off() {
   (cd "$build_dir" && MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
 }
@@ -211,6 +223,7 @@ run_pass release-build pass_release_build
 run_pass ctest-threads-1 pass_ctest_threads_1
 run_pass ctest-threads-4 pass_ctest_threads_4
 run_pass obs-smoke pass_obs_smoke
+run_pass serve-smoke pass_serve_smoke
 run_pass ctest-simd-off pass_ctest_simd_off
 run_pass ctest-gemm-block pass_ctest_gemm_block
 run_pass ctest-autograd-seq pass_ctest_autograd_seq

@@ -3,6 +3,9 @@
 // is additionally checked against the conflict-telemetry schema emitted by
 // obs::TelemetrySink (docs/OBSERVABILITY.md "Conflict telemetry"): typed
 // records, required keys, finite floats, and per-run monotone step ids.
+// With --serve, each file is checked against the serving-benchmark schema
+// written by bench/bench_serve.cc (docs/SERVING.md): non-empty results,
+// positive finite QPS, ordered finite latency percentiles.
 // Exit 0 iff everything validates; the first error on each file is
 // reported. Used by run_tests.sh and the mg_report CI smoke to check the
 // Chrome-trace / metrics / telemetry files the observability layer emits.
@@ -10,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -190,6 +194,78 @@ Status CheckWatchdogRecord(const JsonValue& rec) {
   return Status::Ok();
 }
 
+// --- Serving-benchmark schema ----------------------------------------------
+
+Status BadServe(const std::string& what) {
+  return Status::InvalidArgument("serve schema: " + what);
+}
+
+// Requires `key` to be a finite number in [lo, hi]; integral if `integral`.
+Status CheckServeNumber(const JsonValue& rec, const char* key, double lo,
+                        double hi, bool integral) {
+  const JsonValue* v = rec.Find(key);
+  if (v == nullptr || !v->is_number() || !std::isfinite(v->number_value)) {
+    return BadServe(std::string("\"") + key + "\" must be a finite number");
+  }
+  if (v->number_value < lo || v->number_value > hi) {
+    return BadServe(std::string("\"") + key + "\" out of range");
+  }
+  if (integral && !IsInt(v->number_value)) {
+    return BadServe(std::string("\"") + key + "\" must be an integer");
+  }
+  return Status::Ok();
+}
+
+// Checks a BENCH_serve.json document written by bench/bench_serve.cc
+// (docs/SERVING.md "The traffic harness"): a non-empty "results" array
+// whose rows carry identifying strings, positive finite throughput,
+// ordered finite latency percentiles, and a batcher occupancy in (0, 1].
+Status CheckServeDocument(const JsonValue& doc) {
+  if (!doc.is_object()) return BadServe("document must be an object");
+  const JsonValue* results = doc.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    return BadServe("\"results\" must be an array");
+  }
+  if (results->items.empty()) {
+    return BadServe("\"results\" must be non-empty");
+  }
+  for (const JsonValue& rec : results->items) {
+    if (!rec.is_object()) return BadServe("results entries must be objects");
+    for (const char* key : {"model", "dataset", "mode"}) {
+      const JsonValue* v = rec.Find(key);
+      if (v == nullptr || !v->is_string() || v->string_value.empty()) {
+        return BadServe(std::string("\"") + key +
+                        "\" must be a non-empty string");
+      }
+    }
+    constexpr double kInf = std::numeric_limits<double>::max();
+    Status s = CheckServeNumber(rec, "qps", 1e-9, kInf, false);
+    if (!s.ok()) return s;
+    for (const char* key : {"p50_us", "p95_us", "p99_us"}) {
+      s = CheckServeNumber(rec, key, 0.0, kInf, false);
+      if (!s.ok()) return s;
+    }
+    const double p50 = rec.Find("p50_us")->number_value;
+    const double p99 = rec.Find("p99_us")->number_value;
+    if (p50 > p99) return BadServe("\"p50_us\" must not exceed \"p99_us\"");
+    s = CheckServeNumber(rec, "batch", 1.0, kInf, true);
+    if (!s.ok()) return s;
+    s = CheckServeNumber(rec, "threads", 1.0, kInf, true);
+    if (!s.ok()) return s;
+    s = CheckServeNumber(rec, "requests", 1.0, kInf, true);
+    if (!s.ok()) return s;
+    s = CheckServeNumber(rec, "occupancy", 1e-9, 1.0, false);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status CheckServeText(const std::string& text) {
+  Result<JsonValue> parsed = mocograd::obs::ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  return CheckServeDocument(parsed.value());
+}
+
 // Per-file telemetry state: step ids must be monotone within a run; a
 // record with step 0 starts a new run (several TrainAndEvaluate calls may
 // append to one file).
@@ -225,11 +301,12 @@ Status CheckTelemetryLine(const std::string& line, TelemetryState* state) {
 
 // --- Driver ----------------------------------------------------------------
 
-enum class Mode { kJson, kJsonl, kTelemetry };
+enum class Mode { kJson, kJsonl, kTelemetry, kServe };
 
 bool Validate(const std::string& name, const std::string& text, Mode mode) {
-  if (mode == Mode::kJson) {
-    Status s = mocograd::obs::ValidateJson(text);
+  if (mode == Mode::kJson || mode == Mode::kServe) {
+    Status s = mode == Mode::kServe ? CheckServeText(text)
+                                    : mocograd::obs::ValidateJson(text);
     if (!s.ok()) {
       std::fprintf(stderr, "%s: %s\n", name.c_str(), s.ToString().c_str());
       return false;
@@ -268,11 +345,14 @@ int main(int argc, char** argv) {
       mode = Mode::kJsonl;
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       mode = Mode::kTelemetry;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      mode = Mode::kServe;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: validate_json [--jsonl|--telemetry] [file...]\n"
+          "usage: validate_json [--jsonl|--telemetry|--serve] [file...]\n"
           "Checks files (or stdin) for JSON well-formedness; --telemetry\n"
-          "additionally enforces the conflict-telemetry JSONL schema.\n");
+          "additionally enforces the conflict-telemetry JSONL schema;\n"
+          "--serve enforces the BENCH_serve.json schema.\n");
       return 0;
     } else {
       paths.push_back(argv[i]);
