@@ -15,7 +15,9 @@
 //                numbers reproduce the seed build's codegen,
 //   scalar     — the kernel on the lane-blocked scalar backend
 //                (MOCOGRAD_SIMD=0 path),
-//   simd       — the kernel on the compiled hardware backend,
+//   simd       — the kernel on the widest ISA tier the runtime dispatch
+//                granted at startup (recorded as "isa_tier"; cap it with
+//                MOCOGRAD_SIMD_ISA to benchmark a narrower tier),
 //   simd_t4    — the hardware backend with a 4-thread pool (the pool
 //                sweep column; this host has one core, so the delta vs
 //                `simd` is pure pool dispatch overhead, not scaling),
@@ -35,9 +37,10 @@ namespace mocograd {
 namespace {
 
 // The exact kernel the SIMD layer replaced, pinned to SSE2 codegen on
-// x86-64: the whole build now carries -mavx2, and letting the compiler
-// auto-vectorize the "baseline" 8-wide would benchmark the new ISA flags,
-// not the new kernel. (The seed build compiled this loop without AVX.)
+// x86-64 so the numbers reproduce the seed build's codegen regardless of
+// what the compiler would auto-vectorize this loop to. (The runtime ISA
+// dispatch compiles only the tier TUs with wider ISA flags; the rest of
+// the build, this file included, stays on the SSE2 baseline.)
 #if defined(__x86_64__)
 __attribute__((target("sse2")))
 #endif
@@ -118,6 +121,11 @@ int Main(int argc, char** argv) {
   json += ",\n  \"gemm_block\": \"";
   json += blk;
   json += "\",\n  \"backend\": \"";
+  json += simd::ActiveBackendName();
+  // The tier the runtime ISA dispatch granted for the "simd" column —
+  // same string as "backend" today, kept as its own key so the schema
+  // matches BENCH_serve.json and telemetry records.
+  json += "\",\n  \"isa_tier\": \"";
   json += simd::ActiveBackendName();
   json += "\",\n  \"shapes\": [\n";
 

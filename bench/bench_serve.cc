@@ -22,6 +22,14 @@
 // per-request overhead amortization (GEMM microkernel row reuse, one
 // scratch slab and op-dispatch walk per flush instead of per row) — on a
 // multi-core box the batched forward additionally fans out over the pool.
+//
+// The report also carries the active runtime-ISA tier ("isa_tier"), a
+// "precision" tag per traffic row (the harness drives fp32 engines), and
+// a "precision_compare" section: single-row (GEMV-shaped) throughput of a
+// bf16-weight engine vs its fp32 twin on each serving shape plus a wide
+// embedding-style shape whose weight arena actually stresses memory
+// bandwidth, with the bf16-vs-fp32 max-abs output error recorded
+// (docs/SERVING.md "Reduced precision").
 
 #include <algorithm>
 #include <atomic>
@@ -33,6 +41,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/simd.h"
 #include "base/stopwatch.h"
 #include "base/thread_pool.h"
 #include "bench_common.h"
@@ -59,20 +68,29 @@ struct DatasetSpec {
   int num_tasks;
 };
 
-serve::ServePlan BuildPlan(const std::string& model, const DatasetSpec& ds) {
+// Tower geometry for a (model, dataset) combination. The harness shapes
+// use the zoo's default {64, 32} towers; the precision comparison adds a
+// wide variant whose weight arena is big enough to stress bandwidth.
+struct TowerSpec {
+  std::vector<int64_t> dims = {64, 32};
+  int num_experts = 6;  // mmoe only
+};
+
+serve::ServePlan BuildPlan(const std::string& model, const DatasetSpec& ds,
+                           const TowerSpec& tower) {
   const std::vector<int64_t> task_dims(ds.num_tasks, 1);
   if (model == "hps") {
     mtl::HpsConfig cfg;
     cfg.input_dim = ds.input_dim;
-    cfg.shared_dims = {64, 32};
+    cfg.shared_dims = tower.dims;
     cfg.task_output_dims = task_dims;
     return serve::BuildHpsPlan(cfg);
   }
   if (model == "mmoe") {
     mtl::MmoeConfig cfg;
     cfg.input_dim = ds.input_dim;
-    cfg.num_experts = 6;
-    cfg.expert_dims = {64, 32};
+    cfg.num_experts = tower.num_experts;
+    cfg.expert_dims = tower.dims;
     cfg.task_output_dims = task_dims;
     return serve::BuildMmoePlan(cfg);
   }
@@ -80,40 +98,41 @@ serve::ServePlan BuildPlan(const std::string& model, const DatasetSpec& ds) {
   cfg.input_dim = ds.input_dim;
   cfg.num_shared_experts = 3;
   cfg.num_task_experts = 1;
-  cfg.expert_dims = {64, 32};
+  cfg.expert_dims = tower.dims;
   cfg.task_output_dims = task_dims;
   return serve::BuildCgcPlan(cfg);
 }
 
-serve::ServeModel BuildServeModel(const std::string& model,
-                                  const DatasetSpec& ds) {
-  const serve::ServePlan plan = BuildPlan(model, ds);
+serve::ServeModel BuildServeModel(
+    const std::string& model, const DatasetSpec& ds, const TowerSpec& tower,
+    serve::ServePrecision precision = serve::ServePrecision::kFp32) {
+  const serve::ServePlan plan = BuildPlan(model, ds, tower);
   Rng rng(0x5e77e + ds.input_dim * 131 + ds.num_tasks);
   if (model == "hps") {
     mtl::HpsConfig cfg;
     cfg.input_dim = ds.input_dim;
-    cfg.shared_dims = {64, 32};
+    cfg.shared_dims = tower.dims;
     cfg.task_output_dims = std::vector<int64_t>(ds.num_tasks, 1);
     mtl::HpsModel m(cfg, rng);
-    return serve::ServeModel::FromModule(plan, m).value();
+    return serve::ServeModel::FromModule(plan, m, precision).value();
   }
   if (model == "mmoe") {
     mtl::MmoeConfig cfg;
     cfg.input_dim = ds.input_dim;
-    cfg.num_experts = 6;
-    cfg.expert_dims = {64, 32};
+    cfg.num_experts = tower.num_experts;
+    cfg.expert_dims = tower.dims;
     cfg.task_output_dims = std::vector<int64_t>(ds.num_tasks, 1);
     mtl::MmoeModel m(cfg, rng);
-    return serve::ServeModel::FromModule(plan, m).value();
+    return serve::ServeModel::FromModule(plan, m, precision).value();
   }
   mtl::CgcConfig cfg;
   cfg.input_dim = ds.input_dim;
   cfg.num_shared_experts = 3;
   cfg.num_task_experts = 1;
-  cfg.expert_dims = {64, 32};
+  cfg.expert_dims = tower.dims;
   cfg.task_output_dims = std::vector<int64_t>(ds.num_tasks, 1);
   mtl::CgcModel m(cfg, rng);
-  return serve::ServeModel::FromModule(plan, m).value();
+  return serve::ServeModel::FromModule(plan, m, precision).value();
 }
 
 // One measurement row of the JSON report.
@@ -357,6 +376,7 @@ std::string StatsJson(const std::string& model, const DatasetSpec& ds,
   std::snprintf(
       buf, sizeof(buf),
       "{\"model\": \"%s\", \"dataset\": \"%s\", \"mode\": \"%s\", "
+      "\"precision\": \"fp32\", "
       "\"threads\": %d, \"batch\": %d, \"deadline_us\": %lld, "
       "\"requests\": %lld, \"qps\": %.1f, \"offered_qps\": %.1f, "
       "\"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f, "
@@ -365,6 +385,95 @@ std::string StatsJson(const std::string& model, const DatasetSpec& ds,
       static_cast<long long>(s.deadline_us),
       static_cast<long long>(s.requests), s.qps, s.offered_qps, s.p50_us,
       s.p95_us, s.p99_us, s.occupancy, batch_invariant ? "true" : "false");
+  return buf;
+}
+
+// One batched forward over the first `rows` pool rows, outputs resized
+// per task.
+void RunForwardBatch(const serve::ServeModel& sm, const std::vector<float>& x,
+                     int64_t rows, std::vector<std::vector<float>>* out) {
+  serve::InferenceSession session(sm);
+  out->resize(sm.num_tasks());
+  std::vector<float*> ptrs;
+  for (int k = 0; k < sm.num_tasks(); ++k) {
+    (*out)[k].assign(static_cast<size_t>(rows * sm.task_output_dim(k)),
+                     0.0f);
+    ptrs.push_back((*out)[k].data());
+  }
+  session.Forward(x.data(), rows, ptrs.data());
+}
+
+// One fp32-vs-bf16 comparison: single-row closed-loop throughput (the
+// GEMV-shaped path where halving the weight bytes pays directly) of two
+// engines built from the same module, plus the bf16 engine's max-abs
+// output deviation over a probe batch — the only error source is each
+// weight's one-time storage rounding.
+struct PrecisionRow {
+  std::string model;
+  std::string dataset;
+  int requests = 0;
+  double qps_fp32 = 0.0;
+  double qps_bf16 = 0.0;
+  double speedup_bf16 = 0.0;
+  double max_abs_error = 0.0;
+};
+
+PrecisionRow RunPrecisionCompare(const std::string& model,
+                                 const DatasetSpec& ds,
+                                 const TowerSpec& tower, int requests) {
+  const serve::ServeModel fp32 =
+      BuildServeModel(model, ds, tower, serve::ServePrecision::kFp32);
+  const serve::ServeModel bf16 =
+      BuildServeModel(model, ds, tower, serve::ServePrecision::kBf16);
+
+  const int64_t kNumRows = 256;
+  Rng rng(0xb16f + ds.input_dim);
+  std::vector<float> rows(kNumRows * fp32.input_dim());
+  for (float& v : rows) v = rng.Uniform(-1.0f, 1.0f);
+
+  const auto single_row_qps = [&](const serve::ServeModel& sm) {
+    serve::InferenceSession session(sm);
+    OutputSlots out(sm);
+    const int64_t in = sm.input_dim();
+    int64_t next = 0;
+    const double sec = bench::BestSecondsPerRep(kTrials, requests, [&] {
+      session.Forward(rows.data() + (next++ % kNumRows) * in, 1,
+                      out.ptrs.data());
+    });
+    return 1.0 / sec;
+  };
+
+  PrecisionRow r;
+  r.model = model;
+  r.dataset = ds.name;
+  r.requests = requests;
+  r.qps_fp32 = single_row_qps(fp32);
+  r.qps_bf16 = single_row_qps(bf16);
+  r.speedup_bf16 = r.qps_fp32 > 0.0 ? r.qps_bf16 / r.qps_fp32 : 0.0;
+
+  constexpr int64_t kProbe = 64;
+  std::vector<std::vector<float>> a, b;
+  RunForwardBatch(fp32, rows, kProbe, &a);
+  RunForwardBatch(bf16, rows, kProbe, &b);
+  for (int k = 0; k < fp32.num_tasks(); ++k) {
+    for (size_t i = 0; i < a[k].size(); ++i) {
+      r.max_abs_error =
+          std::max(r.max_abs_error,
+                   std::fabs(static_cast<double>(a[k][i]) - b[k][i]));
+    }
+  }
+  return r;
+}
+
+std::string PrecisionJson(const PrecisionRow& r) {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"model\": \"%s\", \"dataset\": \"%s\", \"requests\": %d, "
+      "\"qps_fp32\": %.1f, \"qps_bf16\": %.1f, \"speedup_bf16\": %.3f, "
+      "\"max_abs_error\": %.3e}",
+      r.model.c_str(), r.dataset.c_str(), r.requests, r.qps_fp32, r.qps_bf16,
+      r.speedup_bf16, r.max_abs_error);
   return buf;
 }
 
@@ -397,7 +506,9 @@ int Main(int argc, char** argv) {
   json += smoke ? "true" : "false";
   json += ",\n  \"nproc\": ";
   json += std::to_string(std::thread::hardware_concurrency());
-  json += ",\n  \"trials\": ";
+  json += ",\n  \"isa_tier\": \"";
+  json += simd::ActiveBackendName();
+  json += "\",\n  \"trials\": ";
   json += std::to_string(kTrials);
   json += ",\n  \"results\": [\n";
 
@@ -418,7 +529,7 @@ int Main(int argc, char** argv) {
   for (const DatasetSpec& ds : datasets) {
     if (smoke && std::string(ds.name) == "movielens") continue;
     for (const std::string& model : models) {
-      const serve::ServeModel sm = BuildServeModel(model, ds);
+      const serve::ServeModel sm = BuildServeModel(model, ds, TowerSpec{});
       const bool invariant = serve::PlanIsBatchInvariant(sm.plan());
 
       // A shared pool of input rows, reused round-robin.
@@ -456,6 +567,35 @@ int Main(int argc, char** argv) {
       emit(model, ds, invariant, open);
     }
   }
+
+  // fp32-vs-bf16 serving comparison, every harness shape plus a wide
+  // embedding-style MMoE whose ~3 MB fp32 weight arena makes the
+  // halved bf16 footprint a bandwidth win, not just a cache curiosity.
+  json += "\n  ],\n  \"precision_compare\": [\n";
+  std::printf("\n%-6s %-10s %12s %12s %8s %14s\n", "model", "dataset",
+              "qps_fp32", "qps_bf16", "x_bf16", "max_abs_err");
+  const int cmp_requests = smoke ? 200 : 1500;
+  const int wide_requests = smoke ? 60 : 400;
+  first = true;
+  const auto emit_cmp = [&](const PrecisionRow& r) {
+    std::printf("%-6s %-10s %12.1f %12.1f %7.2fx %14.3e\n", r.model.c_str(),
+                r.dataset.c_str(), r.qps_fp32, r.qps_bf16, r.speedup_bf16,
+                r.max_abs_error);
+    if (!first) json += ",\n";
+    json += "    " + PrecisionJson(r);
+    first = false;
+  };
+  for (const DatasetSpec& ds : datasets) {
+    if (smoke && std::string(ds.name) == "movielens") continue;
+    for (const std::string& model : models) {
+      emit_cmp(RunPrecisionCompare(model, ds, TowerSpec{}, cmp_requests));
+    }
+  }
+  TowerSpec wide;
+  wide.dims = {256, 128};
+  wide.num_experts = 8;
+  const DatasetSpec wide_ds{"wide_emb", 256, 16};
+  emit_cmp(RunPrecisionCompare("mmoe", wide_ds, wide, wide_requests));
 
   json += "\n  ]\n}\n";
   std::FILE* f = std::fopen(out_path.c_str(), "w");

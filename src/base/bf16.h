@@ -1,0 +1,43 @@
+#ifndef MOCOGRAD_BASE_BF16_H_
+#define MOCOGRAD_BASE_BF16_H_
+
+// bfloat16 storage format (docs/SERVING.md "Reduced precision"): the top 16
+// bits of an IEEE-754 binary32 — same exponent range, 8-bit significand.
+// Used by the serving layer to store frozen weights at half the memory
+// traffic; all arithmetic stays fp32 (widening is exact, so every kernel
+// tier widens to the identical float).
+//
+// Conversion semantics:
+//   - Bf16FromF32: round-to-nearest-even on the truncated 16 mantissa bits.
+//     NaNs are canonicalized to a quiet NaN with a non-zero bf16 mantissa
+//     (plain RNE could round a signaling-NaN payload to zero mantissa,
+//     i.e. infinity). Inf, ±0 and denormals round like any other value —
+//     a float denormal below half the smallest bf16 denormal rounds to ±0.
+//   - F32FromBf16: exact (shift back into the high half, low bits zero).
+
+#include <cstdint>
+#include <cstring>
+
+namespace mocograd {
+
+inline uint16_t Bf16FromF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0) {
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);  // quiet NaN
+  }
+  // Round to nearest, ties to even on bit 16.
+  bits += 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+inline float F32FromBf16(uint16_t v) {
+  const uint32_t bits = static_cast<uint32_t>(v) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_BF16_H_

@@ -1,0 +1,69 @@
+#include "base/cpu.h"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define MOCOGRAD_CPU_X86_64 1
+#endif
+
+namespace mocograd {
+namespace cpu {
+
+namespace {
+
+#if defined(MOCOGRAD_CPU_X86_64)
+
+// XCR0 via XGETBV (only legal once CPUID reports OSXSAVE). Inline asm
+// instead of the _xgetbv intrinsic so the probe TU needs no -mxsave flag.
+uint64_t ReadXcr0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+Features Probe() {
+  Features f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.sse2 = (edx & (1u << 26)) != 0;
+  f.sse42 = (ecx & (1u << 20)) != 0;
+  f.fma = (ecx & (1u << 12)) != 0;
+  f.avx = (ecx & (1u << 28)) != 0;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+
+  unsigned max_leaf = __get_cpuid_max(0, nullptr);
+  if (max_leaf >= 7) {
+    __cpuid_count(7, 0, eax, ebx, ecx, edx);
+    f.avx2 = (ebx & (1u << 5)) != 0;
+    f.avx512f = (ebx & (1u << 16)) != 0;
+    f.avx512dq = (ebx & (1u << 17)) != 0;
+    f.avx512bw = (ebx & (1u << 30)) != 0;
+    f.avx512vl = (ebx & (1u << 31)) != 0;
+  }
+
+  if (osxsave) {
+    const uint64_t xcr0 = ReadXcr0();
+    // Bits 1-2: SSE (XMM) + AVX (YMM) state; bits 5-7 add the AVX-512
+    // opmask / upper-ZMM / high-16-ZMM state.
+    f.os_avx = (xcr0 & 0x6) == 0x6;
+    f.os_avx512 = f.os_avx && (xcr0 & 0xE0) == 0xE0;
+  }
+  return f;
+}
+
+#else  // !MOCOGRAD_CPU_X86_64
+
+Features Probe() { return Features{}; }
+
+#endif
+
+}  // namespace
+
+const Features& GetFeatures() {
+  static const Features features = Probe();
+  return features;
+}
+
+}  // namespace cpu
+}  // namespace mocograd

@@ -1,0 +1,38 @@
+#ifndef MOCOGRAD_BASE_CPU_H_
+#define MOCOGRAD_BASE_CPU_H_
+
+// Startup CPU-feature probe behind the runtime ISA dispatch (docs/SIMD.md
+// "Runtime dispatch"). Probed once per process via CPUID/XGETBV on x86-64;
+// on other architectures every x86 field is false. The probe answers two
+// questions the kernel-tier selector (base/simd.cc) needs: which ISA
+// extensions the CPU implements, and whether the OS actually saves the
+// wider register state (an AVX-512 CPU under an OS that does not preserve
+// ZMM registers must not run AVX-512 code).
+
+namespace mocograd {
+namespace cpu {
+
+struct Features {
+  // Instruction-set extensions (CPUID leaves 1 and 7).
+  bool sse2 = false;
+  bool sse42 = false;
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512dq = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  // OS register-state support (XGETBV XCR0): os_avx requires the XMM+YMM
+  // save bits, os_avx512 additionally the opmask+ZMM bits.
+  bool os_avx = false;
+  bool os_avx512 = false;
+};
+
+/// The host's features, probed on first call and cached for the process.
+const Features& GetFeatures();
+
+}  // namespace cpu
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_BASE_CPU_H_

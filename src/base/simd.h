@@ -2,25 +2,38 @@
 #define MOCOGRAD_BASE_SIMD_H_
 
 // Portable fixed-width SIMD layer: an 8-lane f32 vector (F32x8) and a
-// 4-lane f64 accumulator (F64x4) with an AVX2+FMA backend, a NEON backend
-// (aarch64) and a scalar fallback that performs the *same lane-blocked
-// arithmetic in the same order*. Every operation exposed here is exactly
-// rounded per IEEE-754 (add/sub/mul/div/sqrt, fused multiply-add) or a pure
-// bit operation (abs/neg) or a comparison-select (Max/Min), so a kernel
-// written against this header produces bit-identical results on every
-// backend — across ISAs, across the MOCOGRAD_SIMD=0/1 runtime knob, and
-// across thread counts (lane blocking never crosses the fixed reduction
-// blocks of tensor/ops.cc). See docs/SIMD.md for the full contract and how
-// to add a backend.
+// 4-lane f64 accumulator (F64x4) with AVX-512 / AVX2+FMA / SSE2 backends
+// (x86-64), a NEON backend (aarch64) and a scalar fallback that performs
+// the *same lane-blocked arithmetic in the same order*. Every operation
+// exposed here is exactly rounded per IEEE-754 (add/sub/mul/div/sqrt,
+// fused multiply-add) or a pure bit operation (abs/neg) or a
+// comparison-select (Max/Min), so a kernel written against this header
+// produces bit-identical results on every backend — across ISA tiers,
+// across the MOCOGRAD_SIMD / MOCOGRAD_SIMD_ISA runtime knobs, and across
+// thread counts (lane blocking never crosses the fixed reduction blocks of
+// tensor/ops.cc). See docs/SIMD.md for the full contract and how to add a
+// backend.
+//
+// Which backends exist in a given translation unit depends on the flags
+// that TU is compiled with: the per-tier kernel TUs
+// (base/vec_kernels_tier_*.cc, tensor/gemm_kernels_tier_*.cc) get per-file
+// -m flags from the build, while every other TU sees only the x86-64
+// baseline (SSE2). Hot kernels therefore never rely on this header's
+// in-TU backend selection — they are routed at runtime through the
+// per-tier function tables selected by ActiveTier() below.
 //
 // Semantics pinned down for cross-backend identity:
 //  - MulAdd(a, b, c) = a*b + c with a single rounding (hardware FMA on
-//    AVX2/NEON, std::fma on the scalar path).
+//    AVX2/AVX-512/NEON; std::fma on the scalar and SSE paths, which libm
+//    rounds correctly — the SSE tier is a compatibility tier for pre-AVX2
+//    hardware, not a fast one).
 //  - Max(a, b) = (a > b) ? a : b and Min(a, b) = (a < b) ? a : b, i.e. the
 //    second operand wins on unordered comparisons — exactly x86
 //    MAXPS/MINPS; the NEON backend uses compare+select (not vmaxq, which
 //    differs on NaN).
 //  - Abs/Neg clear/flip the sign bit only (NaN payloads preserved).
+//  - LoadBf16 widens 8 bf16 values to f32 by shifting into the high half —
+//    exact on every backend (base/bf16.h).
 //
 // The build keeps `-ffp-contract=off` so the compiler never fuses scalar
 // a*b+c expressions behind our back — fusion happens only where a kernel
@@ -31,11 +44,22 @@
 #include <cstring>
 #include <type_traits>
 
+#include "base/bf16.h"
+
 #if !defined(MOCOGRAD_SIMD_FORCE_SCALAR)
+#if defined(__SSE2__) || defined(_M_X64)
+#define MOCOGRAD_SIMD_SSE 1
+#include <immintrin.h>
+#endif
 #if defined(__AVX2__) && defined(__FMA__)
 #define MOCOGRAD_SIMD_AVX2 1
-#include <immintrin.h>
-#elif defined(__aarch64__) && defined(__ARM_NEON)
+#endif
+#if defined(MOCOGRAD_SIMD_AVX2) && defined(__AVX512F__) && \
+    defined(__AVX512VL__) && defined(__AVX512DQ__) && defined(__AVX512BW__)
+#define MOCOGRAD_SIMD_AVX512 1
+#endif
+#if !defined(MOCOGRAD_SIMD_SSE) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
 #define MOCOGRAD_SIMD_NEON 1
 #include <arm_neon.h>
 #endif
@@ -74,6 +98,12 @@ struct F32x8Scalar {
   static F32x8Scalar Load(const float* p) {
     F32x8Scalar r;
     std::memcpy(r.lane, p, sizeof(r.lane));
+    return r;
+  }
+  /// 8 bf16 values widened to f32 (exact).
+  static F32x8Scalar LoadBf16(const uint16_t* p) {
+    F32x8Scalar r;
+    for (int i = 0; i < 8; ++i) r.lane[i] = F32FromBf16(p[i]);
     return r;
   }
   void Store(float* p) const { std::memcpy(p, lane, sizeof(lane)); }
@@ -156,6 +186,110 @@ inline double ReduceAdd(F64x4Scalar v) {
 }
 
 // ---------------------------------------------------------------------------
+// SSE2 backend: two 128-bit halves per 8-lane vector. SSE has no FMA
+// instruction, so MulAdd round-trips through correctly-rounded std::fma —
+// bit-identical to the hardware FMA of the wider tiers, at libm-call cost.
+// This is the x86-64 baseline every TU compiles against; it exists so one
+// binary still runs (vectorized where the ISA allows) on pre-AVX2 fleets.
+// ---------------------------------------------------------------------------
+
+#if defined(MOCOGRAD_SIMD_SSE)
+
+struct F32x8Sse {
+  __m128 lo, hi;
+
+  static F32x8Sse Zero() { return {_mm_setzero_ps(), _mm_setzero_ps()}; }
+  static F32x8Sse Broadcast(float x) { return {_mm_set1_ps(x), _mm_set1_ps(x)}; }
+  static F32x8Sse Load(const float* p) {
+    return {_mm_loadu_ps(p), _mm_loadu_ps(p + 4)};
+  }
+  static F32x8Sse LoadBf16(const uint16_t* p) {
+    // u16 << 16 into each u32 lane: interleave below a zero half-vector.
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i z = _mm_setzero_si128();
+    return {_mm_castsi128_ps(_mm_unpacklo_epi16(z, v)),
+            _mm_castsi128_ps(_mm_unpackhi_epi16(z, v))};
+  }
+  void Store(float* p) const {
+    _mm_storeu_ps(p, lo);
+    _mm_storeu_ps(p + 4, hi);
+  }
+};
+
+inline F32x8Sse operator+(F32x8Sse a, F32x8Sse b) {
+  return {_mm_add_ps(a.lo, b.lo), _mm_add_ps(a.hi, b.hi)};
+}
+inline F32x8Sse operator-(F32x8Sse a, F32x8Sse b) {
+  return {_mm_sub_ps(a.lo, b.lo), _mm_sub_ps(a.hi, b.hi)};
+}
+inline F32x8Sse operator*(F32x8Sse a, F32x8Sse b) {
+  return {_mm_mul_ps(a.lo, b.lo), _mm_mul_ps(a.hi, b.hi)};
+}
+inline F32x8Sse operator/(F32x8Sse a, F32x8Sse b) {
+  return {_mm_div_ps(a.lo, b.lo), _mm_div_ps(a.hi, b.hi)};
+}
+inline F32x8Sse MulAdd(F32x8Sse a, F32x8Sse b, F32x8Sse c) {
+  alignas(16) float la[8], lb[8], lc[8];
+  a.Store(la);
+  b.Store(lb);
+  c.Store(lc);
+  for (int i = 0; i < 8; ++i) lc[i] = std::fmaf(la[i], lb[i], lc[i]);
+  return F32x8Sse::Load(lc);
+}
+// MAXPS/MINPS: second operand wins on unordered — matches the scalar helpers.
+inline F32x8Sse Max(F32x8Sse a, F32x8Sse b) {
+  return {_mm_max_ps(a.lo, b.lo), _mm_max_ps(a.hi, b.hi)};
+}
+inline F32x8Sse Min(F32x8Sse a, F32x8Sse b) {
+  return {_mm_min_ps(a.lo, b.lo), _mm_min_ps(a.hi, b.hi)};
+}
+inline F32x8Sse Abs(F32x8Sse a) {
+  const __m128 mask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
+  return {_mm_and_ps(a.lo, mask), _mm_and_ps(a.hi, mask)};
+}
+inline F32x8Sse Neg(F32x8Sse a) {
+  const __m128 sign = _mm_castsi128_ps(_mm_set1_epi32(0x80000000u));
+  return {_mm_xor_ps(a.lo, sign), _mm_xor_ps(a.hi, sign)};
+}
+inline F32x8Sse Sqrt(F32x8Sse a) {
+  return {_mm_sqrt_ps(a.lo), _mm_sqrt_ps(a.hi)};
+}
+
+struct F64x4Sse {
+  __m128d lo, hi;
+  static F64x4Sse Zero() { return {_mm_setzero_pd(), _mm_setzero_pd()}; }
+};
+
+inline F64x4Sse operator+(F64x4Sse a, F64x4Sse b) {
+  return {_mm_add_pd(a.lo, b.lo), _mm_add_pd(a.hi, b.hi)};
+}
+inline F64x4Sse MulAdd(F64x4Sse a, F64x4Sse b, F64x4Sse c) {
+  alignas(16) double la[4], lb[4], lc[4];
+  _mm_storeu_pd(la, a.lo);
+  _mm_storeu_pd(la + 2, a.hi);
+  _mm_storeu_pd(lb, b.lo);
+  _mm_storeu_pd(lb + 2, b.hi);
+  _mm_storeu_pd(lc, c.lo);
+  _mm_storeu_pd(lc + 2, c.hi);
+  for (int i = 0; i < 4; ++i) lc[i] = std::fma(la[i], lb[i], lc[i]);
+  return {_mm_loadu_pd(lc), _mm_loadu_pd(lc + 2)};
+}
+inline F64x4Sse CvtLo(F32x8Sse v) {
+  return {_mm_cvtps_pd(v.lo), _mm_cvtps_pd(_mm_movehl_ps(v.lo, v.lo))};
+}
+inline F64x4Sse CvtHi(F32x8Sse v) {
+  return {_mm_cvtps_pd(v.hi), _mm_cvtps_pd(_mm_movehl_ps(v.hi, v.hi))};
+}
+inline double ReduceAdd(F64x4Sse v) {
+  double lane[4];
+  _mm_storeu_pd(lane, v.lo);
+  _mm_storeu_pd(lane + 2, v.hi);
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+}
+
+#endif  // MOCOGRAD_SIMD_SSE
+
+// ---------------------------------------------------------------------------
 // AVX2 + FMA backend.
 // ---------------------------------------------------------------------------
 
@@ -167,6 +301,11 @@ struct F32x8Avx2 {
   static F32x8Avx2 Zero() { return {_mm256_setzero_ps()}; }
   static F32x8Avx2 Broadcast(float x) { return {_mm256_set1_ps(x)}; }
   static F32x8Avx2 Load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static F32x8Avx2 LoadBf16(const uint16_t* p) {
+    const __m128i v16 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return {_mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(v16), 16))};
+  }
   void Store(float* p) const { _mm256_storeu_ps(p, v); }
 };
 
@@ -214,6 +353,43 @@ inline double ReduceAdd(F64x4Avx2 v) {
 #endif  // MOCOGRAD_SIMD_AVX2
 
 // ---------------------------------------------------------------------------
+// AVX-512 additions. The AVX-512 tier keeps the 8-lane F32/F64 types (the
+// same F32x8Avx2/F64x4Avx2 structs, emitted as EVEX-encoded code in the
+// avx512 TUs) so every reduction and elementwise loop stays bit-identical
+// to the other tiers. The only 512-bit type is F32x16, used where a kernel
+// can process two adjacent 8-lane groups whose arithmetic chains are
+// per-lane independent (the GEMM microkernel's 16-column tiles) — lane j of
+// an F32x16 computes exactly what lane j%8 of the corresponding F32x8 pair
+// would, so results cannot differ.
+// ---------------------------------------------------------------------------
+
+#if defined(MOCOGRAD_SIMD_AVX512)
+
+struct F32x16 {
+  __m512 v;
+
+  static F32x16 Zero() { return {_mm512_setzero_ps()}; }
+  static F32x16 Broadcast(float x) { return {_mm512_set1_ps(x)}; }
+  static F32x16 Load(const float* p) { return {_mm512_loadu_ps(p)}; }
+  static F32x16 LoadBf16(const uint16_t* p) {
+    const __m256i v16 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    return {_mm512_castsi512_ps(
+        _mm512_slli_epi32(_mm512_cvtepu16_epi32(v16), 16))};
+  }
+  void Store(float* p) const { _mm512_storeu_ps(p, v); }
+};
+
+inline F32x16 operator+(F32x16 a, F32x16 b) { return {_mm512_add_ps(a.v, b.v)}; }
+inline F32x16 operator-(F32x16 a, F32x16 b) { return {_mm512_sub_ps(a.v, b.v)}; }
+inline F32x16 operator*(F32x16 a, F32x16 b) { return {_mm512_mul_ps(a.v, b.v)}; }
+inline F32x16 MulAdd(F32x16 a, F32x16 b, F32x16 c) {
+  return {_mm512_fmadd_ps(a.v, b.v, c.v)};
+}
+
+#endif  // MOCOGRAD_SIMD_AVX512
+
+// ---------------------------------------------------------------------------
 // NEON backend (aarch64: FMA, exact-rounded div/sqrt, f64 vectors).
 // ---------------------------------------------------------------------------
 
@@ -225,6 +401,13 @@ struct F32x8Neon {
   static F32x8Neon Zero() { return {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)}; }
   static F32x8Neon Broadcast(float x) { return {vdupq_n_f32(x), vdupq_n_f32(x)}; }
   static F32x8Neon Load(const float* p) { return {vld1q_f32(p), vld1q_f32(p + 4)}; }
+  // Widen 8 bf16 values to f32 (exact): shift each 16-bit pattern into the
+  // high half of a 32-bit lane.
+  static F32x8Neon LoadBf16(const uint16_t* p) {
+    const uint16x8_t v = vld1q_u16(p);
+    return {vreinterpretq_f32_u32(vshll_n_u16(vget_low_u16(v), 16)),
+            vreinterpretq_f32_u32(vshll_n_u16(vget_high_u16(v), 16))};
+  }
   void Store(float* p) const {
     vst1q_f32(p, lo);
     vst1q_f32(p + 4, hi);
@@ -246,7 +429,7 @@ inline F32x8Neon operator/(F32x8Neon a, F32x8Neon b) {
 inline F32x8Neon MulAdd(F32x8Neon a, F32x8Neon b, F32x8Neon c) {
   return {vfmaq_f32(c.lo, a.lo, b.lo), vfmaq_f32(c.hi, a.hi, b.hi)};
 }
-// Compare+select, NOT vmaxq/vminq: the contract is "(a > b) ? a : b" with
+/// Compare+select, NOT vmaxq/vminq: the contract is "(a > b) ? a : b" with
 // the second operand winning on unordered, bit-identical to x86 MAXPS.
 inline F32x8Neon Max(F32x8Neon a, F32x8Neon b) {
   return {vbslq_f32(vcgtq_f32(a.lo, b.lo), a.lo, b.lo),
@@ -287,7 +470,9 @@ inline double ReduceAdd(F64x4Neon v) {
 #endif  // MOCOGRAD_SIMD_NEON
 
 // ---------------------------------------------------------------------------
-// Backend selection and runtime dispatch.
+// Backend tags. One tag per kernel tier; which tags exist in a TU depends on
+// that TU's compile flags (see the header comment). The per-tier kernel TUs
+// instantiate their kernels against exactly one of these.
 // ---------------------------------------------------------------------------
 
 struct ScalarBackend {
@@ -296,18 +481,50 @@ struct ScalarBackend {
   static constexpr const char* kName = "scalar";
 };
 
+#if defined(MOCOGRAD_SIMD_SSE)
+struct SseBackend {
+  using F32 = F32x8Sse;
+  using F64 = F64x4Sse;
+  static constexpr const char* kName = "sse";
+};
+#endif
+
 #if defined(MOCOGRAD_SIMD_AVX2)
-struct HwBackend {
+struct Avx2Backend {
   using F32 = F32x8Avx2;
   using F64 = F64x4Avx2;
   static constexpr const char* kName = "avx2";
 };
-#elif defined(MOCOGRAD_SIMD_NEON)
-struct HwBackend {
+#endif
+
+#if defined(MOCOGRAD_SIMD_AVX512)
+// 8-lane types on purpose (bit-determinism anchor); F32Wide is the opt-in
+// 512-bit type for kernels whose lanes are arithmetic-independent.
+struct Avx512Backend {
+  using F32 = F32x8Avx2;
+  using F64 = F64x4Avx2;
+  using F32Wide = F32x16;
+  static constexpr const char* kName = "avx512";
+};
+#endif
+
+#if defined(MOCOGRAD_SIMD_NEON)
+struct NeonBackend {
   using F32 = F32x8Neon;
   using F64 = F64x4Neon;
   static constexpr const char* kName = "neon";
 };
+#endif
+
+// The best backend available *in this TU* — what Dispatch() below uses. In
+// baseline TUs on x86-64 this is the SSE backend; only the per-tier kernel
+// TUs see AVX2/AVX-512 here.
+#if defined(MOCOGRAD_SIMD_AVX2)
+using HwBackend = Avx2Backend;
+#elif defined(MOCOGRAD_SIMD_NEON)
+using HwBackend = NeonBackend;
+#elif defined(MOCOGRAD_SIMD_SSE)
+using HwBackend = SseBackend;
 #else
 using HwBackend = ScalarBackend;
 #endif
@@ -317,23 +534,53 @@ using HwBackend = ScalarBackend;
 inline constexpr bool kHasHardwareBackend =
     !std::is_same_v<HwBackend, ScalarBackend>;
 
-/// Runtime switch between the hardware backend and the scalar fallback.
-/// Initialized from the MOCOGRAD_SIMD environment variable (default 1);
-/// always false when no hardware backend was compiled in. Because both
-/// paths perform identical lane-blocked arithmetic, flipping this changes
-/// speed, never results.
+// ---------------------------------------------------------------------------
+// Runtime kernel-tier state (defined in base/simd.cc). The process probes
+// the CPU once (base/cpu.h), intersects it with the tiers the build
+// compiled, clamps by the MOCOGRAD_SIMD_ISA knob, and lands on one active
+// tier. Hot kernels (base/vec_kernels.h, tensor/gemm_kernels.h) look the
+// tier up per call, so tests can flip it mid-process. Every tier computes
+// bit-identical results; the tier changes speed, never outputs.
+// ---------------------------------------------------------------------------
+
+/// Kernel tiers in preference order. kNeon sorts between the x86 tiers only
+/// nominally — on any given host either the x86 tiers or kNeon exist, never
+/// both.
+enum class IsaTier : int {
+  kScalar = 0,
+  kSse = 1,
+  kNeon = 2,
+  kAvx2 = 3,
+  kAvx512 = 4,
+};
+
+/// The tier hot kernels currently run on.
+IsaTier ActiveTier();
+
+/// Forces a tier (tests and benches). Clamped to the best tier the CPU and
+/// build support; ignores the MOCOGRAD_SIMD_ISA env ceiling.
+void SetTier(IsaTier tier);
+
+/// "avx512" / "avx2" / "sse" / "neon" / "scalar".
+const char* TierName(IsaTier tier);
+
+/// True when the active tier is anything above scalar. Initialized from the
+/// MOCOGRAD_SIMD (on/off) and MOCOGRAD_SIMD_ISA (ceiling) knobs.
 bool Enabled();
 
-/// Forces the backend at runtime (tests use this to compare paths within
-/// one process). Enabling is a no-op without a hardware backend.
+/// SetEnabled(false) forces the scalar tier; SetEnabled(true) restores the
+/// best tier the CPU, build and MOCOGRAD_SIMD_ISA ceiling allow. Tests use
+/// this to compare paths within one process.
 void SetEnabled(bool enabled);
 
-/// "avx2" / "neon" / "scalar" — the backend Dispatch currently selects.
+/// TierName(ActiveTier()).
 const char* ActiveBackendName();
 
-/// Invokes `fn` with the selected backend tag: fn(HwBackend{}) when SIMD is
-/// enabled, fn(ScalarBackend{}) otherwise. `fn` is a generic lambda; both
-/// instantiations must have the same return type.
+/// Invokes `fn` with this TU's best backend tag when the active tier is
+/// above scalar, fn(ScalarBackend{}) otherwise. `fn` is a generic lambda;
+/// both instantiations must have the same return type. Cold-path helper —
+/// hot kernels route through the per-tier function tables instead, which
+/// honour the full tier ladder rather than this TU's compile flags.
 template <typename Fn>
 decltype(auto) Dispatch(Fn&& fn) {
   if (Enabled()) return fn(HwBackend{});

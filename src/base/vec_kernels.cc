@@ -1,0 +1,38 @@
+#include "base/vec_kernels.h"
+
+#include "base/check.h"
+
+namespace mocograd {
+namespace vec {
+
+const VecKernels* VecKernelsForTier(simd::IsaTier tier) {
+  switch (tier) {
+    case simd::IsaTier::kAvx512:
+      return GetVecKernelsAvx512();
+    case simd::IsaTier::kAvx2:
+      return GetVecKernelsAvx2();
+    case simd::IsaTier::kNeon:
+      return GetVecKernelsNeon();
+    case simd::IsaTier::kSse:
+      return GetVecKernelsSse();
+    case simd::IsaTier::kScalar:
+      return GetVecKernelsScalar();
+  }
+  return nullptr;
+}
+
+const VecKernels& ActiveVecKernels() {
+  // Walk down from the active tier; the scalar floor always exists. The
+  // active tier is clamped to availability at set time, so the walk is a
+  // defensive no-op in practice.
+  for (int t = static_cast<int>(simd::ActiveTier()); t > 0; --t) {
+    const VecKernels* k = VecKernelsForTier(static_cast<simd::IsaTier>(t));
+    if (k != nullptr) return *k;
+  }
+  const VecKernels* scalar = GetVecKernelsScalar();
+  MG_CHECK(scalar != nullptr, "scalar kernel tier missing");
+  return *scalar;
+}
+
+}  // namespace vec
+}  // namespace mocograd

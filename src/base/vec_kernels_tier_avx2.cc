@@ -1,0 +1,25 @@
+// AVX2+FMA kernel tier. This TU (and only TUs like it) is compiled with
+// -mavx2 -mfma (src/CMakeLists.txt per-file flags); nothing here may be
+// reachable from baseline code except through the table pointer, which the
+// selector hands out only after the CPU probe confirms AVX2+FMA support.
+
+#include "base/vec_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_AVX2)
+#include "base/vec_kernels_impl.h"
+#endif
+
+namespace mocograd {
+namespace vec {
+
+#if defined(MOCOGRAD_SIMD_AVX2)
+const VecKernels* GetVecKernelsAvx2() {
+  static const VecKernels kTable = MakeVecKernels<simd::Avx2Backend>();
+  return &kTable;
+}
+#else
+const VecKernels* GetVecKernelsAvx2() { return nullptr; }
+#endif
+
+}  // namespace vec
+}  // namespace mocograd

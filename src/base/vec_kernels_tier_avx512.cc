@@ -1,0 +1,26 @@
+// AVX-512 kernel tier, compiled with -mavx512{f,vl,dq,bw} -mavx2 -mfma
+// (src/CMakeLists.txt per-file flags). The vec kernels keep the 8-lane
+// types — Avx512Backend::F32 is the AVX2 vector struct, emitted here as
+// EVEX-encoded code — so results stay bit-identical to every other tier;
+// the 512-bit F32Wide type is used only by the GEMM microkernel.
+
+#include "base/vec_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_AVX512)
+#include "base/vec_kernels_impl.h"
+#endif
+
+namespace mocograd {
+namespace vec {
+
+#if defined(MOCOGRAD_SIMD_AVX512)
+const VecKernels* GetVecKernelsAvx512() {
+  static const VecKernels kTable = MakeVecKernels<simd::Avx512Backend>();
+  return &kTable;
+}
+#else
+const VecKernels* GetVecKernelsAvx512() { return nullptr; }
+#endif
+
+}  // namespace vec
+}  // namespace mocograd

@@ -1,0 +1,22 @@
+// NEON kernel tier (aarch64 baseline — no extra ISA flags needed).
+
+#include "base/vec_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_NEON)
+#include "base/vec_kernels_impl.h"
+#endif
+
+namespace mocograd {
+namespace vec {
+
+#if defined(MOCOGRAD_SIMD_NEON)
+const VecKernels* GetVecKernelsNeon() {
+  static const VecKernels kTable = MakeVecKernels<simd::NeonBackend>();
+  return &kTable;
+}
+#else
+const VecKernels* GetVecKernelsNeon() { return nullptr; }
+#endif
+
+}  // namespace vec
+}  // namespace mocograd

@@ -1,0 +1,16 @@
+// Scalar kernel tier: always compiled, no ISA flags. The floor of the tier
+// ladder and the reference the other tiers must match bit-for-bit.
+
+#include "base/vec_kernels.h"
+#include "base/vec_kernels_impl.h"
+
+namespace mocograd {
+namespace vec {
+
+const VecKernels* GetVecKernelsScalar() {
+  static const VecKernels kTable = MakeVecKernels<simd::ScalarBackend>();
+  return &kTable;
+}
+
+}  // namespace vec
+}  // namespace mocograd

@@ -1,0 +1,24 @@
+// SSE2 kernel tier: the x86-64 baseline, compiled with no extra ISA flags.
+// A compatibility tier for pre-AVX2 hardware — MulAdd pays a libm std::fma
+// per lane to stay bit-identical to the FMA tiers.
+
+#include "base/vec_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_SSE)
+#include "base/vec_kernels_impl.h"
+#endif
+
+namespace mocograd {
+namespace vec {
+
+#if defined(MOCOGRAD_SIMD_SSE)
+const VecKernels* GetVecKernelsSse() {
+  static const VecKernels kTable = MakeVecKernels<simd::SseBackend>();
+  return &kTable;
+}
+#else
+const VecKernels* GetVecKernelsSse() { return nullptr; }
+#endif
+
+}  // namespace vec
+}  // namespace mocograd

@@ -1,123 +1,109 @@
 #include "base/vec_ops.h"
 
-#include "base/simd.h"
+#include "base/vec_kernels.h"
 
 namespace mocograd {
 namespace vec {
 
-// MG_HOT_PATH — every kernel below runs on the per-step steady state;
-// mg_lint enforces that no heap allocation or container growth appears
-// before the matching end marker (docs/CORRECTNESS.md).
-
-namespace {
-
-// Reduction core shared by DotF64/SquaredNormF64/SumF64: `lane_fn(acc, lo,
-// hi)` folds one 8-float step (already widened to two F64x4) into the
-// accumulator pair, `tail_fn(s, i)` folds one trailing element into the
-// running double. The lane decomposition is anchored at element 0 of the
-// span, so a given (pointer, n) always reduces in the same order.
-template <typename B, typename StepFn, typename TailFn>
-double ReduceF64(int64_t n, StepFn step_fn, TailFn tail_fn) {
-  using F64 = typename B::F64;
-  F64 acc_lo = F64::Zero();
-  F64 acc_hi = F64::Zero();
-  int64_t i = 0;
-  for (; i + 8 <= n; i += 8) step_fn(i, &acc_lo, &acc_hi);
-  double s = ReduceAdd(acc_lo + acc_hi);
-  for (; i < n; ++i) s = tail_fn(s, i);
-  return s;
-}
-
-}  // namespace
+// Thin front-ends over the per-tier kernel table: each call looks the
+// active tier up (one relaxed atomic load) so tests and the MOCOGRAD_SIMD /
+// MOCOGRAD_SIMD_ISA knobs can flip the tier mid-process. The kernel bodies
+// live in base/vec_kernels_impl.h, compiled once per tier with per-file
+// ISA flags.
 
 void Axpy(int64_t n, float alpha, const float* x, float* y) {
-  simd::Dispatch([&](auto backend) {
-    using F32 = typename decltype(backend)::F32;
-    const F32 va = F32::Broadcast(alpha);
-    int64_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-      MulAdd(va, F32::Load(x + i), F32::Load(y + i)).Store(y + i);
-    }
-    for (; i < n; ++i) y[i] = simd::MulAdd(alpha, x[i], y[i]);
-  });
+  ActiveVecKernels().axpy(n, alpha, x, y);
 }
 
 void Add(int64_t n, const float* x, float* y) {
-  simd::Dispatch([&](auto backend) {
-    using F32 = typename decltype(backend)::F32;
-    int64_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-      (F32::Load(y + i) + F32::Load(x + i)).Store(y + i);
-    }
-    for (; i < n; ++i) y[i] += x[i];
-  });
+  ActiveVecKernels().add(n, x, y);
 }
 
 void Scale(int64_t n, float alpha, float* y) {
-  simd::Dispatch([&](auto backend) {
-    using F32 = typename decltype(backend)::F32;
-    const F32 va = F32::Broadcast(alpha);
-    int64_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-      (F32::Load(y + i) * va).Store(y + i);
-    }
-    for (; i < n; ++i) y[i] *= alpha;
-  });
+  ActiveVecKernels().scale(n, alpha, y);
 }
 
 void Ema(int64_t n, float beta, const float* g, float* m) {
-  const float omb = 1.0f - beta;
-  simd::Dispatch([&](auto backend) {
-    using F32 = typename decltype(backend)::F32;
-    const F32 vb = F32::Broadcast(beta);
-    const F32 vomb = F32::Broadcast(omb);
-    int64_t i = 0;
-    for (; i + 8 <= n; i += 8) {
-      MulAdd(vb, F32::Load(m + i), vomb * F32::Load(g + i)).Store(m + i);
-    }
-    for (; i < n; ++i) m[i] = simd::MulAdd(beta, m[i], omb * g[i]);
-  });
+  ActiveVecKernels().ema(n, beta, g, m);
 }
 
 double DotF64(int64_t n, const float* a, const float* b) {
-  return simd::Dispatch([&](auto backend) {
-    using B = decltype(backend);
-    using F32 = typename B::F32;
-    using F64 = typename B::F64;
-    return ReduceF64<B>(
-        n,
-        [&](int64_t i, F64* lo, F64* hi) {
-          const F32 va = F32::Load(a + i);
-          const F32 vb = F32::Load(b + i);
-          *lo = MulAdd(CvtLo(va), CvtLo(vb), *lo);
-          *hi = MulAdd(CvtHi(va), CvtHi(vb), *hi);
-        },
-        [&](double s, int64_t i) {
-          return simd::MulAdd(static_cast<double>(a[i]),
-                              static_cast<double>(b[i]), s);
-        });
-  });
+  return ActiveVecKernels().dot_f64(n, a, b);
 }
 
 double SquaredNormF64(int64_t n, const float* a) { return DotF64(n, a, a); }
 
 double SumF64(int64_t n, const float* a) {
-  return simd::Dispatch([&](auto backend) {
-    using B = decltype(backend);
-    using F32 = typename B::F32;
-    using F64 = typename B::F64;
-    return ReduceF64<B>(
-        n,
-        [&](int64_t i, F64* lo, F64* hi) {
-          const F32 va = F32::Load(a + i);
-          *lo = *lo + CvtLo(va);
-          *hi = *hi + CvtHi(va);
-        },
-        [&](double s, int64_t i) { return s + static_cast<double>(a[i]); });
-  });
+  return ActiveVecKernels().sum_f64(n, a);
 }
 
-// MG_HOT_PATH_END
+void EwAdd(int64_t n, const float* a, const float* b, float* o) {
+  ActiveVecKernels().ew_add(n, a, b, o);
+}
+
+void EwSub(int64_t n, const float* a, const float* b, float* o) {
+  ActiveVecKernels().ew_sub(n, a, b, o);
+}
+
+void EwMul(int64_t n, const float* a, const float* b, float* o) {
+  ActiveVecKernels().ew_mul(n, a, b, o);
+}
+
+void EwDiv(int64_t n, const float* a, const float* b, float* o) {
+  ActiveVecKernels().ew_div(n, a, b, o);
+}
+
+void EwMaximum(int64_t n, const float* a, const float* b, float* o) {
+  ActiveVecKernels().ew_maximum(n, a, b, o);
+}
+
+void EwAddScalar(int64_t n, const float* a, float s, float* o) {
+  ActiveVecKernels().ew_add_scalar(n, a, s, o);
+}
+
+void EwMulScalar(int64_t n, const float* a, float s, float* o) {
+  ActiveVecKernels().ew_mul_scalar(n, a, s, o);
+}
+
+void EwNeg(int64_t n, const float* a, float* o) {
+  ActiveVecKernels().ew_neg(n, a, o);
+}
+
+void EwSqrt(int64_t n, const float* a, float* o) {
+  ActiveVecKernels().ew_sqrt(n, a, o);
+}
+
+void EwAbs(int64_t n, const float* a, float* o) {
+  ActiveVecKernels().ew_abs(n, a, o);
+}
+
+void EwRelu(int64_t n, const float* a, float* o) {
+  ActiveVecKernels().ew_relu(n, a, o);
+}
+
+void EwClamp(int64_t n, const float* a, float lo, float hi, float* o) {
+  ActiveVecKernels().ew_clamp(n, a, lo, hi, o);
+}
+
+void SgdMomentum(int64_t n, float lr, float momentum, float wd,
+                 const float* g, float* v, float* x) {
+  ActiveVecKernels().sgd_momentum(n, lr, momentum, wd, g, v, x);
+}
+
+void SgdPlain(int64_t n, float lr, float wd, const float* g, float* x) {
+  ActiveVecKernels().sgd_plain(n, lr, wd, g, x);
+}
+
+void Adam(int64_t n, float lr, float b1, float b2, float eps, float wd,
+          float bc1, float bc2, const float* g, float* m, float* v,
+          float* x) {
+  ActiveVecKernels().adam(n, lr, b1, b2, eps, wd, bc1, bc2, g, m, v, x);
+}
+
+void Adagrad(int64_t n, float lr, float eps, const float* g, float* a,
+             float* x) {
+  ActiveVecKernels().adagrad(n, lr, eps, g, a, x);
+}
 
 }  // namespace vec
 }  // namespace mocograd

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "base/check.h"
+#include "base/simd.h"
 #include "obs/json.h"
 
 namespace mocograd {
@@ -137,6 +138,12 @@ void TelemetrySink::WriteRecord(const TelemetryRecord& record) {
   line += ',';
   AppendJsonKey(&line, "method");
   AppendJsonString(&line, record.method);
+  // Active kernel tier of the runtime ISA dispatch (docs/SIMD.md): results
+  // are bit-identical across tiers, but recording the tier lets a replay
+  // diff rule the kernel path in or out immediately.
+  line += ',';
+  AppendJsonKey(&line, "isa_tier");
+  AppendJsonString(&line, simd::ActiveBackendName());
   AppendFloatArray(&line, "losses", record.losses);
   if (!record.task_weights.empty()) {
     AppendFloatArray(&line, "task_weights", record.task_weights);

@@ -3,116 +3,15 @@
 #include <cmath>
 
 #include "base/check.h"
-#include "base/simd.h"
+#include "base/vec_ops.h"
 
 namespace mocograd {
 namespace optim {
 
-namespace {
-
-// Per-tensor update kernels, templated on the simd backend tag. Each runs 8
-// lanes at a time with a scalar tail performing the identical per-element
-// arithmetic (explicit MulAdd where lanes fuse), so updates are
-// bit-identical across backends and the MOCOGRAD_SIMD knob. Weight decay
-// folds into the gradient with a fused multiply-add, matching the lane op.
-// MG_HOT_PATH — per-step parameter updates; no allocation.
-
-template <typename B>
-void SgdMomentumSpan(int64_t n, float lr, float momentum, float wd,
-                     const float* g, float* v, float* x) {
-  using F32 = typename B::F32;
-  const F32 vlr = F32::Broadcast(lr);
-  const F32 vmom = F32::Broadcast(momentum);
-  const F32 vwd = F32::Broadcast(wd);
-  int64_t j = 0;
-  for (; j + 8 <= n; j += 8) {
-    const F32 xx = F32::Load(x + j);
-    const F32 grad = MulAdd(vwd, xx, F32::Load(g + j));
-    const F32 vel = MulAdd(vmom, F32::Load(v + j), grad);
-    vel.Store(v + j);
-    (xx - vlr * vel).Store(x + j);
-  }
-  for (; j < n; ++j) {
-    const float grad = simd::MulAdd(wd, x[j], g[j]);
-    v[j] = simd::MulAdd(momentum, v[j], grad);
-    x[j] -= lr * v[j];
-  }
-}
-
-template <typename B>
-void SgdPlainSpan(int64_t n, float lr, float wd, const float* g, float* x) {
-  using F32 = typename B::F32;
-  const F32 vlr = F32::Broadcast(lr);
-  const F32 vwd = F32::Broadcast(wd);
-  int64_t j = 0;
-  for (; j + 8 <= n; j += 8) {
-    const F32 xx = F32::Load(x + j);
-    const F32 grad = MulAdd(vwd, xx, F32::Load(g + j));
-    (xx - vlr * grad).Store(x + j);
-  }
-  for (; j < n; ++j) {
-    const float grad = simd::MulAdd(wd, x[j], g[j]);
-    x[j] -= lr * grad;
-  }
-}
-
-template <typename B>
-void AdamSpan(int64_t n, float lr, float b1, float b2, float eps, float wd,
-              float bc1, float bc2, const float* g, float* m, float* v,
-              float* x) {
-  using F32 = typename B::F32;
-  const F32 vlr = F32::Broadcast(lr);
-  const F32 vb1 = F32::Broadcast(b1);
-  const F32 vb2 = F32::Broadcast(b2);
-  const F32 vomb1 = F32::Broadcast(1.0f - b1);
-  const F32 vomb2 = F32::Broadcast(1.0f - b2);
-  const F32 veps = F32::Broadcast(eps);
-  const F32 vwd = F32::Broadcast(wd);
-  const F32 vbc1 = F32::Broadcast(bc1);
-  const F32 vbc2 = F32::Broadcast(bc2);
-  int64_t j = 0;
-  for (; j + 8 <= n; j += 8) {
-    const F32 xx = F32::Load(x + j);
-    const F32 grad = MulAdd(vwd, xx, F32::Load(g + j));
-    const F32 mm = MulAdd(vb1, F32::Load(m + j), vomb1 * grad);
-    const F32 vv = MulAdd(vb2, F32::Load(v + j), vomb2 * (grad * grad));
-    mm.Store(m + j);
-    vv.Store(v + j);
-    const F32 mhat = mm / vbc1;
-    const F32 vhat = vv / vbc2;
-    (xx - (vlr * mhat) / (Sqrt(vhat) + veps)).Store(x + j);
-  }
-  for (; j < n; ++j) {
-    const float grad = simd::MulAdd(wd, x[j], g[j]);
-    m[j] = simd::MulAdd(b1, m[j], (1.0f - b1) * grad);
-    v[j] = simd::MulAdd(b2, v[j], (1.0f - b2) * (grad * grad));
-    const float mhat = m[j] / bc1;
-    const float vhat = v[j] / bc2;
-    x[j] -= (lr * mhat) / (simd::Sqrt(vhat) + eps);
-  }
-}
-
-template <typename B>
-void AdagradSpan(int64_t n, float lr, float eps, const float* g, float* a,
-                 float* x) {
-  using F32 = typename B::F32;
-  const F32 vlr = F32::Broadcast(lr);
-  const F32 veps = F32::Broadcast(eps);
-  int64_t j = 0;
-  for (; j + 8 <= n; j += 8) {
-    const F32 gg = F32::Load(g + j);
-    const F32 acc = MulAdd(gg, gg, F32::Load(a + j));
-    acc.Store(a + j);
-    (F32::Load(x + j) - (vlr * gg) / (Sqrt(acc) + veps)).Store(x + j);
-  }
-  for (; j < n; ++j) {
-    a[j] = simd::MulAdd(g[j], g[j], a[j]);
-    x[j] -= (lr * g[j]) / (simd::Sqrt(a[j]) + eps);
-  }
-}
-// MG_HOT_PATH_END
-
-}  // namespace
+// The per-tensor update spans (vec::SgdMomentum / SgdPlain / Adam /
+// Adagrad) live in base/vec_kernels_impl.h, compiled once per kernel tier
+// and routed through the runtime ISA dispatch; updates stay bit-identical
+// across tiers and the MOCOGRAD_SIMD / MOCOGRAD_SIMD_ISA knobs.
 
 Optimizer::Optimizer(std::vector<Variable*> params, float lr)
     : params_(std::move(params)), lr_(lr) {
@@ -146,14 +45,9 @@ void Sgd::Step() {
     if (momentum_ > 0.0f) {
       if (!velocity_[i].defined()) velocity_[i] = Tensor::Zeros(x.shape());
       float* v = velocity_[i].data();
-      simd::Dispatch([&](auto backend) {
-        SgdMomentumSpan<decltype(backend)>(n, lr_, momentum_, weight_decay_,
-                                           pg, v, px);
-      });
+      vec::SgdMomentum(n, lr_, momentum_, weight_decay_, pg, v, px);
     } else {
-      simd::Dispatch([&](auto backend) {
-        SgdPlainSpan<decltype(backend)>(n, lr_, weight_decay_, pg, px);
-      });
+      vec::SgdPlain(n, lr_, weight_decay_, pg, px);
     }
   }
 }
@@ -187,10 +81,8 @@ void Adam::Step() {
     float* pm = m_[i].data();
     float* pv = v_[i].data();
     const int64_t n = x.NumElements();
-    simd::Dispatch([&](auto backend) {
-      AdamSpan<decltype(backend)>(n, lr_, beta1_, beta2_, eps_, weight_decay_,
-                                  bc1, bc2, pg, pm, pv, px);
-    });
+    vec::Adam(n, lr_, beta1_, beta2_, eps_, weight_decay_, bc1, bc2, pg, pm,
+              pv, px);
   }
 }
 
@@ -210,9 +102,7 @@ void Adagrad::Step() {
     const float* pg = g.data();
     float* pa = accum_[i].data();
     const int64_t n = x.NumElements();
-    simd::Dispatch([&](auto backend) {
-      AdagradSpan<decltype(backend)>(n, lr_, eps_, pg, pa, px);
-    });
+    vec::Adagrad(n, lr_, eps_, pg, pa, px);
   }
 }
 

@@ -8,6 +8,8 @@
 #include <memory>
 #include <utility>
 
+#include "base/bf16.h"
+#include "base/env.h"
 #include "base/scratch.h"
 #include "base/simd.h"
 #include "obs/metrics.h"
@@ -56,8 +58,37 @@ std::vector<int64_t> ParamOffsets(const ServePlan& plan) {
 
 }  // namespace
 
+ServePrecision DefaultServePrecision() {
+  return GetEnvString("MOCOGRAD_SERVE_PRECISION", "fp32") == "bf16"
+             ? ServePrecision::kBf16
+             : ServePrecision::kFp32;
+}
+
+const char* ServePrecisionName(ServePrecision p) {
+  return p == ServePrecision::kBf16 ? "bf16" : "fp32";
+}
+
+ServeModel::ServeModel(ServePlan plan, std::vector<float> arena,
+                       std::vector<int64_t> offsets, ServePrecision precision)
+    : plan_(std::move(plan)),
+      arena_(std::move(arena)),
+      offsets_(std::move(offsets)),
+      precision_(precision) {
+  if (precision_ == ServePrecision::kBf16) {
+    // One-time storage rounding (round-to-nearest-even); the f32 copy is
+    // released so a bf16 model holds half the weight bytes.
+    arena_bf16_.resize(arena_.size());
+    for (size_t i = 0; i < arena_.size(); ++i) {
+      arena_bf16_[i] = Bf16FromF32(arena_[i]);
+    }
+    arena_.clear();
+    arena_.shrink_to_fit();
+  }
+}
+
 Result<ServeModel> ServeModel::FromModule(const ServePlan& plan,
-                                          nn::Module& module) {
+                                          nn::Module& module,
+                                          ServePrecision precision) {
   const auto named = module.NamedParameters();
   if (named.size() != plan.params.size()) {
     return Status::InvalidArgument(
@@ -88,11 +119,12 @@ Result<ServeModel> ServeModel::FromModule(const ServePlan& plan,
     std::memcpy(arena.data() + offsets[i], t.data(),
                 static_cast<size_t>(t.NumElements()) * sizeof(float));
   }
-  return ServeModel(plan, std::move(arena), std::move(offsets));
+  return ServeModel(plan, std::move(arena), std::move(offsets), precision);
 }
 
 Result<ServeModel> ServeModel::FromCheckpoint(const ServePlan& plan,
-                                              const std::string& path) {
+                                              const std::string& path,
+                                              ServePrecision precision) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::NotFound("cannot open: " + path);
 
@@ -138,7 +170,7 @@ Result<ServeModel> ServeModel::FromCheckpoint(const ServePlan& plan,
       return Status::InvalidArgument("truncated checkpoint: " + path);
     }
   }
-  return ServeModel(plan, std::move(arena), std::move(offsets));
+  return ServeModel(plan, std::move(arena), std::move(offsets), precision);
 }
 
 InferenceSession::InferenceSession(const ServeModel& model) : model_(&model) {
@@ -191,6 +223,37 @@ void InferenceSession::Forward(const float* input, int64_t rows,
         const int64_t k = plan.buffer_widths[op.in];
         const int64_t n = plan.buffer_widths[op.out];
         float* out = buf(op.out);
+        if (model_->precision() == ServePrecision::kBf16) {
+          // Reduced-precision serving (docs/SERVING.md): weights stored
+          // bf16, widened to f32 on load (exact), f32 accumulation. The
+          // same per-element chains as the fp32 branch below — including
+          // the n == 1 scalar path and the batch-invariance of
+          // GemmBf16B's m == 1 / m >= 2 pair — so a served row's bits
+          // never depend on its batch-mates; only the weights' one-time
+          // storage rounding differs from fp32 serving.
+          const uint16_t* w = model_->param_data_bf16(op.weight);
+          if (n == 1) {
+            const float* src = buf(op.in);
+            for (int64_t i = 0; i < rows; ++i) {
+              float acc = 0.0f;
+              const float* row = src + i * k;
+              for (int64_t p = 0; p < k; ++p) {
+                acc = simd::MulAdd(row[p], F32FromBf16(w[p]), acc);
+              }
+              out[i] = acc;
+            }
+          } else {
+            GemmBf16B(rows, n, k, buf(op.in), k, w, n, out, n);
+          }
+          if (op.bias >= 0) {
+            const uint16_t* bias = model_->param_data_bf16(op.bias);
+            for (int64_t i = 0; i < rows; ++i) {
+              float* row = out + i * n;
+              for (int64_t j = 0; j < n; ++j) row[j] += F32FromBf16(bias[j]);
+            }
+          }
+          break;
+        }
         if (n == 1) {
           // Per-row ascending-k scalar FMA chain — exactly what a lone
           // rows=1 Gemm does for this shape (GemvRowAxpy's n=1 tail). A

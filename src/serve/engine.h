@@ -12,6 +12,22 @@
 namespace mocograd {
 namespace serve {
 
+/// Storage precision of a ServeModel's parameter arena (docs/SERVING.md
+/// "Reduced precision"). kFp32 is bit-exact against training; kBf16 stores
+/// weights as bf16 (round-to-nearest-even truncation of the f32 pattern,
+/// half the bytes and memory traffic) and widens them to f32 on load —
+/// activations and accumulation stay f32, so the only deviation from fp32
+/// serving is each weight's one-time storage rounding. Training is never
+/// affected: precision is a property of the frozen snapshot only.
+enum class ServePrecision { kFp32, kBf16 };
+
+/// Precision selected by MOCOGRAD_SERVE_PRECISION ("fp32" | "bf16";
+/// default, unset, and unrecognized values all mean fp32).
+ServePrecision DefaultServePrecision();
+
+/// "fp32" or "bf16" (telemetry / bench labels).
+const char* ServePrecisionName(ServePrecision p);
+
 /// A frozen model ready to serve: a ServePlan plus every parameter packed
 /// into one immutable contiguous float arena (cache-friendly sequential
 /// layout, no Variable / autograd machinery, no shared_ptr indirection per
@@ -24,35 +40,47 @@ class ServeModel {
   /// Packs the live parameters of `module` (typically the trained
   /// MtlModel the plan was built for). Names and shapes from
   /// Module::NamedParameters() must match the plan's ParamSpecs.
-  static Result<ServeModel> FromModule(const ServePlan& plan,
-                                       nn::Module& module);
+  /// Validation always runs at full precision; a kBf16 snapshot converts
+  /// the arena after packing.
+  static Result<ServeModel> FromModule(
+      const ServePlan& plan, nn::Module& module,
+      ServePrecision precision = DefaultServePrecision());
 
   /// Reads a checkpoint written by nn::SaveParameters straight into the
   /// arena — no module instantiation, no RNG, no tape. Shapes must match
   /// the plan's ParamSpecs in order.
-  static Result<ServeModel> FromCheckpoint(const ServePlan& plan,
-                                           const std::string& path);
+  static Result<ServeModel> FromCheckpoint(
+      const ServePlan& plan, const std::string& path,
+      ServePrecision precision = DefaultServePrecision());
 
   const ServePlan& plan() const { return plan_; }
   int64_t input_dim() const { return plan_.input_dim; }
   int num_tasks() const { return plan_.num_tasks(); }
   int64_t task_output_dim(int k) const { return plan_.task_output_dims[k]; }
 
-  /// Start of parameter `idx` in the arena.
+  ServePrecision precision() const { return precision_; }
+
+  /// Start of parameter `idx` in the f32 arena. Valid only for a kFp32
+  /// model (a kBf16 model keeps no f32 copy — halving resident weight
+  /// bytes is the point).
   const float* param_data(int idx) const {
     return arena_.data() + offsets_[idx];
   }
 
+  /// Start of parameter `idx` in the bf16 arena. Valid only for kBf16.
+  const uint16_t* param_data_bf16(int idx) const {
+    return arena_bf16_.data() + offsets_[idx];
+  }
+
  private:
   ServeModel(ServePlan plan, std::vector<float> arena,
-             std::vector<int64_t> offsets)
-      : plan_(std::move(plan)),
-        arena_(std::move(arena)),
-        offsets_(std::move(offsets)) {}
+             std::vector<int64_t> offsets, ServePrecision precision);
 
   ServePlan plan_;
   std::vector<float> arena_;
+  std::vector<uint16_t> arena_bf16_;  // non-empty iff precision_ == kBf16
   std::vector<int64_t> offsets_;
+  ServePrecision precision_ = ServePrecision::kFp32;
 };
 
 /// Executes a ServeModel's plan over batches of feature rows. Construction

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cstring>
 
+#include "base/bf16.h"
 #include "base/check.h"
 #include "base/env.h"
 #include "base/scratch.h"
-#include "base/simd.h"
 #include "base/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/gemm_kernels.h"
 
 // Cache-hierarchy-aware GEMM (docs/SIMD.md "The GEMM macro-kernel"):
 //
@@ -27,6 +28,12 @@
 //     kRankUpdateMaxK, so no shape class pays packing cost it cannot
 //     amortize (the m == 1 case used to be slower than the seed kernel).
 //
+// This file is the orchestration front-end: path selection, grain sizes,
+// ParallelFor partitioning, scratch allocation, and B packing. The compute
+// bodies live behind the per-tier GemmKernels table
+// (tensor/gemm_kernels.h) — chunk-level kernels compiled once per ISA tier
+// and selected at runtime (docs/SIMD.md "Runtime dispatch").
+//
 // All scratch (packed operands, GEMV accumulators) lives in grow-only
 // per-thread arenas (base/scratch.h): zero heap allocations on the
 // steady-state path.
@@ -34,10 +41,10 @@
 // Determinism: block sizes are process-wide constants, independent of
 // thread count and ISA. Each output element's value depends only on its
 // row/column and the fixed (kc, nc, panel) decomposition — never on the
-// ParallelFor partition, the mc/kMR row grouping, or the backend — so any
-// pool size and either backend produce bit-identical results for a given
-// block configuration (changing MOCOGRAD_GEMM_BLOCK changes the
-// accumulation tree, like swapping BLAS versions would).
+// ParallelFor partition, the mc/kMR row grouping, the backend, or the
+// dispatch tier — so any pool size and any tier produce bit-identical
+// results for a given block configuration (changing MOCOGRAD_GEMM_BLOCK
+// changes the accumulation tree, like swapping BLAS versions would).
 
 namespace mocograd {
 
@@ -46,13 +53,6 @@ namespace {
 // Minimum multiply-adds a parallel chunk should amortize; below this the
 // range runs on the calling thread.
 constexpr int64_t kMinFlopsPerChunk = 1 << 16;
-
-// Register-blocked microkernel tile: 6 C rows × 16 C columns (two 8-lane
-// vectors), i.e. 12 vector accumulators plus two B vectors and one
-// broadcast A value in flight — 15 of the 16 architectural vector
-// registers.
-constexpr int64_t kMR = 6;
-constexpr int64_t kNR = 16;
 
 // Below this many C rows, packing a non-transposed B into panels costs more
 // than the in-place strided reads it saves (each B element is only reused
@@ -71,11 +71,6 @@ constexpr int64_t kPackBMinRows = 16;
 // the streaming full-k path, which reads A in place and re-reads it once
 // per panel instead — few panels is exactly when that is cheap.
 constexpr int64_t kBlockedMinCols = 256;
-
-// With at most this many rank-1 terms, the packing and tile machinery
-// costs more than it saves; the rank-update path streams op(B) rows in
-// place instead.
-constexpr int64_t kRankUpdateMaxK = 6;
 
 // Default macro-kernel blocking, sized for typical 32–48 KiB L1d / >=512
 // KiB L2: the packed B slice of one column group (kc×nc×4 = 256 KiB) plus
@@ -109,30 +104,10 @@ GemmBlockSizes& BlockConfig() {
   return cfg;
 }
 
-// MG_HOT_PATH — everything below (pack, microkernel, macro-kernel, GEMV and
-// rank-update paths, and Gemm itself) is the per-step steady state: all
-// scratch must come from ScratchScope, never the heap (docs/CORRECTNESS.md;
-// the steady-state allocation tests in tests/tensor/gemm_microkernel_test.cc
+// MG_HOT_PATH — everything below is the per-step steady state: all scratch
+// must come from ScratchScope, never the heap (docs/CORRECTNESS.md; the
+// steady-state allocation tests in tests/tensor/gemm_microkernel_test.cc
 // measure the same contract dynamically).
-
-// One 16-column panel of op(B): `data` points at row p=0, rows are `stride`
-// floats apart. Full panels of a non-transposed B are read in place
-// (stride = ldb) on the small-m path; transposed, blocked-path, and edge
-// panels are packed to stride = kNR with zero padding past the matrix edge.
-struct PanelView {
-  const float* data;
-  int64_t stride;
-};
-
-// op(A) as the microkernel reads it: element (r, p) at
-// data[r * row_stride + p * p_stride]. In-place rows use {a + i*lda, lda,
-// 1}; packed microkernel-order blocks use {block, 1, mr} (each k step's mr
-// row values contiguous — one stream instead of mr strided ones).
-struct AView {
-  const float* data;
-  int64_t row_stride;
-  int64_t p_stride;
-};
 
 // Packs columns [j0, j0+cols) of op(B) into dst as a k×kNR panel,
 // zero-padding columns past `cols`. Pure copies — deterministic for any
@@ -151,471 +126,68 @@ void PackPanel(const float* b, int64_t ldb, bool trans_b, int64_t k,
   }
 }
 
-// Rows in the next microkernel tile when `left` rows remain. Full kMR
-// tiles, except a trailing remainder of kMR + 2 rows splits 4 + 4 rather
-// than 6 + 2: a 2-row tile issues only a third of the FMAs of a 6-row one
-// per B load, so the balanced split keeps e.g. m == 32 (the im2col conv
-// shape) at full port utilization. Tiling never affects results — each C
-// row's arithmetic is independent of how rows are grouped.
-int64_t NextMr(int64_t left) {
-  if (left == kMR + 2) return 4;
-  return std::min<int64_t>(kMR, left);
-}
-
-// Packs rows [i0, i0+rows) × k-slice [p0, p0+kc) of op(A) into dst in
-// microkernel order: NextMr-row sub-blocks, each stored p-major with its
-// mr row values contiguous per k step (sub-block element (r, p) at
-// [p * mr + r]). Handles both transpose flags, which is what retired the
-// whole-matrix transposed-A copy. Pure copies — layout never affects
-// results.
-void PackABlock(const float* a, int64_t lda, bool trans_a, int64_t i0,
-                int64_t rows, int64_t p0, int64_t kc, float* dst) {
-  for (int64_t ir = 0; ir < rows;) {
-    const int64_t mr = NextMr(rows - ir);
-    float* blk = dst + ir * kc;
-    if (trans_a) {
-      for (int64_t p = 0; p < kc; ++p) {
-        const float* src = a + (p0 + p) * lda + i0 + ir;
-        float* out = blk + p * mr;
-        for (int64_t r = 0; r < mr; ++r) out[r] = src[r];
-      }
-    } else {
-      for (int64_t r = 0; r < mr; ++r) {
-        const float* src = a + (i0 + ir + r) * lda + p0;
-        for (int64_t p = 0; p < kc; ++p) blk[p * mr + r] = src[p];
-      }
-    }
-    ir += mr;
-  }
-}
-
-// Accumulates the MR×kNR tile Σ_p a[r][p] · b[p][j] into `tile`. Per-row
-// arithmetic is one fused multiply-add per (p, lane) in ascending p order,
-// independent of MR — grouping rows into blocks (or splitting them across
-// ParallelFor chunks) never changes a row's result.
-template <typename B, int MR>
-void MicroKernel(int64_t k, AView a, PanelView b, float* tile) {
-  using F32 = typename B::F32;
-  F32 acc[MR][2];
-  for (int r = 0; r < MR; ++r) {
-    acc[r][0] = F32::Zero();
-    acc[r][1] = F32::Zero();
-  }
-  const float* bp = b.data;
-  const float* ap = a.data;
-  for (int64_t p = 0; p < k; ++p, bp += b.stride, ap += a.p_stride) {
-    const F32 b0 = F32::Load(bp);
-    const F32 b1 = F32::Load(bp + 8);
-    for (int r = 0; r < MR; ++r) {
-      const F32 av = F32::Broadcast(ap[r * a.row_stride]);
-      acc[r][0] = MulAdd(av, b0, acc[r][0]);
-      acc[r][1] = MulAdd(av, b1, acc[r][1]);
-    }
-  }
-  for (int r = 0; r < MR; ++r) {
-    acc[r][0].Store(tile + r * kNR);
-    acc[r][1].Store(tile + r * kNR + 8);
-  }
-}
-
-// Cache-prefetch hint; architecturally a no-op, so it can never affect
-// results.
-inline void PrefetchLine(const float* p) {
-#if defined(__GNUC__) || defined(__clang__)
-  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
-#else
-  (void)p;
-#endif
-}
-
-template <typename B>
-void RunMicroKernel(int64_t mr, int64_t k, AView a, PanelView b,
-                    float* tile) {
-  switch (mr) {
-    case 1: MicroKernel<B, 1>(k, a, b, tile); break;
-    case 2: MicroKernel<B, 2>(k, a, b, tile); break;
-    case 3: MicroKernel<B, 3>(k, a, b, tile); break;
-    case 4: MicroKernel<B, 4>(k, a, b, tile); break;
-    case 5: MicroKernel<B, 5>(k, a, b, tile); break;
-    default: MicroKernel<B, 6>(k, a, b, tile); break;
-  }
-}
-
-// Applies an mr×nr tile to C at `c` (row stride ldc). Three modes, each
-// with one fused or exactly-rounded operation per element, mirrored
-// exactly by the scalar tail so every backend and the vector/tail split
-// agree bit for bit:
-//   - first k-slice, beta == 0:  C = alpha·tile (C never read — stale
-//     NaN/Inf cannot leak through, BLAS semantics);
-//   - first k-slice, beta != 0:  C = fma(beta, C, alpha·tile);
-//   - accumulate (later slices): C = fma(alpha, tile, C).
-template <typename B>
-void StoreTile(const float* tile, float* c, int64_t ldc, int64_t mr,
-               int64_t nr, float alpha, float beta, bool accumulate) {
-  using F32 = typename B::F32;
-  const F32 valpha = F32::Broadcast(alpha);
-  const F32 vbeta = F32::Broadcast(beta);
-  for (int64_t r = 0; r < mr; ++r) {
-    float* c_row = c + r * ldc;
-    const float* t_row = tile + r * kNR;
-    if (nr == kNR) {
-      const F32 t0 = F32::Load(t_row);
-      const F32 t1 = F32::Load(t_row + 8);
-      if (accumulate) {
-        MulAdd(valpha, t0, F32::Load(c_row)).Store(c_row);
-        MulAdd(valpha, t1, F32::Load(c_row + 8)).Store(c_row + 8);
-      } else if (beta == 0.0f) {
-        (valpha * t0).Store(c_row);
-        (valpha * t1).Store(c_row + 8);
-      } else {
-        MulAdd(vbeta, F32::Load(c_row), valpha * t0).Store(c_row);
-        MulAdd(vbeta, F32::Load(c_row + 8), valpha * t1).Store(c_row + 8);
-      }
-    } else if (accumulate) {
-      for (int64_t j = 0; j < nr; ++j) {
-        c_row[j] = simd::MulAdd(alpha, t_row[j], c_row[j]);
-      }
-    } else if (beta == 0.0f) {
-      for (int64_t j = 0; j < nr; ++j) c_row[j] = alpha * t_row[j];
-    } else {
-      for (int64_t j = 0; j < nr; ++j) {
-        c_row[j] = simd::MulAdd(beta, c_row[j], alpha * t_row[j]);
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Streaming full-k path (m < kPackBMinRows or n < kBlockedMinCols): panels
-// iterate outermost so a panel stays hot across every row tile of the
-// chunk, and A is read in place — shapes on this path are exactly the ones
-// where A packing and k blocking cannot amortize.
-// ---------------------------------------------------------------------------
-
-// Rows [i0, i1) of C, streaming the full k dimension per panel.
-template <typename B>
-void GemmRows(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
-              const float* a, int64_t lda, const float* b_inplace,
-              int64_t ldb, const float* b_packed, int64_t num_full_panels,
-              float beta, float* c, int64_t ldc) {
-  alignas(32) float tile[kMR * kNR];
-  const int64_t num_panels = (n + kNR - 1) / kNR;
-  for (int64_t jp = 0; jp < num_panels; ++jp) {
-    const int64_t j0 = jp * kNR;
-    const int64_t nr = std::min<int64_t>(kNR, n - j0);
-    PanelView panel;
-    if (b_inplace != nullptr && jp < num_full_panels) {
-      panel = {b_inplace + j0, ldb};
-    } else {
-      // Packed panels: when B was packed panel-major all panels live in
-      // b_packed; otherwise only the ragged edge panel does (index 0).
-      const int64_t idx = b_inplace != nullptr ? 0 : jp;
-      panel = {b_packed + idx * k * kNR, kNR};
-    }
-    for (int64_t i = i0; i < i1;) {
-      const int64_t mr = NextMr(i1 - i);
-      RunMicroKernel<B>(mr, k, AView{a + i * lda, lda, 1}, panel, tile);
-      StoreTile<B>(tile, c + i * ldc + j0, ldc, mr, nr, alpha, beta,
-                   /*accumulate=*/false);
-      i += mr;
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Blocked macro-kernel path (m >= kPackBMinRows).
-// ---------------------------------------------------------------------------
-
-// Rows [i0, i1) of C for one ~kc-deep k-slice of the macro-kernel, against
-// the slice's freshly packed B panels. Loop order per chunk: mc row
-// blocks, each mc×kc piece of op(A) packed exactly once into this
-// thread's arena → nc-wide column groups → 16-column panels → microkernel
-// row tiles. Packing sits above the column loops, so each gathered op(A)
-// element is reused across every panel of the slice — the reuse
-// kBlockedMinCols guarantees. Accumulation order is fixed by the k-slice
-// boundaries alone (k and kc), so every element's value is independent of
-// the row partition and of mc/nc.
-template <typename B>
-void BlockedSliceRows(int64_t i0, int64_t i1, int64_t n, int64_t kc,
-                      float alpha, const float* a, int64_t lda, bool trans_a,
-                      int64_t p0, const float* b_slice, float beta, float* c,
-                      int64_t ldc, const GemmBlockSizes& bs,
-                      bool accumulate) {
-  alignas(32) float tile[kMR * kNR];
+// m == 1 front end: packs the op(A) row when it is strided, then fans the
+// axpy (op(B) = B) or dot (op(B) = Bᵀ) kernel over disjoint j-chunks.
+void GemvRow(const GemmKernels& kern, bool trans_a, bool trans_b, int64_t n,
+             int64_t k, float alpha, const float* a, int64_t lda,
+             const float* b, int64_t ldb, float beta, float* c) {
   ScratchScope scope;
-  float* a_buf = scope.AllocFloats(static_cast<size_t>(bs.mc) * bs.kc);
-  const int64_t num_panels = (n + kNR - 1) / kNR;
-  for (int64_t ic = i0; ic < i1; ic += bs.mc) {
-    const int64_t mc = std::min(bs.mc, i1 - ic);
-    PackABlock(a, lda, trans_a, ic, mc, p0, kc, a_buf);
-    // Spread prefetches of the next panel's slice across this panel's
-    // tiles, so its first tile finds the slice already in L1. Without the
-    // hint, that first tile streams its ~kc cache lines at L2 latency —
-    // a fixed per-panel cost that only m/kMR tiles amortize, which is
-    // exactly what held the m = 32 im2col shape ~15% under the larger-m
-    // shapes.
-    const int64_t tiles = (mc + kMR - 1) / kMR;
-    const int64_t pf_per_tile = (kc + tiles - 1) / tiles;
-    for (int64_t jc = 0; jc < n; jc += bs.nc) {
-      const int64_t jc_end = std::min(n, jc + bs.nc);
-      for (int64_t j0 = jc; j0 < jc_end; j0 += kNR) {
-        const int64_t jp = j0 / kNR;
-        const int64_t nr = std::min<int64_t>(kNR, n - j0);
-        const PanelView panel{b_slice + jp * kc * kNR, kNR};
-        // Each packed panel row is kNR floats — exactly one cache line.
-        const float* next_panel =
-            jp + 1 < num_panels ? b_slice + (jp + 1) * kc * kNR : nullptr;
-        int64_t pf_line = 0;
-        for (int64_t ir = 0; ir < mc;) {
-          const int64_t mr = NextMr(mc - ir);
-          RunMicroKernel<B>(mr, kc, AView{a_buf + ir * kc, 1, mr}, panel,
-                            tile);
-          StoreTile<B>(tile, c + (ic + ir) * ldc + j0, ldc, mr, nr, alpha,
-                       beta, accumulate);
-          if (next_panel != nullptr) {
-            const int64_t end = std::min(kc, pf_line + pf_per_tile);
-            for (; pf_line < end; ++pf_line) {
-              PrefetchLine(next_panel + pf_line * kNR);
-            }
-          }
-          ir += mr;
-        }
-      }
-    }
+  if (!trans_b) {
+    const int64_t a_stride = trans_a ? lda : 1;
+    const int64_t grain =
+        std::max<int64_t>(kNR, kMinFlopsPerChunk / std::max<int64_t>(1, k));
+    ParallelFor(0, n, grain, [&](int64_t j0, int64_t j1) {
+      ScratchScope chunk_scope;
+      float* acc = chunk_scope.AllocFloats(static_cast<size_t>(j1 - j0));
+      kern.gemv_row_axpy(j0, j1, k, alpha, a, a_stride, b, ldb, beta, c,
+                         acc);
+    });
+    return;
   }
-}
-
-// ---------------------------------------------------------------------------
-// Shape-specialized paths: GEMV (m == 1 / n == 1) and small-k rank update.
-// None of them pack B or touch tiles; all scratch comes from the arena.
-// ---------------------------------------------------------------------------
-
-// Lane-blocked f32 dot product: 8-lane fused multiply-adds over the body,
-// the 8 lane partials combined left to right, then the <8 tail folded in
-// with scalar fma — the same fixed tree on every backend.
-template <typename B>
-float DotF32(const float* x, const float* y, int64_t k) {
-  using F32 = typename B::F32;
-  F32 acc = F32::Zero();
-  int64_t p = 0;
-  for (; p + 8 <= k; p += 8) {
-    acc = MulAdd(F32::Load(x + p), F32::Load(y + p), acc);
+  const float* a_vec = a;
+  if (trans_a) {
+    float* packed = scope.AllocFloats(static_cast<size_t>(k));
+    for (int64_t p = 0; p < k; ++p) packed[p] = a[p * lda];
+    a_vec = packed;
   }
-  alignas(32) float lane[8];
-  acc.Store(lane);
-  float s = lane[0];
-  for (int i = 1; i < 8; ++i) s += lane[i];
-  for (; p < k; ++p) s = simd::MulAdd(x[p], y[p], s);
-  return s;
-}
-
-// out[j] = alpha·acc[j] + beta·out[j] write-out shared by the axpy-style
-// GEMV kernels; vector body and scalar tail perform the same per-element
-// arithmetic.
-template <typename B>
-void StoreRow(const float* acc, float* out, int64_t len, float alpha,
-              float beta) {
-  using F32 = typename B::F32;
-  const F32 valpha = F32::Broadcast(alpha);
-  const F32 vbeta = F32::Broadcast(beta);
-  int64_t j = 0;
-  if (beta == 0.0f) {
-    for (; j + 8 <= len; j += 8) {
-      (valpha * F32::Load(acc + j)).Store(out + j);
-    }
-    for (; j < len; ++j) out[j] = alpha * acc[j];
-  } else {
-    for (; j + 8 <= len; j += 8) {
-      MulAdd(vbeta, F32::Load(out + j), valpha * F32::Load(acc + j))
-          .Store(out + j);
-    }
-    for (; j < len; ++j) out[j] = simd::MulAdd(beta, out[j], alpha * acc[j]);
-  }
-}
-
-// m == 1, op(B) = B: one C row via axpy accumulation — ascending-p fused
-// multiply-adds of op(A)[p] · B row p into a raw accumulator, streaming B's
-// rows contiguously (this shape used to crawl through 16-column panel
-// strides at 0.64× the seed kernel). Disjoint j-chunks parallelize it.
-template <typename B>
-void GemvRowAxpy(int64_t n, int64_t k, float alpha, const float* a,
-                 int64_t a_stride, const float* b, int64_t ldb, float beta,
-                 float* c) {
-  using F32 = typename B::F32;
-  const int64_t grain =
-      std::max<int64_t>(kNR, kMinFlopsPerChunk / std::max<int64_t>(1, k));
-  ParallelFor(0, n, grain, [&](int64_t j0, int64_t j1) {
-    const int64_t len = j1 - j0;
-    ScratchScope scope;
-    float* acc = scope.AllocFloats(static_cast<size_t>(len));
-    std::memset(acc, 0, static_cast<size_t>(len) * sizeof(float));
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a[p * a_stride];
-      const F32 vav = F32::Broadcast(av);
-      const float* brow = b + p * ldb + j0;
-      int64_t j = 0;
-      for (; j + 8 <= len; j += 8) {
-        MulAdd(vav, F32::Load(brow + j), F32::Load(acc + j)).Store(acc + j);
-      }
-      for (; j < len; ++j) acc[j] = simd::MulAdd(av, brow[j], acc[j]);
-    }
-    StoreRow<B>(acc, c + j0, len, alpha, beta);
-  });
-}
-
-// m == 1, op(B) = Bᵀ: C row of dot products between the op(A) row and B's
-// stored rows (both contiguous).
-template <typename B>
-void GemvRowDot(int64_t n, int64_t k, float alpha, const float* a_vec,
-                const float* b, int64_t ldb, float beta, float* c) {
   const int64_t grain =
       std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(1, k));
   ParallelFor(0, n, grain, [&](int64_t j0, int64_t j1) {
-    for (int64_t j = j0; j < j1; ++j) {
-      const float dot = DotF32<B>(a_vec, b + j * ldb, k);
-      c[j] = beta == 0.0f ? alpha * dot : simd::MulAdd(beta, c[j], alpha * dot);
-    }
+    kern.gemv_row_dot(j0, j1, k, alpha, a_vec, b, ldb, beta, c);
   });
 }
 
-// n == 1, op(A) = A: C column of dot products between A's stored rows and
-// the (packed-contiguous) op(B) column.
-template <typename B>
-void GemvColDot(int64_t m, int64_t k, float alpha, const float* a,
-                int64_t lda, const float* b_vec, float beta, float* c,
-                int64_t ldc) {
+// n == 1 front end: packs the op(B) column when it is strided, then fans
+// the axpy (op(A) = Aᵀ) or dot (op(A) = A) kernel over disjoint i-chunks.
+void GemvCol(const GemmKernels& kern, bool trans_a, bool trans_b, int64_t m,
+             int64_t k, float alpha, const float* a, int64_t lda,
+             const float* b, int64_t ldb, float beta, float* c,
+             int64_t ldc) {
+  ScratchScope scope;
+  if (trans_a) {
+    const int64_t b_stride = trans_b ? 1 : ldb;
+    const int64_t grain =
+        std::max<int64_t>(kNR, kMinFlopsPerChunk / std::max<int64_t>(1, k));
+    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+      ScratchScope chunk_scope;
+      float* acc = chunk_scope.AllocFloats(static_cast<size_t>(i1 - i0));
+      kern.gemv_col_axpy(i0, i1, k, alpha, a, lda, b, b_stride, beta, c,
+                         ldc, acc);
+    });
+    return;
+  }
+  // op(B) column: stored contiguously when trans_b (B is 1×k), strided
+  // by ldb otherwise.
+  const float* b_vec = b;
+  if (!trans_b && ldb != 1) {
+    float* packed = scope.AllocFloats(static_cast<size_t>(k));
+    for (int64_t p = 0; p < k; ++p) packed[p] = b[p * ldb];
+    b_vec = packed;
+  }
   const int64_t grain =
       std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(1, k));
   ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float dot = DotF32<B>(a + i * lda, b_vec, k);
-      float* out = c + i * ldc;
-      *out = beta == 0.0f ? alpha * dot : simd::MulAdd(beta, *out, alpha * dot);
-    }
-  });
-}
-
-// n == 1, op(A) = Aᵀ: axpy accumulation over A's stored rows (contiguous
-// m-length spans), disjoint i-chunks in parallel; the strided C column is
-// written scalar with the same per-element arithmetic as StoreRow's tail.
-template <typename B>
-void GemvColAxpy(int64_t m, int64_t k, float alpha, const float* a,
-                 int64_t lda, const float* b, int64_t b_stride, float beta,
-                 float* c, int64_t ldc) {
-  using F32 = typename B::F32;
-  const int64_t grain =
-      std::max<int64_t>(kNR, kMinFlopsPerChunk / std::max<int64_t>(1, k));
-  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-    const int64_t len = i1 - i0;
-    ScratchScope scope;
-    float* acc = scope.AllocFloats(static_cast<size_t>(len));
-    std::memset(acc, 0, static_cast<size_t>(len) * sizeof(float));
-    for (int64_t p = 0; p < k; ++p) {
-      const float bv = b[p * b_stride];
-      const F32 vbv = F32::Broadcast(bv);
-      const float* arow = a + p * lda + i0;
-      int64_t i = 0;
-      for (; i + 8 <= len; i += 8) {
-        MulAdd(vbv, F32::Load(arow + i), F32::Load(acc + i)).Store(acc + i);
-      }
-      for (; i < len; ++i) acc[i] = simd::MulAdd(bv, arow[i], acc[i]);
-    }
-    for (int64_t i = 0; i < len; ++i) {
-      float* out = c + (i0 + i) * ldc;
-      *out = beta == 0.0f ? alpha * acc[i]
-                          : simd::MulAdd(beta, *out, alpha * acc[i]);
-    }
-  });
-}
-
-// k <= kRankUpdateMaxK, op(B) = B: per C row, an ascending-p chain of at
-// most kRankUpdateMaxK broadcast-FMAs over in-place B rows — identical
-// per-element arithmetic to the microkernel, minus every packing and tile
-// cost the tiny k could never repay.
-template <typename B>
-void RankUpdateRows(int64_t m, int64_t n, int64_t k, float alpha,
-                    const float* a, int64_t lda, bool trans_a,
-                    const float* b, int64_t ldb, float beta, float* c,
-                    int64_t ldc) {
-  using F32 = typename B::F32;
-  const int64_t grain = std::max<int64_t>(
-      1, kMinFlopsPerChunk / std::max<int64_t>(1, n * k));
-  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-    const F32 valpha = F32::Broadcast(alpha);
-    const F32 vbeta = F32::Broadcast(beta);
-    float av[kRankUpdateMaxK];
-    for (int64_t i = i0; i < i1; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        av[p] = trans_a ? a[p * lda + i] : a[i * lda + p];
-      }
-      float* c_row = c + i * ldc;
-      int64_t j = 0;
-      for (; j + 8 <= n; j += 8) {
-        F32 acc = F32::Zero();
-        for (int64_t p = 0; p < k; ++p) {
-          acc = MulAdd(F32::Broadcast(av[p]), F32::Load(b + p * ldb + j), acc);
-        }
-        if (beta == 0.0f) {
-          (valpha * acc).Store(c_row + j);
-        } else {
-          MulAdd(vbeta, F32::Load(c_row + j), valpha * acc).Store(c_row + j);
-        }
-      }
-      for (; j < n; ++j) {
-        float s = 0.0f;
-        for (int64_t p = 0; p < k; ++p) {
-          s = simd::MulAdd(av[p], b[p * ldb + j], s);
-        }
-        c_row[j] = beta == 0.0f ? alpha * s
-                                : simd::MulAdd(beta, c_row[j], alpha * s);
-      }
-    }
-  });
-}
-
-// m == 1 front end: packs the op(A) row when it is strided, then runs the
-// axpy (op(B) = B) or dot (op(B) = Bᵀ) kernel.
-void GemvRow(bool trans_a, bool trans_b, int64_t n, int64_t k, float alpha,
-             const float* a, int64_t lda, const float* b, int64_t ldb,
-             float beta, float* c) {
-  ScratchScope scope;
-  simd::Dispatch([&](auto backend) {
-    using B = decltype(backend);
-    if (!trans_b) {
-      GemvRowAxpy<B>(n, k, alpha, a, trans_a ? lda : 1, b, ldb, beta, c);
-      return;
-    }
-    const float* a_vec = a;
-    if (trans_a) {
-      float* packed = scope.AllocFloats(static_cast<size_t>(k));
-      for (int64_t p = 0; p < k; ++p) packed[p] = a[p * lda];
-      a_vec = packed;
-    }
-    GemvRowDot<B>(n, k, alpha, a_vec, b, ldb, beta, c);
-  });
-}
-
-// n == 1 front end: packs the op(B) column when it is strided, then runs
-// the axpy (op(A) = Aᵀ) or dot (op(A) = A) kernel.
-void GemvCol(bool trans_a, bool trans_b, int64_t m, int64_t k, float alpha,
-             const float* a, int64_t lda, const float* b, int64_t ldb,
-             float beta, float* c, int64_t ldc) {
-  ScratchScope scope;
-  simd::Dispatch([&](auto backend) {
-    using B = decltype(backend);
-    if (trans_a) {
-      GemvColAxpy<B>(m, k, alpha, a, lda, b, trans_b ? 1 : ldb, beta, c, ldc);
-      return;
-    }
-    // op(B) column: stored contiguously when trans_b (B is 1×k), strided
-    // by ldb otherwise.
-    const float* b_vec = b;
-    if (!trans_b && ldb != 1) {
-      float* packed = scope.AllocFloats(static_cast<size_t>(k));
-      for (int64_t p = 0; p < k; ++p) packed[p] = b[p * ldb];
-      b_vec = packed;
-    }
-    GemvColDot<B>(m, k, alpha, a, lda, b_vec, beta, c, ldc);
+    kern.gemv_col_dot(i0, i1, k, alpha, a, lda, b_vec, beta, c, ldc);
   });
 }
 
@@ -664,15 +236,25 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     return;
   }
 
+  // One table lookup per call (a relaxed atomic load behind ActiveTier);
+  // the tier is stable for the duration of the call.
+  const GemmKernels& kern = ActiveGemmKernels();
+
   // Degenerate output shapes take the packing-free GEMV kernels.
-  if (m == 1) return GemvRow(trans_a, trans_b, n, k, alpha, a, lda, b, ldb,
-                             beta, c);
-  if (n == 1) return GemvCol(trans_a, trans_b, m, k, alpha, a, lda, b, ldb,
-                             beta, c, ldc);
+  if (m == 1) {
+    return GemvRow(kern, trans_a, trans_b, n, k, alpha, a, lda, b, ldb,
+                   beta, c);
+  }
+  if (n == 1) {
+    return GemvCol(kern, trans_a, trans_b, m, k, alpha, a, lda, b, ldb,
+                   beta, c, ldc);
+  }
   if (k <= kRankUpdateMaxK && !trans_b) {
-    simd::Dispatch([&](auto backend) {
-      RankUpdateRows<decltype(backend)>(m, n, k, alpha, a, lda, trans_a, b,
-                                        ldb, beta, c, ldc);
+    const int64_t grain = std::max<int64_t>(
+        1, kMinFlopsPerChunk / std::max<int64_t>(1, n * k));
+    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+      kern.rank_update_rows(i0, i1, n, k, alpha, a, lda, trans_a, b, ldb,
+                            beta, c, ldc);
     });
     return;
   }
@@ -726,12 +308,14 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
       }
       MG_TRACE_SCOPE("gemm.compute");
       MG_METRIC_TIME_SCOPE("gemm.compute.seconds");
-      simd::Dispatch([&](auto backend) {
-        using B = decltype(backend);
-        ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-          BlockedSliceRows<B>(i0, i1, n, kc, alpha, a, lda, trans_a, p0,
-                              b_slice, beta, c, ldc, bs, /*accumulate=*/kb > 0);
-        });
+      const bool accumulate = kb > 0;
+      ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+        ScratchScope chunk_scope;
+        float* a_buf =
+            chunk_scope.AllocFloats(static_cast<size_t>(bs.mc) * bs.kc);
+        kern.blocked_slice_rows(i0, i1, n, kc, alpha, a, lda, trans_a, p0,
+                                b_slice, beta, c, ldc, bs.mc, bs.nc,
+                                accumulate, a_buf);
       });
     }
     return;
@@ -793,18 +377,76 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   }
 
   // Disjoint C row ranges per chunk; each row's accumulation tree is fixed
-  // independent of the partition, so any chunking — and either SIMD
-  // backend — is bit-identical.
+  // independent of the partition, so any chunking — and any dispatch
+  // tier — is bit-identical.
   MG_TRACE_SCOPE("gemm.compute");
   MG_METRIC_TIME_SCOPE("gemm.compute.seconds");
   const int64_t grain =
       std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(1, n * k));
-  simd::Dispatch([&](auto backend) {
-    ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-      GemmRows<decltype(backend)>(i0, i1, n, k, alpha, a_eff, lda_eff,
-                                  b_inplace, ldb, b_packed, num_full_panels,
-                                  beta, c, ldc);
+  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    kern.gemm_rows(i0, i1, n, k, alpha, a_eff, lda_eff, b_inplace, ldb,
+                   b_packed, num_full_panels, beta, c, ldc);
+  });
+}
+
+void GemmBf16B(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+               const uint16_t* b, int64_t ldb, float* c, int64_t ldc) {
+  MG_CHECK_GE(m, 0);
+  MG_CHECK_GE(n, 0);
+  MG_CHECK_GE(k, 0);
+  if (m == 0 || n == 0) return;
+  MG_CHECK(c != nullptr, "GemmBf16B: null C for m=", m, " n=", n);
+  MG_CHECK_GE(ldc, n, "GemmBf16B: ldc below row width");
+  if (k == 0) {
+    // alpha = 1, beta = 0 semantics: C = A·B over zero terms is zero.
+    for (int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<size_t>(n) * sizeof(float));
+    }
+    return;
+  }
+  MG_CHECK(a != nullptr && b != nullptr, "GemmBf16B: null operand for m=", m,
+           " n=", n, " k=", k);
+  MG_CHECK_GE(lda, k, "GemmBf16B: lda below A row width");
+  MG_CHECK_GE(ldb, n, "GemmBf16B: ldb below B row width");
+  MG_TRACE_SCOPE("gemm.bf16");
+  MG_METRIC_TIME_SCOPE("gemm.seconds");
+  MG_METRIC_COUNT("gemm.calls", 1);
+  MG_METRIC_COUNT("gemm.flops", 2 * m * n * k);
+
+  const GemmKernels& kern = ActiveGemmKernels();
+
+  if (m == 1) {
+    const int64_t grain =
+        std::max<int64_t>(kNR, kMinFlopsPerChunk / std::max<int64_t>(1, k));
+    ParallelFor(0, n, grain, [&](int64_t j0, int64_t j1) {
+      ScratchScope chunk_scope;
+      float* acc = chunk_scope.AllocFloats(static_cast<size_t>(j1 - j0));
+      kern.gemv_row_axpy_bf16(j0, j1, k, a, b, ldb, c, acc);
     });
+    return;
+  }
+
+  // Streaming rows path: full 16-column panels widen bf16 on load in
+  // place; only a ragged n % kNR edge panel is pre-widened (scalar, exact)
+  // and zero-padded here, so tier TUs never duplicate the pack logic.
+  ScratchScope scope;
+  float* b_edge = nullptr;
+  const int64_t num_full_panels = n / kNR;
+  const int64_t edge_cols = n - num_full_panels * kNR;
+  if (edge_cols > 0) {
+    b_edge = scope.AllocFloats(static_cast<size_t>(k) * kNR);
+    const int64_t j0 = num_full_panels * kNR;
+    for (int64_t p = 0; p < k; ++p) {
+      const uint16_t* src = b + p * ldb + j0;
+      float* row = b_edge + p * kNR;
+      for (int64_t j = 0; j < edge_cols; ++j) row[j] = F32FromBf16(src[j]);
+      for (int64_t j = edge_cols; j < kNR; ++j) row[j] = 0.0f;
+    }
+  }
+  const int64_t grain =
+      std::max<int64_t>(1, kMinFlopsPerChunk / std::max<int64_t>(1, n * k));
+  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    kern.gemm_rows_bf16(i0, i1, n, k, a, lda, b, ldb, b_edge, c, ldc);
   });
 }
 

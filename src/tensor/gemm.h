@@ -15,6 +15,16 @@ void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, int64_t lda, const float* b,
           int64_t ldb, float beta, float* c, int64_t ldc);
 
+/// C = A · B with B stored as bf16 (bit pattern of the high 16 bits of an
+/// f32), no transposes, alpha = 1, beta = 0. B's values are widened to f32
+/// on load (exact) and all accumulation is f32, so the only precision loss
+/// is B's storage rounding. Per-element accumulation chains match across
+/// the m == 1 and m >= 2 paths, preserving batched ≡ single-row serving
+/// (docs/SERVING.md "Reduced precision"). Serving-only: the training path
+/// never calls this.
+void GemmBf16B(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+               const uint16_t* b, int64_t ldb, float* c, int64_t ldc);
+
 /// Cache-blocking factors of the Gemm macro-kernel (docs/SIMD.md): the k
 /// dimension is split into ~kc-deep slices whose partial products are
 /// accumulated into C in slice order, mc rows of A are packed per block,

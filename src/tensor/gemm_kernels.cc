@@ -1,0 +1,36 @@
+#include "tensor/gemm_kernels.h"
+
+#include "base/check.h"
+
+namespace mocograd {
+
+const GemmKernels* GemmKernelsForTier(simd::IsaTier tier) {
+  switch (tier) {
+    case simd::IsaTier::kAvx512:
+      return GetGemmKernelsAvx512();
+    case simd::IsaTier::kAvx2:
+      return GetGemmKernelsAvx2();
+    case simd::IsaTier::kNeon:
+      return GetGemmKernelsNeon();
+    case simd::IsaTier::kSse:
+      return GetGemmKernelsSse();
+    case simd::IsaTier::kScalar:
+      return GetGemmKernelsScalar();
+  }
+  return nullptr;
+}
+
+const GemmKernels& ActiveGemmKernels() {
+  // Walk down from the active tier; the scalar floor always exists. The
+  // active tier is clamped to availability at set time, so the walk is a
+  // defensive no-op in practice.
+  for (int t = static_cast<int>(simd::ActiveTier()); t > 0; --t) {
+    const GemmKernels* k = GemmKernelsForTier(static_cast<simd::IsaTier>(t));
+    if (k != nullptr) return *k;
+  }
+  const GemmKernels* scalar = GetGemmKernelsScalar();
+  MG_CHECK(scalar != nullptr, "scalar kernel tier missing");
+  return *scalar;
+}
+
+}  // namespace mocograd

@@ -1,0 +1,136 @@
+#ifndef MOCOGRAD_TENSOR_GEMM_KERNELS_H_
+#define MOCOGRAD_TENSOR_GEMM_KERNELS_H_
+
+// Per-tier function table behind the Gemm front-end (tensor/gemm.cc) —
+// the GEMM side of the runtime ISA dispatch (docs/SIMD.md "Runtime
+// dispatch"; base/vec_kernels.h is the elementwise side). Each entry is a
+// *chunk-level* kernel: the front-end owns every orchestration decision —
+// path selection, grain sizes, ParallelFor partitioning, ScratchScope
+// allocation, B packing — and hands each chunk (plus any scratch it needs)
+// to the table. Tier TUs therefore never touch the thread pool or the
+// scratch arenas, which keeps the per-TU ISA flags from leaking inline
+// copies of shared infrastructure into baseline callers.
+//
+// Bit-determinism: every tier implements the identical per-element
+// accumulation chains (ascending-k fused multiply-adds, the fixed
+// lane-combine of DotF32), so the tier choice — like the ParallelFor
+// partition — can never change results. The AVX-512 tier's 16-column-wide
+// microkernel variant computes lane j exactly as lane j%8 of the 8-lane
+// pair it replaces.
+//
+// The bf16 entries serve the reduced-precision serving path
+// (docs/SERVING.md "Reduced precision"): B is stored as bf16 and widened
+// to f32 *on load* (exact), all accumulation stays f32, alpha = 1 and
+// beta = 0 are implied.
+
+#include <cstdint>
+
+#include "base/simd.h"
+
+namespace mocograd {
+
+// Register-blocked microkernel tile: 6 C rows × 16 C columns (two 8-lane
+// vectors), i.e. 12 vector accumulators plus two B vectors and one
+// broadcast A value in flight — 15 of the 16 architectural vector
+// registers of the 8-lane tiers (the AVX-512 tier fuses each row's pair
+// into one 16-lane register).
+inline constexpr int64_t kMR = 6;
+inline constexpr int64_t kNR = 16;
+
+// With at most this many rank-1 terms, the packing and tile machinery
+// costs more than it saves; the rank-update path streams op(B) rows in
+// place instead.
+inline constexpr int64_t kRankUpdateMaxK = 6;
+
+struct GemmKernels {
+  const char* name;  // tier name, equals simd::TierName of the source tier
+
+  // Streaming full-k path: rows [i0, i1) of C, panels outermost. Full
+  // panels of a non-transposed B read in place via b_inplace (stride ldb)
+  // when non-null and jp < num_full_panels; other panels come from
+  // b_packed (k×kNR each, zero-padded; index 0 holds the ragged edge when
+  // b_inplace is set, panel jp otherwise).
+  void (*gemm_rows)(int64_t i0, int64_t i1, int64_t n, int64_t k,
+                    float alpha, const float* a, int64_t lda,
+                    const float* b_inplace, int64_t ldb,
+                    const float* b_packed, int64_t num_full_panels,
+                    float beta, float* c, int64_t ldc);
+
+  // Blocked macro-kernel path: rows [i0, i1) of C for one ~kc-deep k-slice
+  // against the slice's packed B panels. a_buf is caller scratch of
+  // mc_block*kc floats for the microkernel-order op(A) packs; mc_block /
+  // nc_block are the GemmBlockSizes factors.
+  void (*blocked_slice_rows)(int64_t i0, int64_t i1, int64_t n, int64_t kc,
+                             float alpha, const float* a, int64_t lda,
+                             bool trans_a, int64_t p0, const float* b_slice,
+                             float beta, float* c, int64_t ldc,
+                             int64_t mc_block, int64_t nc_block,
+                             bool accumulate, float* a_buf);
+
+  // m == 1, op(B) = B: columns [j0, j1) of the C row via ascending-p axpy
+  // accumulation. acc is caller scratch of j1-j0 floats.
+  void (*gemv_row_axpy)(int64_t j0, int64_t j1, int64_t k, float alpha,
+                        const float* a, int64_t a_stride, const float* b,
+                        int64_t ldb, float beta, float* c, float* acc);
+
+  // m == 1, op(B) = Bᵀ: columns [j0, j1) of the C row as dot products
+  // (a_vec contiguous).
+  void (*gemv_row_dot)(int64_t j0, int64_t j1, int64_t k, float alpha,
+                       const float* a_vec, const float* b, int64_t ldb,
+                       float beta, float* c);
+
+  // n == 1, op(A) = A: rows [i0, i1) of the C column as dot products
+  // (b_vec contiguous).
+  void (*gemv_col_dot)(int64_t i0, int64_t i1, int64_t k, float alpha,
+                       const float* a, int64_t lda, const float* b_vec,
+                       float beta, float* c, int64_t ldc);
+
+  // n == 1, op(A) = Aᵀ: rows [i0, i1) of the C column via axpy
+  // accumulation over A's stored rows. acc is caller scratch of i1-i0
+  // floats.
+  void (*gemv_col_axpy)(int64_t i0, int64_t i1, int64_t k, float alpha,
+                        const float* a, int64_t lda, const float* b,
+                        int64_t b_stride, float beta, float* c, int64_t ldc,
+                        float* acc);
+
+  // k <= kRankUpdateMaxK, op(B) = B: rows [i0, i1) of C as short
+  // broadcast-FMA chains over in-place B rows.
+  void (*rank_update_rows)(int64_t i0, int64_t i1, int64_t n, int64_t k,
+                           float alpha, const float* a, int64_t lda,
+                           bool trans_a, const float* b, int64_t ldb,
+                           float beta, float* c, int64_t ldc);
+
+  // bf16-B variants (alpha = 1, beta = 0 implied; a stays f32). Same
+  // per-element ascending-k chains as the f32 kernels, with B widened on
+  // load — m == 1 and m >= 2 paths agree per element, preserving
+  // batched ≡ single-row serving.
+  void (*gemv_row_axpy_bf16)(int64_t j0, int64_t j1, int64_t k,
+                             const float* a, const uint16_t* b, int64_t ldb,
+                             float* c, float* acc);
+  // Full 16-column panels read in place from the bf16 B (stride ldb); the
+  // ragged n % kNR edge panel, if any, is pre-widened by the front-end
+  // into b_edge_packed (k×kNR f32, zero-padded).
+  void (*gemm_rows_bf16)(int64_t i0, int64_t i1, int64_t n, int64_t k,
+                         const float* a, int64_t lda, const uint16_t* b,
+                         int64_t ldb, const float* b_edge_packed, float* c,
+                         int64_t ldc);
+};
+
+// Per-tier tables, defined in tensor/gemm_kernels_tier_*.cc; nullptr when
+// the tier is not compiled in. The scalar table always exists.
+const GemmKernels* GetGemmKernelsScalar();
+const GemmKernels* GetGemmKernelsSse();
+const GemmKernels* GetGemmKernelsAvx2();
+const GemmKernels* GetGemmKernelsAvx512();
+const GemmKernels* GetGemmKernelsNeon();
+
+/// Table for `tier`, or nullptr when that tier was not compiled in.
+const GemmKernels* GemmKernelsForTier(simd::IsaTier tier);
+
+/// Table for simd::ActiveTier(), walking down to the nearest available
+/// tier (defensively — the active tier is already clamped to availability).
+const GemmKernels& ActiveGemmKernels();
+
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_TENSOR_GEMM_KERNELS_H_

@@ -1,0 +1,630 @@
+#ifndef MOCOGRAD_TENSOR_GEMM_KERNELS_IMPL_H_
+#define MOCOGRAD_TENSOR_GEMM_KERNELS_IMPL_H_
+
+// Chunk-level GEMM kernel bodies behind the GemmKernels table
+// (tensor/gemm_kernels.h), templated on a base/simd.h backend tag.
+// Included ONLY by the per-tier TUs (tensor/gemm_kernels_tier_*.cc).
+//
+// Everything lives in an unnamed namespace on purpose: the tier TUs are
+// compiled with per-file ISA flags, and internal linkage guarantees each
+// TU keeps its own copies — the linker can never substitute a copy built
+// with wider ISA flags into a baseline caller. For the same reason nothing
+// here may call ParallelFor or open a ScratchScope; the front-end
+// (tensor/gemm.cc) owns orchestration and passes chunks and scratch in.
+//
+// Determinism invariants (docs/SIMD.md): each C element's value depends
+// only on its row/column and the fixed (kc, nc, panel) decomposition —
+// never on the row grouping (kMR tiles), the chunk partition, or the
+// backend. The wide (16-lane) microkernel variants compute lane j exactly
+// as lane j%8 of the 8-lane pair they replace, so they are bit-identical
+// too. Any edit must keep every tier bit-identical
+// (tests/integration/simd_determinism_test.cc).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "base/bf16.h"
+#include "base/simd.h"
+#include "tensor/gemm_kernels.h"
+
+namespace mocograd {
+namespace {
+
+// MG_HOT_PATH — per-step steady state; no allocation, no container growth
+// (docs/CORRECTNESS.md).
+
+// Detects a backend exposing a 16-lane F32Wide type (the AVX-512 tier).
+template <typename B, typename = void>
+struct HasWideF32 : std::false_type {};
+template <typename B>
+struct HasWideF32<B, std::void_t<typename B::F32Wide>> : std::true_type {};
+
+// One 16-column panel of op(B): `data` points at row p=0, rows are
+// `stride` floats apart. Full panels of a non-transposed B are read in
+// place (stride = ldb) on the small-m path; transposed, blocked-path, and
+// edge panels are packed to stride = kNR with zero padding past the
+// matrix edge.
+struct PanelView {
+  const float* data;
+  int64_t stride;
+};
+
+// A bf16-storage panel, widened to f32 on load (exact).
+struct Bf16PanelView {
+  const uint16_t* data;
+  int64_t stride;
+};
+
+// op(A) as the microkernel reads it: element (r, p) at
+// data[r * row_stride + p * p_stride]. In-place rows use {a + i*lda, lda,
+// 1}; packed microkernel-order blocks use {block, 1, mr} (each k step's mr
+// row values contiguous — one stream instead of mr strided ones).
+struct AView {
+  const float* data;
+  int64_t row_stride;
+  int64_t p_stride;
+};
+
+// Rows in the next microkernel tile when `left` rows remain. Full kMR
+// tiles, except a trailing remainder of kMR + 2 rows splits 4 + 4 rather
+// than 6 + 2: a 2-row tile issues only a third of the FMAs of a 6-row one
+// per B load, so the balanced split keeps e.g. m == 32 (the im2col conv
+// shape) at full port utilization. Tiling never affects results — each C
+// row's arithmetic is independent of how rows are grouped.
+int64_t NextMr(int64_t left) {
+  if (left == kMR + 2) return 4;
+  return std::min<int64_t>(kMR, left);
+}
+
+// Packs rows [i0, i0+rows) × k-slice [p0, p0+kc) of op(A) into dst in
+// microkernel order: NextMr-row sub-blocks, each stored p-major with its
+// mr row values contiguous per k step (sub-block element (r, p) at
+// [p * mr + r]). Pure copies — layout never affects results.
+void PackABlock(const float* a, int64_t lda, bool trans_a, int64_t i0,
+                int64_t rows, int64_t p0, int64_t kc, float* dst) {
+  for (int64_t ir = 0; ir < rows;) {
+    const int64_t mr = NextMr(rows - ir);
+    float* blk = dst + ir * kc;
+    if (trans_a) {
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * lda + i0 + ir;
+        float* out = blk + p * mr;
+        for (int64_t r = 0; r < mr; ++r) out[r] = src[r];
+      }
+    } else {
+      for (int64_t r = 0; r < mr; ++r) {
+        const float* src = a + (i0 + ir + r) * lda + p0;
+        for (int64_t p = 0; p < kc; ++p) blk[p * mr + r] = src[p];
+      }
+    }
+    ir += mr;
+  }
+}
+
+// Accumulates the MR×kNR tile Σ_p a[r][p] · b[p][j] into `tile`. Per-row
+// arithmetic is one fused multiply-add per (p, lane) in ascending p order,
+// independent of MR — grouping rows into blocks (or splitting them across
+// chunks) never changes a row's result. The Panel type supplies the B row
+// loads: f32 in place/packed, or bf16 widened on load.
+template <typename B, int MR>
+void MicroKernel(int64_t k, AView a, PanelView b, float* tile) {
+  using F32 = typename B::F32;
+  F32 acc[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0] = F32::Zero();
+    acc[r][1] = F32::Zero();
+  }
+  const float* bp = b.data;
+  const float* ap = a.data;
+  for (int64_t p = 0; p < k; ++p, bp += b.stride, ap += a.p_stride) {
+    const F32 b0 = F32::Load(bp);
+    const F32 b1 = F32::Load(bp + 8);
+    for (int r = 0; r < MR; ++r) {
+      const F32 av = F32::Broadcast(ap[r * a.row_stride]);
+      acc[r][0] = MulAdd(av, b0, acc[r][0]);
+      acc[r][1] = MulAdd(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0].Store(tile + r * kNR);
+    acc[r][1].Store(tile + r * kNR + 8);
+  }
+}
+
+template <typename B, int MR>
+void MicroKernelBf16(int64_t k, AView a, Bf16PanelView b, float* tile) {
+  using F32 = typename B::F32;
+  F32 acc[MR][2];
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0] = F32::Zero();
+    acc[r][1] = F32::Zero();
+  }
+  const uint16_t* bp = b.data;
+  const float* ap = a.data;
+  for (int64_t p = 0; p < k; ++p, bp += b.stride, ap += a.p_stride) {
+    const F32 b0 = F32::LoadBf16(bp);
+    const F32 b1 = F32::LoadBf16(bp + 8);
+    for (int r = 0; r < MR; ++r) {
+      const F32 av = F32::Broadcast(ap[r * a.row_stride]);
+      acc[r][0] = MulAdd(av, b0, acc[r][0]);
+      acc[r][1] = MulAdd(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    acc[r][0].Store(tile + r * kNR);
+    acc[r][1].Store(tile + r * kNR + 8);
+  }
+}
+
+// 16-lane variants (AVX-512 tier): one register per tile row instead of a
+// pair. Lane j runs the identical ascending-p FMA chain as lane j%8 of the
+// 8-lane pair — bit-identical by construction. Panel rows are kNR
+// contiguous floats in both the in-place and packed layouts, so one wide
+// load replaces the b0/b1 pair.
+template <typename B, int MR>
+void MicroKernelWide(int64_t k, AView a, PanelView b, float* tile) {
+  using W = typename B::F32Wide;
+  W acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = W::Zero();
+  const float* bp = b.data;
+  const float* ap = a.data;
+  for (int64_t p = 0; p < k; ++p, bp += b.stride, ap += a.p_stride) {
+    const W bw = W::Load(bp);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] = MulAdd(W::Broadcast(ap[r * a.row_stride]), bw, acc[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) acc[r].Store(tile + r * kNR);
+}
+
+template <typename B, int MR>
+void MicroKernelWideBf16(int64_t k, AView a, Bf16PanelView b, float* tile) {
+  using W = typename B::F32Wide;
+  W acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = W::Zero();
+  const uint16_t* bp = b.data;
+  const float* ap = a.data;
+  for (int64_t p = 0; p < k; ++p, bp += b.stride, ap += a.p_stride) {
+    const W bw = W::LoadBf16(bp);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] = MulAdd(W::Broadcast(ap[r * a.row_stride]), bw, acc[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) acc[r].Store(tile + r * kNR);
+}
+
+// Cache-prefetch hint; architecturally a no-op, so it can never affect
+// results.
+inline void PrefetchLine(const float* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+template <typename B>
+void RunMicroKernel(int64_t mr, int64_t k, AView a, PanelView b,
+                    float* tile) {
+  if constexpr (HasWideF32<B>::value) {
+    switch (mr) {
+      case 1: MicroKernelWide<B, 1>(k, a, b, tile); break;
+      case 2: MicroKernelWide<B, 2>(k, a, b, tile); break;
+      case 3: MicroKernelWide<B, 3>(k, a, b, tile); break;
+      case 4: MicroKernelWide<B, 4>(k, a, b, tile); break;
+      case 5: MicroKernelWide<B, 5>(k, a, b, tile); break;
+      default: MicroKernelWide<B, 6>(k, a, b, tile); break;
+    }
+  } else {
+    switch (mr) {
+      case 1: MicroKernel<B, 1>(k, a, b, tile); break;
+      case 2: MicroKernel<B, 2>(k, a, b, tile); break;
+      case 3: MicroKernel<B, 3>(k, a, b, tile); break;
+      case 4: MicroKernel<B, 4>(k, a, b, tile); break;
+      case 5: MicroKernel<B, 5>(k, a, b, tile); break;
+      default: MicroKernel<B, 6>(k, a, b, tile); break;
+    }
+  }
+}
+
+template <typename B>
+void RunMicroKernelBf16(int64_t mr, int64_t k, AView a, Bf16PanelView b,
+                        float* tile) {
+  if constexpr (HasWideF32<B>::value) {
+    switch (mr) {
+      case 1: MicroKernelWideBf16<B, 1>(k, a, b, tile); break;
+      case 2: MicroKernelWideBf16<B, 2>(k, a, b, tile); break;
+      case 3: MicroKernelWideBf16<B, 3>(k, a, b, tile); break;
+      case 4: MicroKernelWideBf16<B, 4>(k, a, b, tile); break;
+      case 5: MicroKernelWideBf16<B, 5>(k, a, b, tile); break;
+      default: MicroKernelWideBf16<B, 6>(k, a, b, tile); break;
+    }
+  } else {
+    switch (mr) {
+      case 1: MicroKernelBf16<B, 1>(k, a, b, tile); break;
+      case 2: MicroKernelBf16<B, 2>(k, a, b, tile); break;
+      case 3: MicroKernelBf16<B, 3>(k, a, b, tile); break;
+      case 4: MicroKernelBf16<B, 4>(k, a, b, tile); break;
+      case 5: MicroKernelBf16<B, 5>(k, a, b, tile); break;
+      default: MicroKernelBf16<B, 6>(k, a, b, tile); break;
+    }
+  }
+}
+
+// Applies an mr×nr tile to C at `c` (row stride ldc). Three modes, each
+// with one fused or exactly-rounded operation per element, mirrored
+// exactly by the scalar tail so every backend and the vector/tail split
+// agree bit for bit:
+//   - first k-slice, beta == 0:  C = alpha·tile (C never read — stale
+//     NaN/Inf cannot leak through, BLAS semantics);
+//   - first k-slice, beta != 0:  C = fma(beta, C, alpha·tile);
+//   - accumulate (later slices): C = fma(alpha, tile, C).
+template <typename B>
+void StoreTile(const float* tile, float* c, int64_t ldc, int64_t mr,
+               int64_t nr, float alpha, float beta, bool accumulate) {
+  using F32 = typename B::F32;
+  const F32 valpha = F32::Broadcast(alpha);
+  const F32 vbeta = F32::Broadcast(beta);
+  for (int64_t r = 0; r < mr; ++r) {
+    float* c_row = c + r * ldc;
+    const float* t_row = tile + r * kNR;
+    if (nr == kNR) {
+      const F32 t0 = F32::Load(t_row);
+      const F32 t1 = F32::Load(t_row + 8);
+      if (accumulate) {
+        MulAdd(valpha, t0, F32::Load(c_row)).Store(c_row);
+        MulAdd(valpha, t1, F32::Load(c_row + 8)).Store(c_row + 8);
+      } else if (beta == 0.0f) {
+        (valpha * t0).Store(c_row);
+        (valpha * t1).Store(c_row + 8);
+      } else {
+        MulAdd(vbeta, F32::Load(c_row), valpha * t0).Store(c_row);
+        MulAdd(vbeta, F32::Load(c_row + 8), valpha * t1).Store(c_row + 8);
+      }
+    } else if (accumulate) {
+      for (int64_t j = 0; j < nr; ++j) {
+        c_row[j] = simd::MulAdd(alpha, t_row[j], c_row[j]);
+      }
+    } else if (beta == 0.0f) {
+      for (int64_t j = 0; j < nr; ++j) c_row[j] = alpha * t_row[j];
+    } else {
+      for (int64_t j = 0; j < nr; ++j) {
+        c_row[j] = simd::MulAdd(beta, c_row[j], alpha * t_row[j]);
+      }
+    }
+  }
+}
+
+// Streaming full-k path: rows [i0, i1) of C, panels outermost so a panel
+// stays hot across every row tile of the chunk, A read in place.
+template <typename B>
+void GemmRowsT(int64_t i0, int64_t i1, int64_t n, int64_t k, float alpha,
+               const float* a, int64_t lda, const float* b_inplace,
+               int64_t ldb, const float* b_packed, int64_t num_full_panels,
+               float beta, float* c, int64_t ldc) {
+  alignas(64) float tile[kMR * kNR];
+  const int64_t num_panels = (n + kNR - 1) / kNR;
+  for (int64_t jp = 0; jp < num_panels; ++jp) {
+    const int64_t j0 = jp * kNR;
+    const int64_t nr = std::min<int64_t>(kNR, n - j0);
+    PanelView panel;
+    if (b_inplace != nullptr && jp < num_full_panels) {
+      panel = {b_inplace + j0, ldb};
+    } else {
+      // Packed panels: when B was packed panel-major all panels live in
+      // b_packed; otherwise only the ragged edge panel does (index 0).
+      const int64_t idx = b_inplace != nullptr ? 0 : jp;
+      panel = {b_packed + idx * k * kNR, kNR};
+    }
+    for (int64_t i = i0; i < i1;) {
+      const int64_t mr = NextMr(i1 - i);
+      RunMicroKernel<B>(mr, k, AView{a + i * lda, lda, 1}, panel, tile);
+      StoreTile<B>(tile, c + i * ldc + j0, ldc, mr, nr, alpha, beta,
+                   /*accumulate=*/false);
+      i += mr;
+    }
+  }
+}
+
+// Streaming path over bf16 B (alpha = 1, beta = 0): full panels widen on
+// load in place; the ragged edge panel arrives pre-widened and packed.
+// Per-element chains match GemvRowAxpyBf16T exactly, so m == 1 and m >= 2
+// serving paths agree bit for bit.
+template <typename B>
+void GemmRowsBf16T(int64_t i0, int64_t i1, int64_t n, int64_t k,
+                   const float* a, int64_t lda, const uint16_t* b,
+                   int64_t ldb, const float* b_edge_packed, float* c,
+                   int64_t ldc) {
+  alignas(64) float tile[kMR * kNR];
+  const int64_t num_panels = (n + kNR - 1) / kNR;
+  const int64_t num_full_panels = n / kNR;
+  for (int64_t jp = 0; jp < num_panels; ++jp) {
+    const int64_t j0 = jp * kNR;
+    const int64_t nr = std::min<int64_t>(kNR, n - j0);
+    if (jp < num_full_panels) {
+      const Bf16PanelView panel{b + j0, ldb};
+      for (int64_t i = i0; i < i1;) {
+        const int64_t mr = NextMr(i1 - i);
+        RunMicroKernelBf16<B>(mr, k, AView{a + i * lda, lda, 1}, panel,
+                              tile);
+        StoreTile<B>(tile, c + i * ldc + j0, ldc, mr, nr, 1.0f, 0.0f,
+                     /*accumulate=*/false);
+        i += mr;
+      }
+    } else {
+      const PanelView panel{b_edge_packed, kNR};
+      for (int64_t i = i0; i < i1;) {
+        const int64_t mr = NextMr(i1 - i);
+        RunMicroKernel<B>(mr, k, AView{a + i * lda, lda, 1}, panel, tile);
+        StoreTile<B>(tile, c + i * ldc + j0, ldc, mr, nr, 1.0f, 0.0f,
+                     /*accumulate=*/false);
+        i += mr;
+      }
+    }
+  }
+}
+
+// Blocked macro-kernel path: rows [i0, i1) of C for one ~kc-deep k-slice
+// against the slice's freshly packed B panels. Loop order per chunk: mc
+// row blocks, each mc×kc piece of op(A) packed exactly once into the
+// caller-provided a_buf → nc-wide column groups → 16-column panels →
+// microkernel row tiles. Accumulation order is fixed by the k-slice
+// boundaries alone (k and kc), so every element's value is independent of
+// the row partition and of mc/nc.
+template <typename B>
+void BlockedSliceRowsT(int64_t i0, int64_t i1, int64_t n, int64_t kc,
+                       float alpha, const float* a, int64_t lda,
+                       bool trans_a, int64_t p0, const float* b_slice,
+                       float beta, float* c, int64_t ldc, int64_t mc_block,
+                       int64_t nc_block, bool accumulate, float* a_buf) {
+  alignas(64) float tile[kMR * kNR];
+  const int64_t num_panels = (n + kNR - 1) / kNR;
+  for (int64_t ic = i0; ic < i1; ic += mc_block) {
+    const int64_t mc = std::min(mc_block, i1 - ic);
+    PackABlock(a, lda, trans_a, ic, mc, p0, kc, a_buf);
+    // Spread prefetches of the next panel's slice across this panel's
+    // tiles, so its first tile finds the slice already in L1. Without the
+    // hint, that first tile streams its ~kc cache lines at L2 latency —
+    // a fixed per-panel cost that only m/kMR tiles amortize, which is
+    // exactly what held the m = 32 im2col shape ~15% under the larger-m
+    // shapes.
+    const int64_t tiles = (mc + kMR - 1) / kMR;
+    const int64_t pf_per_tile = (kc + tiles - 1) / tiles;
+    for (int64_t jc = 0; jc < n; jc += nc_block) {
+      const int64_t jc_end = std::min(n, jc + nc_block);
+      for (int64_t j0 = jc; j0 < jc_end; j0 += kNR) {
+        const int64_t jp = j0 / kNR;
+        const int64_t nr = std::min<int64_t>(kNR, n - j0);
+        const PanelView panel{b_slice + jp * kc * kNR, kNR};
+        // Each packed panel row is kNR floats — exactly one cache line.
+        const float* next_panel =
+            jp + 1 < num_panels ? b_slice + (jp + 1) * kc * kNR : nullptr;
+        int64_t pf_line = 0;
+        for (int64_t ir = 0; ir < mc;) {
+          const int64_t mr = NextMr(mc - ir);
+          RunMicroKernel<B>(mr, kc, AView{a_buf + ir * kc, 1, mr}, panel,
+                            tile);
+          StoreTile<B>(tile, c + (ic + ir) * ldc + j0, ldc, mr, nr, alpha,
+                       beta, accumulate);
+          if (next_panel != nullptr) {
+            const int64_t end = std::min(kc, pf_line + pf_per_tile);
+            for (; pf_line < end; ++pf_line) {
+              PrefetchLine(next_panel + pf_line * kNR);
+            }
+          }
+          ir += mr;
+        }
+      }
+    }
+  }
+}
+
+// Lane-blocked f32 dot product: 8-lane fused multiply-adds over the body,
+// the 8 lane partials combined left to right, then the <8 tail folded in
+// with scalar fma — the same fixed tree on every backend.
+template <typename B>
+float DotF32(const float* x, const float* y, int64_t k) {
+  using F32 = typename B::F32;
+  F32 acc = F32::Zero();
+  int64_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    acc = MulAdd(F32::Load(x + p), F32::Load(y + p), acc);
+  }
+  alignas(32) float lane[8];
+  acc.Store(lane);
+  float s = lane[0];
+  for (int i = 1; i < 8; ++i) s += lane[i];
+  for (; p < k; ++p) s = simd::MulAdd(x[p], y[p], s);
+  return s;
+}
+
+// out[j] = alpha·acc[j] + beta·out[j] write-out shared by the axpy-style
+// GEMV kernels; vector body and scalar tail perform the same per-element
+// arithmetic.
+template <typename B>
+void StoreRow(const float* acc, float* out, int64_t len, float alpha,
+              float beta) {
+  using F32 = typename B::F32;
+  const F32 valpha = F32::Broadcast(alpha);
+  const F32 vbeta = F32::Broadcast(beta);
+  int64_t j = 0;
+  if (beta == 0.0f) {
+    for (; j + 8 <= len; j += 8) {
+      (valpha * F32::Load(acc + j)).Store(out + j);
+    }
+    for (; j < len; ++j) out[j] = alpha * acc[j];
+  } else {
+    for (; j + 8 <= len; j += 8) {
+      MulAdd(vbeta, F32::Load(out + j), valpha * F32::Load(acc + j))
+          .Store(out + j);
+    }
+    for (; j < len; ++j) out[j] = simd::MulAdd(beta, out[j], alpha * acc[j]);
+  }
+}
+
+// m == 1, op(B) = B: columns [j0, j1) of the C row via axpy accumulation —
+// ascending-p fused multiply-adds of op(A)[p] · B row p into the
+// caller-provided accumulator, streaming B's rows contiguously.
+template <typename B>
+void GemvRowAxpyT(int64_t j0, int64_t j1, int64_t k, float alpha,
+                  const float* a, int64_t a_stride, const float* b,
+                  int64_t ldb, float beta, float* c, float* acc) {
+  using F32 = typename B::F32;
+  const int64_t len = j1 - j0;
+  std::memset(acc, 0, static_cast<size_t>(len) * sizeof(float));
+  for (int64_t p = 0; p < k; ++p) {
+    const float av = a[p * a_stride];
+    const F32 vav = F32::Broadcast(av);
+    const float* brow = b + p * ldb + j0;
+    int64_t j = 0;
+    for (; j + 8 <= len; j += 8) {
+      MulAdd(vav, F32::Load(brow + j), F32::Load(acc + j)).Store(acc + j);
+    }
+    for (; j < len; ++j) acc[j] = simd::MulAdd(av, brow[j], acc[j]);
+  }
+  StoreRow<B>(acc, c + j0, len, alpha, beta);
+}
+
+// bf16-B variant of GemvRowAxpyT (alpha = 1, beta = 0, a contiguous): the
+// identical ascending-p chain with B widened on load.
+template <typename B>
+void GemvRowAxpyBf16T(int64_t j0, int64_t j1, int64_t k, const float* a,
+                      const uint16_t* b, int64_t ldb, float* c, float* acc) {
+  using F32 = typename B::F32;
+  const int64_t len = j1 - j0;
+  std::memset(acc, 0, static_cast<size_t>(len) * sizeof(float));
+  for (int64_t p = 0; p < k; ++p) {
+    const float av = a[p];
+    const F32 vav = F32::Broadcast(av);
+    const uint16_t* brow = b + p * ldb + j0;
+    int64_t j = 0;
+    for (; j + 8 <= len; j += 8) {
+      MulAdd(vav, F32::LoadBf16(brow + j), F32::Load(acc + j))
+          .Store(acc + j);
+    }
+    for (; j < len; ++j) {
+      acc[j] = simd::MulAdd(av, F32FromBf16(brow[j]), acc[j]);
+    }
+  }
+  StoreRow<B>(acc, c + j0, len, 1.0f, 0.0f);
+}
+
+// m == 1, op(B) = Bᵀ: columns [j0, j1) of the C row as dot products
+// between the op(A) row and B's stored rows (both contiguous).
+template <typename B>
+void GemvRowDotT(int64_t j0, int64_t j1, int64_t k, float alpha,
+                 const float* a_vec, const float* b, int64_t ldb, float beta,
+                 float* c) {
+  for (int64_t j = j0; j < j1; ++j) {
+    const float dot = DotF32<B>(a_vec, b + j * ldb, k);
+    c[j] = beta == 0.0f ? alpha * dot : simd::MulAdd(beta, c[j], alpha * dot);
+  }
+}
+
+// n == 1, op(A) = A: rows [i0, i1) of the C column as dot products between
+// A's stored rows and the (packed-contiguous) op(B) column.
+template <typename B>
+void GemvColDotT(int64_t i0, int64_t i1, int64_t k, float alpha,
+                 const float* a, int64_t lda, const float* b_vec, float beta,
+                 float* c, int64_t ldc) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float dot = DotF32<B>(a + i * lda, b_vec, k);
+    float* out = c + i * ldc;
+    *out = beta == 0.0f ? alpha * dot : simd::MulAdd(beta, *out, alpha * dot);
+  }
+}
+
+// n == 1, op(A) = Aᵀ: rows [i0, i1) of the C column via axpy accumulation
+// over A's stored rows (contiguous spans) into the caller-provided
+// accumulator; the strided C column is written scalar with the same
+// per-element arithmetic as StoreRow's tail.
+template <typename B>
+void GemvColAxpyT(int64_t i0, int64_t i1, int64_t k, float alpha,
+                  const float* a, int64_t lda, const float* b,
+                  int64_t b_stride, float beta, float* c, int64_t ldc,
+                  float* acc) {
+  using F32 = typename B::F32;
+  const int64_t len = i1 - i0;
+  std::memset(acc, 0, static_cast<size_t>(len) * sizeof(float));
+  for (int64_t p = 0; p < k; ++p) {
+    const float bv = b[p * b_stride];
+    const F32 vbv = F32::Broadcast(bv);
+    const float* arow = a + p * lda + i0;
+    int64_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      MulAdd(vbv, F32::Load(arow + i), F32::Load(acc + i)).Store(acc + i);
+    }
+    for (; i < len; ++i) acc[i] = simd::MulAdd(bv, arow[i], acc[i]);
+  }
+  for (int64_t i = 0; i < len; ++i) {
+    float* out = c + (i0 + i) * ldc;
+    *out = beta == 0.0f ? alpha * acc[i]
+                        : simd::MulAdd(beta, *out, alpha * acc[i]);
+  }
+}
+
+// k <= kRankUpdateMaxK, op(B) = B: per C row, an ascending-p chain of at
+// most kRankUpdateMaxK broadcast-FMAs over in-place B rows — identical
+// per-element arithmetic to the microkernel, minus every packing and tile
+// cost the tiny k could never repay.
+template <typename B>
+void RankUpdateRowsT(int64_t i0, int64_t i1, int64_t n, int64_t k,
+                     float alpha, const float* a, int64_t lda, bool trans_a,
+                     const float* b, int64_t ldb, float beta, float* c,
+                     int64_t ldc) {
+  using F32 = typename B::F32;
+  const F32 valpha = F32::Broadcast(alpha);
+  const F32 vbeta = F32::Broadcast(beta);
+  float av[kRankUpdateMaxK];
+  for (int64_t i = i0; i < i1; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      av[p] = trans_a ? a[p * lda + i] : a[i * lda + p];
+    }
+    float* c_row = c + i * ldc;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      F32 acc = F32::Zero();
+      for (int64_t p = 0; p < k; ++p) {
+        acc = MulAdd(F32::Broadcast(av[p]), F32::Load(b + p * ldb + j), acc);
+      }
+      if (beta == 0.0f) {
+        (valpha * acc).Store(c_row + j);
+      } else {
+        MulAdd(vbeta, F32::Load(c_row + j), valpha * acc).Store(c_row + j);
+      }
+    }
+    for (; j < n; ++j) {
+      float s = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        s = simd::MulAdd(av[p], b[p * ldb + j], s);
+      }
+      c_row[j] = beta == 0.0f ? alpha * s
+                              : simd::MulAdd(beta, c_row[j], alpha * s);
+    }
+  }
+}
+
+// MG_HOT_PATH_END
+
+template <typename B>
+GemmKernels MakeGemmKernels() {
+  GemmKernels k;
+  k.name = B::kName;
+  k.gemm_rows = &GemmRowsT<B>;
+  k.blocked_slice_rows = &BlockedSliceRowsT<B>;
+  k.gemv_row_axpy = &GemvRowAxpyT<B>;
+  k.gemv_row_dot = &GemvRowDotT<B>;
+  k.gemv_col_dot = &GemvColDotT<B>;
+  k.gemv_col_axpy = &GemvColAxpyT<B>;
+  k.rank_update_rows = &RankUpdateRowsT<B>;
+  k.gemv_row_axpy_bf16 = &GemvRowAxpyBf16T<B>;
+  k.gemm_rows_bf16 = &GemmRowsBf16T<B>;
+  return k;
+}
+
+}  // namespace
+}  // namespace mocograd
+
+#endif  // MOCOGRAD_TENSOR_GEMM_KERNELS_IMPL_H_

@@ -1,0 +1,22 @@
+// AVX2+FMA GEMM kernel tier, compiled with -mavx2 -mfma
+// (src/CMakeLists.txt per-file flags). The workhorse tier on most x86-64
+// hardware: 8-lane hardware-FMA microkernel.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_AVX2)
+#include "tensor/gemm_kernels_impl.h"
+#endif
+
+namespace mocograd {
+
+#if defined(MOCOGRAD_SIMD_AVX2)
+const GemmKernels* GetGemmKernelsAvx2() {
+  static const GemmKernels kTable = MakeGemmKernels<simd::Avx2Backend>();
+  return &kTable;
+}
+#else
+const GemmKernels* GetGemmKernelsAvx2() { return nullptr; }
+#endif
+
+}  // namespace mocograd

@@ -1,0 +1,24 @@
+// AVX-512 GEMM kernel tier, compiled with -mavx512{f,vl,dq,bw} -mavx2
+// -mfma (src/CMakeLists.txt per-file flags). Avx512Backend::F32Wide fuses
+// each microkernel row's 8-lane pair into one 16-lane register (half the
+// FMA issue count per tile); lane j computes exactly lane j%8 of the pair,
+// so results stay bit-identical to every other tier.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_AVX512)
+#include "tensor/gemm_kernels_impl.h"
+#endif
+
+namespace mocograd {
+
+#if defined(MOCOGRAD_SIMD_AVX512)
+const GemmKernels* GetGemmKernelsAvx512() {
+  static const GemmKernels kTable = MakeGemmKernels<simd::Avx512Backend>();
+  return &kTable;
+}
+#else
+const GemmKernels* GetGemmKernelsAvx512() { return nullptr; }
+#endif
+
+}  // namespace mocograd

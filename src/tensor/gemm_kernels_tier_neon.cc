@@ -1,0 +1,22 @@
+// NEON GEMM kernel tier: compiled on aarch64 where NEON is baseline (no
+// extra flags). vfmaq_f32 is a true fused multiply-add, bit-identical to
+// the x86 FMA and scalar libm-fma tiers.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_NEON)
+#include "tensor/gemm_kernels_impl.h"
+#endif
+
+namespace mocograd {
+
+#if defined(MOCOGRAD_SIMD_NEON)
+const GemmKernels* GetGemmKernelsNeon() {
+  static const GemmKernels kTable = MakeGemmKernels<simd::NeonBackend>();
+  return &kTable;
+}
+#else
+const GemmKernels* GetGemmKernelsNeon() { return nullptr; }
+#endif
+
+}  // namespace mocograd

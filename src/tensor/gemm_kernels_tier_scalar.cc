@@ -1,0 +1,16 @@
+// Scalar GEMM kernel tier: always compiled, no ISA flags — the portable
+// floor of the runtime dispatch and the bit-exactness reference for every
+// vector tier (scalar MulAdd is a correctly-rounded libm fma, matching
+// hardware FMA lanes exactly).
+
+#include "tensor/gemm_kernels.h"
+#include "tensor/gemm_kernels_impl.h"
+
+namespace mocograd {
+
+const GemmKernels* GetGemmKernelsScalar() {
+  static const GemmKernels kTable = MakeGemmKernels<simd::ScalarBackend>();
+  return &kTable;
+}
+
+}  // namespace mocograd

@@ -1,0 +1,23 @@
+// SSE2 GEMM kernel tier: compiled whenever the x86-64 baseline provides
+// SSE2 (no extra flags needed). MulAdd is per-lane libm fma — slower than
+// hardware FMA but bit-identical, which is what makes this a usable
+// compatibility tier on pre-AVX2 machines.
+
+#include "tensor/gemm_kernels.h"
+
+#if defined(MOCOGRAD_SIMD_SSE)
+#include "tensor/gemm_kernels_impl.h"
+#endif
+
+namespace mocograd {
+
+#if defined(MOCOGRAD_SIMD_SSE)
+const GemmKernels* GetGemmKernelsSse() {
+  static const GemmKernels kTable = MakeGemmKernels<simd::SseBackend>();
+  return &kTable;
+}
+#else
+const GemmKernels* GetGemmKernelsSse() { return nullptr; }
+#endif
+
+}  // namespace mocograd

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <type_traits>
 
 #include "base/simd.h"
 #include "base/thread_pool.h"
@@ -42,55 +41,17 @@ double BlockedReduce(int64_t n, BlockFn block_fn) {
   return s;
 }
 
-// Materializes a scalar constant as the operand type a generic elementwise
-// functor was instantiated with: the float itself on the tail, an 8-lane
-// broadcast on the vector path.
-template <typename V>
-V Splat(float v) {
-  if constexpr (std::is_same_v<V, float>) {
-    return v;
-  } else {
-    return V::Broadcast(v);
-  }
-}
-
-// Applies `fn` — a generic functor accepting both float and simd 8-lane
-// operands (built from the exactly-rounded ops in base/simd.h) — to the
-// span [i0, i1). Main loop runs 8 lanes at a time with a scalar tail doing
-// the identical per-element arithmetic, so results are bit-identical across
-// SIMD backends; per-element results don't depend on lane grouping, so
-// chunk boundaries are bit-identical too.
-template <typename Fn>
-void EwBinarySpan(const float* pa, const float* pb, float* po, int64_t i0,
-                  int64_t i1, Fn fn) {
-  simd::Dispatch([&](auto backend) {
-    using F32 = typename decltype(backend)::F32;
-    int64_t i = i0;
-    for (; i + 8 <= i1; i += 8) {
-      fn(F32::Load(pa + i), F32::Load(pb + i)).Store(po + i);
-    }
-    for (; i < i1; ++i) po[i] = fn(pa[i], pb[i]);
-  });
-}
-
-template <typename Fn>
-void EwUnarySpan(const float* pa, float* po, int64_t i0, int64_t i1, Fn fn) {
-  simd::Dispatch([&](auto backend) {
-    using F32 = typename decltype(backend)::F32;
-    int64_t i = i0;
-    for (; i + 8 <= i1; i += 8) fn(F32::Load(pa + i)).Store(po + i);
-    for (; i < i1; ++i) po[i] = fn(pa[i]);
-  });
-}
-
-// Applies `fn` elementwise over the broadcast of a and b. Shapes are padded
+// Applies one elementwise op over the broadcast of a and b. `span_fn(n,
+// pa, pb, po)` is the op's vectorized span kernel (a vec::Ew* front-end
+// routed through the per-tier table — 8-lane blocks with a scalar tail
+// doing the identical per-element arithmetic); `fn(x, y)` is the same op
+// on one float pair, used by the strided broadcast walk. Shapes are padded
 // to a common rank; strides of broadcast (size-1) axes are zero. Every
-// output element is written independently, so flat-index ranges parallelize
-// with bit-identical results. `fn` is generic over float and F32x8 operands:
-// the identical-shape fast path runs it 8 lanes at a time, the broadcast
-// walk elementwise.
-template <typename Fn>
-Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
+// output element is written independently, so flat-index ranges
+// parallelize with bit-identical results.
+template <typename SpanFn, typename Fn>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, SpanFn span_fn,
+                       Fn fn) {
   MG_CHECK(a.defined() && b.defined());
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
   Tensor out(out_shape);
@@ -102,7 +63,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     float* po = out.data();
     const int64_t n = out.NumElements();
     ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-      EwBinarySpan(pa, pb, po, i0, i1, fn);
+      span_fn(i1 - i0, pa + i0, pb + i0, po + i0);
     });
     return out;
   }
@@ -154,17 +115,17 @@ Tensor Unary(const Tensor& a, Fn fn) {
   return out;
 }
 
-// Vectorized Unary for ops expressible in the simd.h vocabulary; `fn` is
-// generic over float and F32x8 (transcendental ops stay on scalar Unary).
-template <typename Fn>
-Tensor UnaryV(const Tensor& a, Fn fn) {
+// Vectorized Unary for ops with a vec::Ew* span kernel; `span_fn(n, pa,
+// po)` processes one chunk (transcendental ops stay on scalar Unary).
+template <typename SpanFn>
+Tensor UnaryV(const Tensor& a, SpanFn span_fn) {
   MG_CHECK(a.defined());
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.NumElements();
   ParallelFor(0, n, kElemGrain, [&](int64_t i0, int64_t i1) {
-    EwUnarySpan(pa, po, i0, i1, fn);
+    span_fn(i1 - i0, pa + i0, po + i0);
   });
   return out;
 }
@@ -172,45 +133,51 @@ Tensor UnaryV(const Tensor& a, Fn fn) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](auto x, auto y) { return x + y; });
+  return BroadcastBinary(a, b, vec::EwAdd,
+                         [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](auto x, auto y) { return x - y; });
+  return BroadcastBinary(a, b, vec::EwSub,
+                         [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](auto x, auto y) { return x * y; });
+  return BroadcastBinary(a, b, vec::EwMul,
+                         [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](auto x, auto y) { return x / y; });
+  return BroadcastBinary(a, b, vec::EwDiv,
+                         [](float x, float y) { return x / y; });
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
   // simd::Max(y, x) ≡ std::max(x, y) lane-for-lane, NaN handling included
   // (the second operand — x — wins on unordered comparisons).
-  return BroadcastBinary(a, b, [](auto x, auto y) { return simd::Max(y, x); });
+  return BroadcastBinary(a, b, vec::EwMaximum, [](float x, float y) {
+    return simd::Max(y, x);
+  });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryV(a, [s](auto x) { return x + Splat<decltype(x)>(s); });
+  return UnaryV(a, [s](int64_t n, const float* pa, float* po) {
+    vec::EwAddScalar(n, pa, s, po);
+  });
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryV(a, [s](auto x) { return x * Splat<decltype(x)>(s); });
+  return UnaryV(a, [s](int64_t n, const float* pa, float* po) {
+    vec::EwMulScalar(n, pa, s, po);
+  });
 }
 Tensor PowScalar(const Tensor& a, float exponent) {
   return Unary(a, [exponent](float x) { return std::pow(x, exponent); });
 }
 
-Tensor Neg(const Tensor& a) {
-  return UnaryV(a, [](auto x) { return simd::Neg(x); });
-}
+Tensor Neg(const Tensor& a) { return UnaryV(a, vec::EwNeg); }
 Tensor Exp(const Tensor& a) {
   return Unary(a, [](float x) { return std::exp(x); });
 }
 Tensor Log(const Tensor& a) {
   return Unary(a, [](float x) { return std::log(x); });
 }
-Tensor Sqrt(const Tensor& a) {
-  return UnaryV(a, [](auto x) { return simd::Sqrt(x); });
-}
+Tensor Sqrt(const Tensor& a) { return UnaryV(a, vec::EwSqrt); }
 Tensor Tanh(const Tensor& a) {
   return Unary(a, [](float x) { return std::tanh(x); });
 }
@@ -218,23 +185,19 @@ Tensor Sigmoid(const Tensor& a) {
   return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 Tensor Relu(const Tensor& a) {
-  // simd::Max(x, 0) = (x > 0) ? x : 0 — NaN inputs map to 0, exactly the
+  // Max(x, 0) = (x > 0) ? x : 0 — NaN inputs map to 0, exactly the
   // behavior of the previous scalar ternary.
-  return UnaryV(
-      a, [](auto x) { return simd::Max(x, Splat<decltype(x)>(0.0f)); });
+  return UnaryV(a, vec::EwRelu);
 }
-Tensor Abs(const Tensor& a) {
-  return UnaryV(a, [](auto x) { return simd::Abs(x); });
-}
+Tensor Abs(const Tensor& a) { return UnaryV(a, vec::EwAbs); }
 Tensor Sign(const Tensor& a) {
   return Unary(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   // Min(Max(x, lo), hi) matches std::min(hi, std::max(lo, x)) lane-for-lane
   // (NaN x clamps to lo on both).
-  return UnaryV(a, [lo, hi](auto x) {
-    using V = decltype(x);
-    return simd::Min(simd::Max(x, Splat<V>(lo)), Splat<V>(hi));
+  return UnaryV(a, [lo, hi](int64_t n, const float* pa, float* po) {
+    vec::EwClamp(n, pa, lo, hi, po);
   });
 }
 

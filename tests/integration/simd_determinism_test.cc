@@ -1,11 +1,12 @@
-// The SIMD layer's core guarantee (docs/SIMD.md): the hardware backend and
-// the lane-blocked scalar fallback produce bit-identical results — for
-// every kernel, at every pool size. Combined with the thread-determinism
-// contract this means a training run's bits depend on neither
-// MOCOGRAD_SIMD nor MOCOGRAD_NUM_THREADS.
+// The SIMD layer's core guarantee (docs/SIMD.md): every runtime-dispatch
+// kernel tier — scalar, SSE, NEON, AVX2, AVX-512 — produces bit-identical
+// results, for every kernel, at every pool size. Combined with the
+// thread-determinism contract this means a training run's bits depend on
+// none of MOCOGRAD_SIMD, MOCOGRAD_SIMD_ISA, or MOCOGRAD_NUM_THREADS.
 //
 // On builds without a hardware backend (MOCOGRAD_ENABLE_SIMD=OFF or an ISA
-// without one) SetEnabled is a no-op and the comparisons trivially hold.
+// without one) SetEnabled is a no-op, only the scalar tier exists, and the
+// comparisons trivially hold.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/bf16.h"
 #include "base/rng.h"
 #include "base/simd.h"
 #include "base/thread_pool.h"
@@ -38,6 +40,21 @@ using data::TaskKind;
 // (simd enabled, pool size) grid; the (true, 1) cell is the reference.
 const std::pair<bool, int> kConfigs[] = {
     {true, 1}, {true, 2}, {true, 8}, {false, 1}, {false, 2}, {false, 8}};
+
+// Every tier this host can actually run (SetTier clamps unavailable
+// requests down, so requesting each tier and keeping the exact grants
+// enumerates the usable set — always at least {scalar}).
+std::vector<simd::IsaTier> AvailableTiers() {
+  std::vector<simd::IsaTier> tiers;
+  for (simd::IsaTier t :
+       {simd::IsaTier::kScalar, simd::IsaTier::kSse, simd::IsaTier::kNeon,
+        simd::IsaTier::kAvx2, simd::IsaTier::kAvx512}) {
+    simd::SetTier(t);
+    if (simd::ActiveTier() == t) tiers.push_back(t);
+  }
+  simd::SetEnabled(true);
+  return tiers;
+}
 
 bool BitIdentical(const Tensor& a, const Tensor& b) {
   return a.NumElements() == b.NumElements() &&
@@ -294,6 +311,98 @@ TEST_F(SimdDeterminismTest, TrainerStepsBitIdenticalAcrossBackendsAndPools) {
     EXPECT_TRUE(BitIdentical(losses0, losses))
         << "losses differ (simd=" << enabled << ", threads=" << threads
         << ")";
+  }
+}
+
+// The per-tier battery: every tier the host can run — not just the
+// enabled/disabled pair above — produces bit-identical GEMM (all shape
+// paths), bf16 GEMM, elementwise, reduction, and optimizer results at
+// several pool sizes. This is the cross-tier half of the runtime-dispatch
+// contract; run_tests.sh additionally re-runs whole suites under
+// MOCOGRAD_SIMD_ISA=scalar / sse to pin the startup-selection half.
+TEST_F(SimdDeterminismTest, AllTiersBitIdentical) {
+  Rng rng(314);
+  const int64_t m = 37, n = 51, k = 129;  // streaming path, ragged panels
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor c0 = Tensor::Randn({m, n}, rng);
+  const int64_t bm = 33, bn = 300;  // blocked path (m >= 16, n >= 256)
+  Tensor ba = Tensor::Randn({bm, k}, rng);
+  Tensor bb = Tensor::Randn({k, bn}, rng);
+  Tensor ew = Tensor::Randn({10007}, rng);
+  std::vector<uint16_t> b16(static_cast<size_t>(k) * n);
+  for (size_t i = 0; i < b16.size(); ++i) b16[i] = Bf16FromF32(bb.data()[i]);
+
+  const std::vector<simd::IsaTier> tiers = AvailableTiers();
+  ASSERT_FALSE(tiers.empty());
+
+  Tensor ref_c, ref_blk, ref_relu, ref_opt;
+  std::vector<float> ref_bf16, ref_bf16_row;
+  float ref_sum = 0.0f;
+  bool have_ref = false;
+  for (simd::IsaTier tier : tiers) {
+    for (int threads : {1, 4}) {
+      simd::SetTier(tier);
+      ASSERT_EQ(simd::ActiveTier(), tier);
+      ThreadPool::SetGlobalNumThreads(threads);
+
+      Tensor c = c0.Clone();
+      Gemm(false, false, m, n, k, 1.3f, a.data(), k, b.data(), n, 0.7f,
+           c.data(), n);
+      Tensor blk = Tensor::Zeros({bm, bn});
+      Gemm(false, false, bm, bn, k, 1.0f, ba.data(), k, bb.data(), bn, 0.0f,
+           blk.data(), bn);
+      std::vector<float> cbf(static_cast<size_t>(m) * n);
+      GemmBf16B(m, n, k, a.data(), k, b16.data(), n, cbf.data(), n);
+      std::vector<float> cbf_row(static_cast<size_t>(n));
+      GemmBf16B(1, n, k, a.data(), k, b16.data(), n, cbf_row.data(), n);
+      Tensor relu = tops::Relu(ew);
+      const float sum = tops::SumAll(ew);
+      Rng wrng(5), grng(6);
+      Variable w(Tensor::Randn({13, 7}, wrng), /*requires_grad=*/true);
+      optim::Adam opt({&w}, 1e-2f);
+      w.mutable_grad().CopyFrom(Tensor::Randn({13, 7}, grng));
+      opt.Step();
+
+      if (!have_ref) {
+        have_ref = true;
+        ref_c = c;
+        ref_blk = blk;
+        ref_bf16 = cbf;
+        ref_bf16_row = cbf_row;
+        ref_relu = relu;
+        ref_sum = sum;
+        ref_opt = w.value().Clone();
+        // The bf16 batched rows and the m == 1 row agree per element
+        // (batch-invariant serving).
+        for (int64_t j = 0; j < n; ++j) {
+          ASSERT_EQ(cbf[static_cast<size_t>(j)], cbf_row[j]) << j;
+        }
+      } else {
+        const char* name = simd::TierName(tier);
+        EXPECT_TRUE(BitIdentical(ref_c, c))
+            << "Gemm differs (tier=" << name << ", threads=" << threads
+            << ")";
+        EXPECT_TRUE(BitIdentical(ref_blk, blk))
+            << "blocked Gemm differs (tier=" << name
+            << ", threads=" << threads << ")";
+        EXPECT_TRUE(BitIdentical(ref_bf16, cbf))
+            << "GemmBf16B differs (tier=" << name << ", threads=" << threads
+            << ")";
+        EXPECT_TRUE(BitIdentical(ref_bf16_row, cbf_row))
+            << "GemmBf16B m=1 differs (tier=" << name
+            << ", threads=" << threads << ")";
+        EXPECT_TRUE(BitIdentical(ref_relu, relu))
+            << "Relu differs (tier=" << name << ", threads=" << threads
+            << ")";
+        EXPECT_EQ(std::memcmp(&sum, &ref_sum, sizeof(float)), 0)
+            << "SumAll differs (tier=" << name << ", threads=" << threads
+            << ")";
+        EXPECT_TRUE(BitIdentical(ref_opt, w.value()))
+            << "Adam differs (tier=" << name << ", threads=" << threads
+            << ")";
+      }
+    }
   }
 }
 

@@ -1,0 +1,225 @@
+// Reduced-precision (bf16) serving (docs/SERVING.md "Reduced precision"):
+// a kBf16 ServeModel stores weights as bf16 and widens on load. Contracts
+// under test: (1) accuracy — outputs stay within a small relative bound of
+// the fp32 serve outputs on every plan family (the only loss is each
+// weight's one-time storage rounding); (2) batch invariance — a bf16
+// batched forward reproduces independent single-row forwards bitwise,
+// exactly like fp32 serving; (3) precision selection — the
+// MOCOGRAD_SERVE_PRECISION knob and the explicit argument agree, and
+// checkpoint loading honors the precision.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mtl/cgc.h"
+#include "mtl/hps.h"
+#include "mtl/mmoe.h"
+#include "nn/serialize.h"
+#include "serve/engine.h"
+#include "serve/plan.h"
+
+namespace mocograd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Serving shapes with a deliberately ragged task head (17 = one full
+// 16-column panel plus an edge) so the bf16 GEMM exercises both the
+// in-place widening panels and the pre-widened edge panel.
+mtl::HpsConfig HpsShape() {
+  mtl::HpsConfig cfg;
+  cfg.input_dim = 10;
+  cfg.shared_dims = {64, 32};
+  cfg.task_output_dims = {1, 17};
+  return cfg;
+}
+
+mtl::MmoeConfig MmoeShape() {
+  mtl::MmoeConfig cfg;
+  cfg.input_dim = 10;
+  cfg.num_experts = 6;
+  cfg.expert_dims = {64, 32};
+  cfg.task_output_dims = {1, 17};
+  return cfg;
+}
+
+mtl::CgcConfig CgcShape() {
+  mtl::CgcConfig cfg;
+  cfg.input_dim = 10;
+  cfg.num_shared_experts = 3;
+  cfg.num_task_experts = 1;
+  cfg.expert_dims = {64, 32};
+  cfg.task_output_dims = {1, 17};
+  return cfg;
+}
+
+void RunForward(const serve::ServeModel& sm, const std::vector<float>& x,
+                int64_t rows, std::vector<std::vector<float>>* out) {
+  serve::InferenceSession session(sm);
+  out->resize(sm.num_tasks());
+  std::vector<float*> out_ptrs;
+  for (int k = 0; k < sm.num_tasks(); ++k) {
+    (*out)[k].assign(static_cast<size_t>(rows * sm.task_output_dim(k)),
+                     0.0f);
+    out_ptrs.push_back((*out)[k].data());
+  }
+  session.Forward(x.data(), rows, out_ptrs.data());
+}
+
+// bf16 outputs within a small relative envelope of fp32 outputs. Weight
+// storage rounding is <= 2^-8 relative per weight; through two hidden
+// layers the compounded deviation stays well under 5% for these shapes.
+void ExpectBf16CloseToFp32(const serve::ServePlan& plan, nn::Module& model) {
+  auto fp32 = serve::ServeModel::FromModule(plan, model,
+                                            serve::ServePrecision::kFp32);
+  auto bf16 = serve::ServeModel::FromModule(plan, model,
+                                            serve::ServePrecision::kBf16);
+  ASSERT_TRUE(fp32.ok()) << fp32.status().ToString();
+  ASSERT_TRUE(bf16.ok()) << bf16.status().ToString();
+  EXPECT_EQ(fp32.value().precision(), serve::ServePrecision::kFp32);
+  EXPECT_EQ(bf16.value().precision(), serve::ServePrecision::kBf16);
+
+  constexpr int64_t kRows = 8;
+  Rng rng(0xb5e77);
+  std::vector<float> x(kRows * fp32.value().input_dim());
+  for (float& v : x) v = rng.Uniform(-2.0f, 2.0f);
+
+  std::vector<std::vector<float>> want, got;
+  RunForward(fp32.value(), x, kRows, &want);
+  RunForward(bf16.value(), x, kRows, &got);
+
+  double max_abs_err = 0.0;
+  for (int k = 0; k < fp32.value().num_tasks(); ++k) {
+    ASSERT_EQ(want[k].size(), got[k].size());
+    for (size_t i = 0; i < want[k].size(); ++i) {
+      ASSERT_TRUE(std::isfinite(got[k][i]))
+          << "task " << k << " element " << i;
+      const double bound =
+          0.05 * std::max(1.0, std::fabs(static_cast<double>(want[k][i])));
+      EXPECT_NEAR(want[k][i], got[k][i], bound)
+          << "task " << k << " element " << i;
+      max_abs_err = std::max(
+          max_abs_err, std::fabs(static_cast<double>(want[k][i]) - got[k][i]));
+    }
+  }
+  // The rounding must actually be exercised: identical outputs would mean
+  // the bf16 path silently served fp32 weights.
+  EXPECT_GT(max_abs_err, 0.0);
+}
+
+// bf16 batched forward == independent bf16 single-row forwards, bitwise.
+void ExpectBf16RowInvariant(const serve::ServeModel& sm, int64_t rows) {
+  serve::InferenceSession session(sm);
+  Rng rng(0x5eed + rows);
+  std::vector<float> x(rows * sm.input_dim());
+  for (float& v : x) v = rng.Uniform(-2.0f, 2.0f);
+
+  std::vector<std::vector<float>> batched(sm.num_tasks()),
+      single(sm.num_tasks());
+  std::vector<float*> out_ptrs(sm.num_tasks());
+  for (int k = 0; k < sm.num_tasks(); ++k) {
+    batched[k].resize(rows * sm.task_output_dim(k));
+    single[k].resize(batched[k].size());
+    out_ptrs[k] = batched[k].data();
+  }
+  session.Forward(x.data(), rows, out_ptrs.data());
+
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int k = 0; k < sm.num_tasks(); ++k) {
+      out_ptrs[k] = single[k].data() + r * sm.task_output_dim(k);
+    }
+    session.Forward(x.data() + r * sm.input_dim(), 1, out_ptrs.data());
+  }
+  for (int k = 0; k < sm.num_tasks(); ++k) {
+    for (size_t i = 0; i < batched[k].size(); ++i) {
+      EXPECT_EQ(batched[k][i], single[k][i])
+          << "rows=" << rows << " task " << k << " element " << i;
+    }
+  }
+}
+
+TEST(ServeBf16Test, HpsWithinAccuracyBound) {
+  Rng rng(21);
+  mtl::HpsModel model(HpsShape(), rng);
+  ExpectBf16CloseToFp32(serve::BuildHpsPlan(HpsShape()), model);
+}
+
+TEST(ServeBf16Test, MmoeWithinAccuracyBound) {
+  Rng rng(22);
+  mtl::MmoeModel model(MmoeShape(), rng);
+  ExpectBf16CloseToFp32(serve::BuildMmoePlan(MmoeShape()), model);
+}
+
+TEST(ServeBf16Test, CgcWithinAccuracyBound) {
+  Rng rng(23);
+  mtl::CgcModel model(CgcShape(), rng);
+  ExpectBf16CloseToFp32(serve::BuildCgcPlan(CgcShape()), model);
+}
+
+TEST(ServeBf16Test, Bf16ServingIsRowInvariant) {
+  Rng rng(24);
+  mtl::MmoeModel model(MmoeShape(), rng);
+  auto sm = serve::ServeModel::FromModule(serve::BuildMmoePlan(MmoeShape()),
+                                          model,
+                                          serve::ServePrecision::kBf16);
+  ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+  for (int64_t rows : {2, 7, 32}) ExpectBf16RowInvariant(sm.value(), rows);
+}
+
+TEST(ServeBf16Test, CheckpointHonorsPrecision) {
+  Rng rng(25);
+  mtl::MmoeModel model(MmoeShape(), rng);
+  const std::string path = TempPath("serve_bf16_mmoe.ckpt");
+  ASSERT_TRUE(nn::SaveParameters(model, path).ok());
+  const serve::ServePlan plan = serve::BuildMmoePlan(MmoeShape());
+
+  auto from_module = serve::ServeModel::FromModule(
+      plan, model, serve::ServePrecision::kBf16);
+  auto from_ckpt = serve::ServeModel::FromCheckpoint(
+      plan, path, serve::ServePrecision::kBf16);
+  ASSERT_TRUE(from_module.ok()) << from_module.status().ToString();
+  ASSERT_TRUE(from_ckpt.ok()) << from_ckpt.status().ToString();
+  EXPECT_EQ(from_ckpt.value().precision(), serve::ServePrecision::kBf16);
+
+  constexpr int64_t kRows = 4;
+  Rng xrng(26);
+  std::vector<float> x(kRows * plan.input_dim);
+  for (float& v : x) v = xrng.Uniform(-2.0f, 2.0f);
+  std::vector<std::vector<float>> a, b;
+  RunForward(from_module.value(), x, kRows, &a);
+  RunForward(from_ckpt.value(), x, kRows, &b);
+  for (int k = 0; k < plan.num_tasks(); ++k) {
+    for (size_t i = 0; i < a[k].size(); ++i) {
+      EXPECT_EQ(a[k][i], b[k][i]) << "task " << k << " element " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeBf16Test, DefaultPrecisionFollowsEnvKnob) {
+  // DefaultServePrecision re-reads the knob on each call (no caching), so
+  // the test can flip it in-process.
+  ASSERT_EQ(::setenv("MOCOGRAD_SERVE_PRECISION", "bf16", 1), 0);
+  EXPECT_EQ(serve::DefaultServePrecision(), serve::ServePrecision::kBf16);
+  ASSERT_EQ(::setenv("MOCOGRAD_SERVE_PRECISION", "fp32", 1), 0);
+  EXPECT_EQ(serve::DefaultServePrecision(), serve::ServePrecision::kFp32);
+  // Unknown values fall back silently (base/env.h contract).
+  ASSERT_EQ(::setenv("MOCOGRAD_SERVE_PRECISION", "int8", 1), 0);
+  EXPECT_EQ(serve::DefaultServePrecision(), serve::ServePrecision::kFp32);
+  ASSERT_EQ(::unsetenv("MOCOGRAD_SERVE_PRECISION"), 0);
+  EXPECT_EQ(serve::DefaultServePrecision(), serve::ServePrecision::kFp32);
+  EXPECT_STREQ(serve::ServePrecisionName(serve::ServePrecision::kBf16),
+               "bf16");
+  EXPECT_STREQ(serve::ServePrecisionName(serve::ServePrecision::kFp32),
+               "fp32");
+}
+
+}  // namespace
+}  // namespace mocograd

@@ -238,6 +238,54 @@ TEST_F(MgLintTest, DocumentedEnvKnobPasses) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST_F(MgLintTest, FlagsUndocumentedIsaAndPrecisionKnobs) {
+  // The PR-9 knobs ride the same registry rule: parsing
+  // MOCOGRAD_SIMD_ISA / MOCOGRAD_SERVE_PRECISION without README rows
+  // must fail, naming each knob.
+  WriteFile(root_ / "src" / "base" / "bad.cc",
+            "#include \"base/env.h\"\n"
+            "std::string T() {\n"
+            "  return mocograd::GetEnvString(\"MOCOGRAD_SIMD_ISA\", "
+            "\"auto\");\n"
+            "}\n");
+  WriteFile(root_ / "src" / "serve" / "bad2.cc",
+            "#include \"base/env.h\"\n"
+            "std::string P() {\n"
+            "  return mocograd::GetEnvString(\"MOCOGRAD_SERVE_PRECISION\", "
+            "\"fp32\");\n"
+            "}\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[env-registry]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("MOCOGRAD_SIMD_ISA"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("MOCOGRAD_SERVE_PRECISION"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(MgLintTest, DocumentedIsaAndPrecisionKnobsPass) {
+  WriteFile(root_ / "README.md",
+            "Runtime knobs:\n"
+            "- `MOCOGRAD_SIMD_ISA=auto|avx512|avx2|sse|scalar` caps the "
+            "dispatch tier\n"
+            "- `MOCOGRAD_SERVE_PRECISION=fp32|bf16` selects serving weight "
+            "storage\n");
+  WriteFile(root_ / "src" / "base" / "fine.cc",
+            "#include \"base/env.h\"\n"
+            "std::string T() {\n"
+            "  return mocograd::GetEnvString(\"MOCOGRAD_SIMD_ISA\", "
+            "\"auto\");\n"
+            "}\n");
+  WriteFile(root_ / "src" / "serve" / "fine2.cc",
+            "#include \"base/env.h\"\n"
+            "std::string P() {\n"
+            "  return mocograd::GetEnvString(\"MOCOGRAD_SERVE_PRECISION\", "
+            "\"fp32\");\n"
+            "}\n");
+  const LintResult r = RunLint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 TEST_F(MgLintTest, AllowAnnotationOnLineSuppresses) {
   WriteFile(root_ / "src" / "core" / "fine.cc",
             "int Noise() { return rand(); }  // mg_lint:allow(nondeterminism)"

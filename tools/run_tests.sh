@@ -18,6 +18,12 @@
 #                      (docs/SERVING.md)
 #   ctest-simd-off     full suite with the hardware SIMD backend disabled
 #                      (docs/SIMD.md)
+#   ctest-isa-scalar   full suite with the runtime ISA dispatch capped at
+#                      the scalar tier (MOCOGRAD_SIMD_ISA=scalar) — one
+#                      binary carries every tier and each must reproduce
+#                      the same bits (docs/SIMD.md "Runtime dispatch")
+#   ctest-isa-sse      same cap at the SSE tier (the x86-64 baseline
+#                      vector path; falls back to scalar elsewhere)
 #   ctest-gemm-block   full suite under deliberately tiny, ragged GEMM
 #                      blocking, hardware and scalar backends — blocking is
 #                      a loop-order choice, never a results choice
@@ -142,6 +148,14 @@ pass_ctest_simd_off() {
   (cd "$build_dir" && MOCOGRAD_SIMD=0 ctest --output-on-failure -j)
 }
 
+pass_ctest_isa_scalar() {
+  (cd "$build_dir" && MOCOGRAD_SIMD_ISA=scalar ctest --output-on-failure -j)
+}
+
+pass_ctest_isa_sse() {
+  (cd "$build_dir" && MOCOGRAD_SIMD_ISA=sse ctest --output-on-failure -j)
+}
+
 pass_ctest_gemm_block() {
   (cd "$build_dir" &&
     MOCOGRAD_GEMM_BLOCK=10,24,32 ctest --output-on-failure -j) &&
@@ -225,6 +239,8 @@ run_pass ctest-threads-4 pass_ctest_threads_4
 run_pass obs-smoke pass_obs_smoke
 run_pass serve-smoke pass_serve_smoke
 run_pass ctest-simd-off pass_ctest_simd_off
+run_pass ctest-isa-scalar pass_ctest_isa_scalar
+run_pass ctest-isa-sse pass_ctest_isa_sse
 run_pass ctest-gemm-block pass_ctest_gemm_block
 run_pass ctest-autograd-seq pass_ctest_autograd_seq
 run_pass simd-diff pass_simd_diff

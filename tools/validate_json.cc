@@ -217,11 +217,18 @@ Status CheckServeNumber(const JsonValue& rec, const char* key, double lo,
 }
 
 // Checks a BENCH_serve.json document written by bench/bench_serve.cc
-// (docs/SERVING.md "The traffic harness"): a non-empty "results" array
-// whose rows carry identifying strings, positive finite throughput,
-// ordered finite latency percentiles, and a batcher occupancy in (0, 1].
+// (docs/SERVING.md "The traffic harness"): the active ISA tier, a
+// non-empty "results" array whose rows carry identifying strings, a
+// serving precision, positive finite throughput, ordered finite latency
+// percentiles, and a batcher occupancy in (0, 1], plus a non-empty
+// "precision_compare" array recording the fp32-vs-bf16 throughput and
+// output-error comparison (docs/SERVING.md "Reduced precision").
 Status CheckServeDocument(const JsonValue& doc) {
   if (!doc.is_object()) return BadServe("document must be an object");
+  const JsonValue* tier = doc.Find("isa_tier");
+  if (tier == nullptr || !tier->is_string() || tier->string_value.empty()) {
+    return BadServe("\"isa_tier\" must be a non-empty string");
+  }
   const JsonValue* results = doc.Find("results");
   if (results == nullptr || !results->is_array()) {
     return BadServe("\"results\" must be an array");
@@ -237,6 +244,12 @@ Status CheckServeDocument(const JsonValue& doc) {
         return BadServe(std::string("\"") + key +
                         "\" must be a non-empty string");
       }
+    }
+    const JsonValue* precision = rec.Find("precision");
+    if (precision == nullptr || !precision->is_string() ||
+        (precision->string_value != "fp32" &&
+         precision->string_value != "bf16")) {
+      return BadServe("\"precision\" must be \"fp32\" or \"bf16\"");
     }
     constexpr double kInf = std::numeric_limits<double>::max();
     Status s = CheckServeNumber(rec, "qps", 1e-9, kInf, false);
@@ -255,6 +268,40 @@ Status CheckServeDocument(const JsonValue& doc) {
     s = CheckServeNumber(rec, "requests", 1.0, kInf, true);
     if (!s.ok()) return s;
     s = CheckServeNumber(rec, "occupancy", 1e-9, 1.0, false);
+    if (!s.ok()) return s;
+  }
+
+  const JsonValue* cmp = doc.Find("precision_compare");
+  if (cmp == nullptr || !cmp->is_array()) {
+    return BadServe("\"precision_compare\" must be an array");
+  }
+  if (cmp->items.empty()) {
+    return BadServe("\"precision_compare\" must be non-empty");
+  }
+  for (const JsonValue& rec : cmp->items) {
+    if (!rec.is_object()) {
+      return BadServe("precision_compare entries must be objects");
+    }
+    for (const char* key : {"model", "dataset"}) {
+      const JsonValue* v = rec.Find(key);
+      if (v == nullptr || !v->is_string() || v->string_value.empty()) {
+        return BadServe(std::string("\"") + key +
+                        "\" must be a non-empty string");
+      }
+    }
+    constexpr double kInf = std::numeric_limits<double>::max();
+    for (const char* key : {"qps_fp32", "qps_bf16", "speedup_bf16"}) {
+      Status s = CheckServeNumber(rec, key, 1e-9, kInf, false);
+      if (!s.ok()) return s;
+    }
+    // The bf16 deviation is a few weight-rounding ulps through two small
+    // layers: zero means the bf16 path silently served fp32 weights, and
+    // anything near 1 means the storage rounding corrupted the model.
+    Status s = CheckServeNumber(rec, "max_abs_error",
+                                std::numeric_limits<double>::min(),
+                                0.999999, false);
+    if (!s.ok()) return s;
+    s = CheckServeNumber(rec, "requests", 1.0, kInf, true);
     if (!s.ok()) return s;
   }
   return Status::Ok();
