@@ -23,11 +23,9 @@
 #include "autograd/executor.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +34,7 @@
 
 #include "base/check.h"
 #include "base/env.h"
+#include "base/mutex.h"
 #include "base/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -68,7 +67,7 @@ std::atomic<int>& ExecutorSlot() {
 std::vector<Node*> TopoPostOrder(Node* root) {
   std::vector<Node*> order;
   // Membership test only; traversal order comes from the explicit stack and
-  // the `order` vector. mg_lint:allow(nondeterminism)
+  // the `order` vector. mg_analyze:allow(nondeterminism)
   std::unordered_set<Node*> visited;
   struct Frame {
     Node* node;
@@ -107,7 +106,7 @@ void AccumulateDestination(Node* n, const Tensor& g,
     // The entry exists: the sequential engine inserts it here, the
     // ready-queue engine pre-inserts every leaf entry on the calling thread
     // (so workers never mutate the map structure). Lookup-only access.
-    // mg_lint:allow(nondeterminism)
+    // mg_analyze:allow(nondeterminism)
     auto it = sink->find(n);
     MG_CHECK(it != sink->end(), "sink entry missing for leaf ", n->op);
     Tensor& slot = it->second;
@@ -148,7 +147,7 @@ void RunSequential(Node* root, const Tensor& seed,
     bool owned = false;
   };
   // Keyed lookup only; the sweep walks `order`, never this map, so hash
-  // order cannot affect accumulation order. mg_lint:allow(nondeterminism)
+  // order cannot affect accumulation order. mg_analyze:allow(nondeterminism)
   std::unordered_map<Node*, Acc> upstream;
   upstream.reserve(order.size());
   upstream[root] = Acc{seed.Clone(), /*owned=*/true};
@@ -163,7 +162,7 @@ void RunSequential(Node* root, const Tensor& seed,
     if (sink == nullptr || !n->grad_fn) {
       if (sink != nullptr) {
         // Match the ready-queue engine's pre-inserted entries (lookup-only
-        // from AccumulateDestination). mg_lint:allow(nondeterminism)
+        // from AccumulateDestination). mg_analyze:allow(nondeterminism)
         (void)(*sink)[n];
       }
       AccumulateDestination(n, g, sink);
@@ -235,15 +234,15 @@ struct GraphTask {
   // its shutdown: workers drain the queue before joining.
   ThreadPool* pool = nullptr;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<int32_t> ready;  // guarded by mu; pop order is free (LIFO)
-  int64_t remaining = 0;       // guarded by mu; nodes not yet completed
-  int executing = 0;           // guarded by mu; nodes currently running
-  int helpers_inflight = 0;    // guarded by mu
+  Mutex mu;
+  CondVar cv;
+  std::vector<int32_t> ready MG_GUARDED_BY(mu);  // pop order is free (LIFO)
+  int64_t remaining MG_GUARDED_BY(mu) = 0;    // nodes not yet completed
+  int executing MG_GUARDED_BY(mu) = 0;        // nodes currently running
+  int helpers_inflight MG_GUARDED_BY(mu) = 0;
   int max_helpers = 0;
-  bool canceled = false;            // guarded by mu
-  std::exception_ptr error;         // guarded by mu; first failure wins
+  bool canceled MG_GUARDED_BY(mu) = false;
+  std::exception_ptr error MG_GUARDED_BY(mu);  // first failure wins
   obs::Histogram* depth_hist = nullptr;
 };
 
@@ -254,7 +253,7 @@ std::shared_ptr<GraphTask> BuildGraphTask(Node* root, const Tensor& seed,
   const size_t n = order.size();
   gt->tasks.resize(n);
   // Node -> reverse-topological index. Keyed lookup only during the build;
-  // never iterated. mg_lint:allow(nondeterminism)
+  // never iterated. mg_analyze:allow(nondeterminism)
   std::unordered_map<const Node*, int32_t> index;
   index.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -298,16 +297,21 @@ std::shared_ptr<GraphTask> BuildGraphTask(Node* root, const Tensor& seed,
   gt->slots.resize(total_slots);
   gt->slots[gt->tasks[0].first_slot] = seed.Clone();
   gt->tasks[0].pending = 0;
-  gt->remaining = static_cast<int64_t>(n);
+  {
+    // No worker has seen `gt` yet; the lock only satisfies the guarded-field
+    // annotations (uncontended, build pass only).
+    MutexLock lk(&gt->mu);
+    gt->remaining = static_cast<int64_t>(n);
+    gt->ready.push_back(0);
+  }
   gt->sink = sink;
-  gt->ready.push_back(0);
   gt->pool = &ThreadPool::Global();
   gt->max_helpers = gt->pool->num_threads() - 1;
 
   // Pre-insert every leaf's sink entry on the calling thread: workers then
   // only find() existing keys and mutate their (distinct) mapped tensors,
   // never the map structure itself. Insertion order cannot matter — the map
-  // is lookup-only from here on. mg_lint:allow(nondeterminism)
+  // is lookup-only from here on. mg_analyze:allow(nondeterminism)
   if (sink != nullptr) {
     for (const NodeTask& t : gt->tasks) {
       if (!t.node->grad_fn) (void)(*sink)[t.node];
@@ -331,7 +335,7 @@ void HelperLoop(const std::shared_ptr<GraphTask>& gt);
 // Spawns up to `newly_ready` helpers (bounded by the pool size) to drain the
 // queue alongside the current thread. Called with gt->mu held; returns how
 // many Submit calls the caller must make after releasing the lock.
-int ReserveHelpers(GraphTask& gt, int newly_ready) {
+int ReserveHelpers(GraphTask& gt, int newly_ready) MG_REQUIRES(gt.mu) {
   int spawn = gt.max_helpers - gt.helpers_inflight;
   if (spawn > newly_ready) spawn = newly_ready;
   if (spawn < 0) spawn = 0;
@@ -388,7 +392,7 @@ void ProcessNode(const std::shared_ptr<GraphTask>& gt, int32_t ti) {
       }
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lk(g_task.mu);
+    MutexLock lk(&g_task.mu);
     if (!g_task.error) g_task.error = std::current_exception();
     g_task.canceled = true;
     g_task.ready.clear();
@@ -397,7 +401,7 @@ void ProcessNode(const std::shared_ptr<GraphTask>& gt, int32_t ti) {
   int spawn = 0;
   bool should_notify = false;
   {
-    std::lock_guard<std::mutex> lk(g_task.mu);
+    MutexLock lk(&g_task.mu);
     if (nd->grad_fn && !g_task.canceled) {
       for (const NodeTask::Edge& e : t.edges) {
         if (e.target < 0) continue;
@@ -420,7 +424,7 @@ void ProcessNode(const std::shared_ptr<GraphTask>& gt, int32_t ti) {
     should_notify = newly_ready > 0 || g_task.remaining == 0 ||
                     (g_task.canceled && g_task.executing == 0);
   }
-  if (should_notify) g_task.cv.notify_all();
+  if (should_notify) g_task.cv.NotifyAll();
   // Submit through the pinned pool, never ThreadPool::Global(): this runs on
   // worker threads, possibly as a straggler after the sweep's caller already
   // returned, and the global accessor's mutex is held across worker joins by
@@ -438,7 +442,7 @@ void HelperLoop(const std::shared_ptr<GraphTask>& gt) {
   for (;;) {
     int32_t ti;
     {
-      std::lock_guard<std::mutex> lk(gt->mu);
+      MutexLock lk(&gt->mu);
       if (gt->canceled || gt->ready.empty()) {
         --gt->helpers_inflight;
         return;
@@ -466,11 +470,11 @@ void RunReadyQueue(Node* root, const Tensor& seed,
   for (;;) {
     int32_t ti = -1;
     {
-      std::unique_lock<std::mutex> lk(gt->mu);
-      gt->cv.wait(lk, [&] {
-        return !gt->ready.empty() || gt->remaining == 0 ||
-               (gt->canceled && gt->executing == 0);
-      });
+      MutexLock lk(&gt->mu);
+      while (gt->ready.empty() && gt->remaining != 0 &&
+             !(gt->canceled && gt->executing == 0)) {
+        gt->cv.Wait(gt->mu);
+      }
       if (gt->remaining == 0 || gt->canceled) break;
       ti = gt->ready.back();
       gt->ready.pop_back();
@@ -484,7 +488,7 @@ void RunReadyQueue(Node* root, const Tensor& seed,
   // sink and the tape are fully written.
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lk(gt->mu);
+    MutexLock lk(&gt->mu);
     error = gt->error;
   }
   if (error) std::rethrow_exception(error);

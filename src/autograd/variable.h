@@ -73,7 +73,7 @@ class Variable {
   /// Gradient destination for BackwardInto: one accumulator per reached
   /// leaf, keyed by tape node. Lookup-only — consumers find() by node and
   /// never iterate, so the hash order cannot leak into results.
-  /// mg_lint:allow(nondeterminism)
+  /// mg_analyze:allow(nondeterminism)
   using GradSink = std::unordered_map<const Node*, Tensor>;
 
   /// Reverse-mode sweep like Backward(), but leaf gradients accumulate into

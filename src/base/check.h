@@ -91,4 +91,53 @@ std::string StrCatForCheck(const Args&... args) {
 #define MG_DCHECK_GE(a, b, ...) do { (void)sizeof((a) >= (b)); } while (0)
 #endif
 
+// ---------------------------------------------------------------------------
+// Thread-safety capability annotations (Clang -Wthread-safety).
+//
+// The fork–join contract (docs/ARCHITECTURE.md) and the lock discipline of
+// the concurrent components (thread pool, autograd executor, micro-batcher,
+// tracer, metrics registry, telemetry sink, watchdog) are proved at compile
+// time on Clang: fields carry MG_GUARDED_BY(mu), functions that expect the
+// lock held carry MG_REQUIRES(mu), and the base/mutex.h wrapper types carry
+// the acquire/release capability transitions. GCC and MSVC compile the
+// macros to nothing — annotations never change codegen, only diagnostics.
+// The release CI leg builds with Clang and -Werror=thread-safety so a
+// guarded field touched without its lock fails the build
+// (docs/CORRECTNESS.md "Lock discipline").
+
+#if defined(__clang__)
+#define MG_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MG_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define MG_CAPABILITY(x) MG_THREAD_ANNOTATION_(capability(x))
+/// Marks a RAII type whose constructor acquires and destructor releases.
+#define MG_SCOPED_CAPABILITY MG_THREAD_ANNOTATION_(scoped_lockable)
+/// Field/variable is protected by the given capability.
+#define MG_GUARDED_BY(x) MG_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointed-to data is protected by the given capability.
+#define MG_PT_GUARDED_BY(x) MG_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function requires the capability held on entry (and keeps it held).
+#define MG_REQUIRES(...) \
+  MG_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function acquires the capability; caller must not already hold it.
+#define MG_ACQUIRE(...) \
+  MG_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function releases the capability; caller must hold it.
+#define MG_RELEASE(...) \
+  MG_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define MG_TRY_ACQUIRE(...) \
+  MG_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define MG_EXCLUDES(...) MG_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Return value is the capability guarding the annotated data.
+#define MG_RETURN_CAPABILITY(x) MG_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch: the function's locking is correct for reasons the analysis
+/// cannot see (pair with a comment saying why).
+#define MG_NO_THREAD_SAFETY_ANALYSIS \
+  MG_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
 #endif  // MOCOGRAD_BASE_CHECK_H_

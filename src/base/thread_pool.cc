@@ -10,8 +10,8 @@
 // The one sanctioned base→obs edge: pool instrumentation. It lives in this
 // .cc only (no header cycle), and obs/ itself depends only on base headers,
 // so the layering stays acyclic at link time.
-#include "obs/metrics.h"  // mg_lint:allow(layering)
-#include "obs/trace.h"    // mg_lint:allow(layering)
+#include "obs/metrics.h"  // mg_analyze:allow(layering)
+#include "obs/trace.h"    // mg_analyze:allow(layering)
 
 namespace mocograd {
 
@@ -24,16 +24,19 @@ int DefaultNumThreads() {
                    /*max_value=*/1024);
 }
 
-std::mutex& GlobalPoolMutex() {
-  static std::mutex* mu = new std::mutex;
-  return *mu;
-}
+// The process-wide pool slot and the mutex guarding it, as one annotatable
+// unit. Heap-allocated and never freed: workers must not outlive their
+// pool's synchronization primitives during static destruction.
+struct GlobalPool {
+  Mutex mu;
+  ThreadPool* pool MG_GUARDED_BY(mu) = nullptr;
+};
 
-// Heap-allocated and never freed: workers must not outlive their pool's
-// synchronization primitives during static destruction.
-ThreadPool*& GlobalPoolSlot() {
-  static ThreadPool* pool = nullptr;
-  return pool;
+GlobalPool& GlobalPoolState() {
+  // MG_COLD_PATH: one-time creation of the process-wide slot.
+  static GlobalPool* g = new GlobalPool;
+  // MG_COLD_PATH_END
+  return *g;
 }
 
 // One ParallelFor invocation. Chunks are claimed by atomically advancing
@@ -48,10 +51,10 @@ struct LoopState {
 
   std::atomic<int64_t> next{0};
   std::atomic<bool> canceled{false};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int64_t chunks_left = 0;       // guarded by mu
-  std::exception_ptr error;      // guarded by mu; first failure wins
+  Mutex mu;
+  CondVar done_cv;
+  int64_t chunks_left MG_GUARDED_BY(mu) = 0;
+  std::exception_ptr error MG_GUARDED_BY(mu);  // first failure wins
 
   void RunChunks() {
     for (;;) {
@@ -62,13 +65,13 @@ struct LoopState {
         try {
           (*body)(b, e);
         } catch (...) {
-          std::lock_guard<std::mutex> lk(mu);
+          MutexLock lk(&mu);
           if (!error) error = std::current_exception();
           canceled.store(true, std::memory_order_relaxed);
         }
       }
-      std::lock_guard<std::mutex> lk(mu);
-      if (--chunks_left == 0) done_cv.notify_all();
+      MutexLock lk(&mu);
+      if (--chunks_left == 0) done_cv.NotifyAll();
     }
   }
 };
@@ -85,27 +88,27 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerMain() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lk(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown, queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -117,19 +120,25 @@ void ThreadPool::WorkerMain() {
 }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lk(GlobalPoolMutex());
-  ThreadPool*& pool = GlobalPoolSlot();
-  if (pool == nullptr) pool = new ThreadPool(DefaultNumThreads());
-  return *pool;
+  GlobalPool& g = GlobalPoolState();
+  MutexLock lk(&g.mu);
+  if (g.pool == nullptr) {
+    // MG_COLD_PATH: first-use creation of the process-wide pool.
+    g.pool = new ThreadPool(DefaultNumThreads());
+    // MG_COLD_PATH_END
+  }
+  return *g.pool;
 }
 
 void ThreadPool::SetGlobalNumThreads(int n) {
   MG_CHECK_GE(n, 1, "SetGlobalNumThreads");
-  std::lock_guard<std::mutex> lk(GlobalPoolMutex());
-  ThreadPool*& pool = GlobalPoolSlot();
-  if (pool != nullptr && pool->num_threads() == n) return;
-  delete pool;  // drains and joins the old workers
-  pool = new ThreadPool(n);
+  GlobalPool& g = GlobalPoolState();
+  MutexLock lk(&g.mu);
+  if (g.pool != nullptr && g.pool->num_threads() == n) return;
+  delete g.pool;  // drains and joins the old workers
+  // MG_COLD_PATH: explicit resize, never on a compute path.
+  g.pool = new ThreadPool(n);
+  // MG_COLD_PATH_END
 }
 
 int ThreadPool::GlobalNumThreads() { return Global().num_threads(); }
@@ -156,23 +165,35 @@ void internal::ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
   const int64_t chunk = std::max(grain, (n + max_chunks - 1) / max_chunks);
   const int64_t num_chunks = (n + chunk - 1) / chunk;
 
+  // MG_COLD_PATH: fan-out setup. The shared state and the type-erased helper
+  // tasks are the sanctioned allocations of a parallel dispatch — the
+  // provably allocation-free configuration is the pool-of-1 serial path in
+  // the ParallelFor template (docs/CORRECTNESS.md "Hot-path allocation").
   auto state = std::make_shared<LoopState>();
   state->end = end;
   state->chunk = chunk;
   state->body = &body;
   state->next.store(begin, std::memory_order_relaxed);
-  state->chunks_left = num_chunks;
+  {
+    MutexLock lk(&state->mu);
+    state->chunks_left = num_chunks;
+  }
 
   const int64_t helpers =
       std::min<int64_t>(static_cast<int64_t>(threads) - 1, num_chunks - 1);
   for (int64_t i = 0; i < helpers; ++i) {
     pool.Submit([state] { state->RunChunks(); });
   }
+  // MG_COLD_PATH_END
   state->RunChunks();
 
-  std::unique_lock<std::mutex> lk(state->mu);
-  state->done_cv.wait(lk, [&] { return state->chunks_left == 0; });
-  if (state->error) std::rethrow_exception(state->error);
+  std::exception_ptr error;
+  {
+    MutexLock lk(&state->mu);
+    while (state->chunks_left != 0) state->done_cv.Wait(state->mu);
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace mocograd

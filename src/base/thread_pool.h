@@ -1,13 +1,13 @@
 #ifndef MOCOGRAD_BASE_THREAD_POOL_H_
 #define MOCOGRAD_BASE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
 
 namespace mocograd {
 
@@ -60,11 +60,11 @@ class ThreadPool {
   void WorkerMain();
 
   const int num_threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ MG_GUARDED_BY(mu_);
+  bool shutdown_ MG_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written in the ctor only
 };
 
 /// Runs `body(chunk_begin, chunk_end)` over a disjoint partition of

@@ -27,7 +27,7 @@ namespace vec {
 namespace {
 
 // MG_HOT_PATH — every kernel below runs on the per-step steady state;
-// mg_lint enforces that no heap allocation or container growth appears
+// mg_analyze enforces that no heap allocation or container growth appears
 // before the matching end marker (docs/CORRECTNESS.md).
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ std::vector<obs::WatchdogEvent> TrainingWatchdog::Observe(
   std::vector<obs::WatchdogEvent> events;
   if (!options_.enabled) return events;
 
+  MutexLock lk(&mu_);
   const int k = static_cast<int>(losses.size());
   if (static_cast<int>(min_loss_.size()) != k) {
     min_loss_.assign(k, std::numeric_limits<double>::infinity());
@@ -80,6 +81,7 @@ std::vector<obs::WatchdogEvent> TrainingWatchdog::Observe(
 }
 
 void TrainingWatchdog::Reset() {
+  MutexLock lk(&mu_);
   min_loss_.clear();
   norm_ema_ = 0.0;
   norm_ema_valid_ = false;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/mutex.h"
 #include "obs/telemetry.h"
 
 namespace mocograd {
@@ -65,10 +66,17 @@ class TrainingWatchdog {
 
  private:
   WatchdogOptions options_;
-  std::vector<double> min_loss_;  // per-task running min of finite losses
-  double norm_ema_ = 0.0;
-  bool norm_ema_valid_ = false;
-  int64_t steps_seen_ = 0;
+  // Detector state, updated once per Observe. A single trainer drives the
+  // watchdog today, but Observe is callable from concurrent training loops
+  // sharing one instance (e.g. a future async data pipeline's monitor
+  // thread), so the running state is lock-protected — uncontended in the
+  // single-trainer case.
+  Mutex mu_;
+  // Per-task running min of finite losses.
+  std::vector<double> min_loss_ MG_GUARDED_BY(mu_);
+  double norm_ema_ MG_GUARDED_BY(mu_) = 0.0;
+  bool norm_ema_valid_ MG_GUARDED_BY(mu_) = false;
+  int64_t steps_seen_ MG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mtl

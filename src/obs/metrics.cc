@@ -5,9 +5,9 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "base/check.h"
+#include "base/mutex.h"
 #include "obs/json.h"
 
 namespace mocograd {
@@ -136,10 +136,14 @@ void Histogram::Reset() {
 }
 
 struct MetricsRegistry::Impl {
-  std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  Mutex mu;
+  // The maps' *structure* is guarded; the pointed-to instruments are
+  // lock-free atomics updated without mu (that is the whole point of
+  // handing out stable Counter*/Histogram* pointers).
+  std::map<std::string, std::unique_ptr<Counter>> counters MG_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges MG_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      MG_GUARDED_BY(mu);
 };
 
 MetricsRegistry::Impl& MetricsRegistry::impl() {
@@ -154,7 +158,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lk(i.mu);
+  MutexLock lk(&i.mu);
   MG_CHECK(i.gauges.count(name) == 0 && i.histograms.count(name) == 0,
            "metric registered with a different kind: ", name);
   auto& slot = i.counters[name];
@@ -164,7 +168,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lk(i.mu);
+  MutexLock lk(&i.mu);
   MG_CHECK(i.counters.count(name) == 0 && i.histograms.count(name) == 0,
            "metric registered with a different kind: ", name);
   auto& slot = i.gauges[name];
@@ -174,7 +178,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lk(i.mu);
+  MutexLock lk(&i.mu);
   MG_CHECK(i.counters.count(name) == 0 && i.gauges.count(name) == 0,
            "metric registered with a different kind: ", name);
   auto& slot = i.histograms[name];
@@ -184,7 +188,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lk(i.mu);
+  MutexLock lk(&i.mu);
   std::vector<MetricSample> out;
   out.reserve(i.counters.size() + i.gauges.size() + 4 * i.histograms.size());
   for (const auto& [name, c] : i.counters) {
@@ -208,7 +212,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() {
 
 std::vector<MetricSample> MetricsRegistry::SnapshotCounters() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lk(i.mu);
+  MutexLock lk(&i.mu);
   std::vector<MetricSample> out;
   out.reserve(i.counters.size());
   for (const auto& [name, c] : i.counters) {
@@ -219,7 +223,7 @@ std::vector<MetricSample> MetricsRegistry::SnapshotCounters() {
 
 std::vector<HistogramSample> MetricsRegistry::SnapshotHistograms() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lk(i.mu);
+  MutexLock lk(&i.mu);
   std::vector<HistogramSample> out;
   out.reserve(i.histograms.size());
   for (const auto& [name, h] : i.histograms) {
@@ -231,7 +235,7 @@ std::vector<HistogramSample> MetricsRegistry::SnapshotHistograms() {
 
 void MetricsRegistry::ResetAll() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lk(i.mu);
+  MutexLock lk(&i.mu);
   for (auto& [name, c] : i.counters) c->Reset();
   for (auto& [name, g] : i.gauges) g->Reset();
   for (auto& [name, h] : i.histograms) h->Reset();

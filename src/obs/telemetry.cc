@@ -21,6 +21,10 @@ void AggregatorTrace::Begin(const std::string& method, int num_tasks) {
   num_tasks_ = num_tasks;
   known_cosines_ = 0;
   pairs_.clear();
+  // clear() keeps capacity, so RecordPair/MarkActed stop allocating once the
+  // vector reaches its high-water mark; the reserve makes the common k-task
+  // sweep (≤ k² pair decisions) allocation-free from the first step.
+  pairs_.reserve(static_cast<size_t>(num_tasks) * num_tasks);
   cosines_.assign(static_cast<size_t>(num_tasks) * num_tasks, kNan);
   for (int i = 0; i < num_tasks; ++i) {
     cosines_[static_cast<size_t>(i) * num_tasks + i] = 1.0;
@@ -32,11 +36,17 @@ void AggregatorTrace::Begin(const std::string& method, int num_tasks) {
   solver_iterations_ = 0;
 }
 
+// MG_COLD_PATH: pair recording is amortized — Begin reserves k² slots and
+// clear() retains capacity, so aggregation-sweep callers stop hitting the
+// allocator after the first step (the steady-state alloc tests pin this).
 void AggregatorTrace::RecordPair(int i, int j, double cosine, double magnitude,
                                  bool acted) {
   pairs_.push_back({i, j, cosine, magnitude, acted});
 }
+// MG_COLD_PATH_END
 
+// MG_COLD_PATH: same amortization argument as RecordPair — the fallback
+// push_back reuses the capacity Begin reserved.
 void AggregatorTrace::MarkActed(int i, int j, double magnitude) {
   // Scan from the back: the pair being upgraded was recorded this task's
   // sweep, i.e. among the most recent entries.
@@ -49,6 +59,7 @@ void AggregatorTrace::MarkActed(int i, int j, double magnitude) {
   }
   pairs_.push_back({i, j, kNan, magnitude, true});
 }
+// MG_COLD_PATH_END
 
 void AggregatorTrace::SetCosine(int i, int j, double cosine) {
   MG_DCHECK(i >= 0 && i < num_tasks_ && j >= 0 && j < num_tasks_);
@@ -240,6 +251,7 @@ void TelemetrySink::WriteRecord(const TelemetryRecord& record) {
     line += '}';
   }
   line += "}\n";
+  MutexLock lk(&mu_);
   std::fwrite(line.data(), 1, line.size(), file_);
 }
 
@@ -261,6 +273,7 @@ void TelemetrySink::WriteWatchdogEvent(const std::string& method,
   line += ",\"threshold\":";
   AppendJsonNumber(&line, ev.threshold);
   line += "}\n";
+  MutexLock lk(&mu_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);  // anomalies must survive a crashing run
 }

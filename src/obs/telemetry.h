@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
 
 namespace mocograd {
@@ -188,10 +189,14 @@ class TelemetrySink {
   void WriteWatchdogEvent(const std::string& method, const WatchdogEvent& ev);
 
  private:
-  std::FILE* file_ = nullptr;
+  std::FILE* file_ = nullptr;  // set once in the ctor, then read-only
   bool owns_file_ = false;
   Status status_;
   int every_ = 1;
+  // Serializes the stream writes: each record is serialized into a local
+  // buffer first, then appended with a single fwrite under mu_, so records
+  // from concurrent writers (trainer + watchdog) never interleave bytes.
+  Mutex mu_;
 };
 
 }  // namespace obs

@@ -3,9 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 
 #include "base/env.h"
+#include "base/mutex.h"
 
 namespace mocograd {
 namespace obs {
@@ -65,18 +65,19 @@ void AppendJsonEscaped(std::string* out, const char* s) {
 // steady state — the owning thread appends, and only export/clear takes it
 // from outside.
 struct TraceSession::ThreadLog {
-  std::mutex mu;
-  std::vector<TraceSpan> spans;
-  int tid = 0;
+  Mutex mu;
+  std::vector<TraceSpan> spans MG_GUARDED_BY(mu);
+  int tid = 0;  // written once at registration, before the log is shared
 };
 
 namespace {
 
 struct SessionState {
-  std::mutex mu;  // guards logs / retired / next_tid
-  std::vector<std::shared_ptr<TraceSession::ThreadLog>> logs;
-  std::vector<TraceSpan> retired;
-  int next_tid = 0;
+  Mutex mu;
+  std::vector<std::shared_ptr<TraceSession::ThreadLog>> logs
+      MG_GUARDED_BY(mu);
+  std::vector<TraceSpan> retired MG_GUARDED_BY(mu);
+  int next_tid MG_GUARDED_BY(mu) = 0;
 };
 
 SessionState& State() {
@@ -89,8 +90,8 @@ struct ThreadLogHandle {
   ~ThreadLogHandle() {
     if (log == nullptr) return;
     SessionState& state = State();
-    std::lock_guard<std::mutex> lk(state.mu);
-    std::lock_guard<std::mutex> log_lk(log->mu);
+    MutexLock lk(&state.mu);
+    MutexLock log_lk(&log->mu);
     state.retired.insert(state.retired.end(),
                          std::make_move_iterator(log->spans.begin()),
                          std::make_move_iterator(log->spans.end()));
@@ -141,7 +142,7 @@ TraceSession::ThreadLog& TraceSession::LogForThisThread() {
   if (handle.log == nullptr) {
     handle.log = std::make_shared<ThreadLog>();
     SessionState& state = State();
-    std::lock_guard<std::mutex> lk(state.mu);
+    MutexLock lk(&state.mu);
     handle.log->tid = state.next_tid++;
     state.logs.push_back(handle.log);
   }
@@ -150,7 +151,7 @@ TraceSession::ThreadLog& TraceSession::LogForThisThread() {
 
 void TraceSession::Record(TraceSpan span) {
   ThreadLog& log = LogForThisThread();
-  std::lock_guard<std::mutex> lk(log.mu);
+  MutexLock lk(&log.mu);
   span.tid = log.tid;
   log.spans.push_back(std::move(span));
 }
@@ -166,20 +167,20 @@ void TraceSession::Stop() {
 
 void TraceSession::Clear() {
   SessionState& state = State();
-  std::lock_guard<std::mutex> lk(state.mu);
+  MutexLock lk(&state.mu);
   state.retired.clear();
   for (auto& log : state.logs) {
-    std::lock_guard<std::mutex> log_lk(log->mu);
+    MutexLock log_lk(&log->mu);
     log->spans.clear();
   }
 }
 
 std::vector<TraceSpan> TraceSession::CollectSpans() {
   SessionState& state = State();
-  std::lock_guard<std::mutex> lk(state.mu);
+  MutexLock lk(&state.mu);
   std::vector<TraceSpan> out = state.retired;
   for (auto& log : state.logs) {
-    std::lock_guard<std::mutex> log_lk(log->mu);
+    MutexLock log_lk(&log->mu);
     out.insert(out.end(), log->spans.begin(), log->spans.end());
   }
   return out;
@@ -187,10 +188,10 @@ std::vector<TraceSpan> TraceSession::CollectSpans() {
 
 size_t TraceSession::span_count() {
   SessionState& state = State();
-  std::lock_guard<std::mutex> lk(state.mu);
+  MutexLock lk(&state.mu);
   size_t n = state.retired.size();
   for (auto& log : state.logs) {
-    std::lock_guard<std::mutex> log_lk(log->mu);
+    MutexLock log_lk(&log->mu);
     n += log->spans.size();
   }
   return n;

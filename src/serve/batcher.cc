@@ -40,10 +40,10 @@ MicroBatcher::MicroBatcher(const ServeModel& model, BatcherOptions options)
 
 void MicroBatcher::Infer(const float* row, float* const* outputs) {
   const Clock::time_point enqueue_time = Clock::now();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // The active slab is full only while its filler waits for a previous
   // flush to finish; the swap that starts our flush frees it.
-  while (count_ == max_batch_) cv_.wait(lock);
+  while (count_ == max_batch_) cv_.Wait(mu_);
 
   const int slot = count_++;
   const int64_t my_batch = next_batch_id_;
@@ -54,24 +54,23 @@ void MicroBatcher::Infer(const float* row, float* const* outputs) {
 
   if (count_ == max_batch_) {
     // Size trigger: this requester executes the batch inline.
-    FlushBatch(lock, my_batch);
+    FlushBatch(my_batch);
     return;
   }
   const Clock::time_point deadline =
       batch_open_ + std::chrono::microseconds(deadline_us_);
   while (executed_batch_id_ < my_batch) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
         executed_batch_id_ < my_batch) {
       // Deadline trigger: force the flush (possibly after an in-flight
       // one drains).
-      FlushBatch(lock, my_batch);
+      FlushBatch(my_batch);
       return;
     }
   }
 }
 
-void MicroBatcher::FlushBatch(std::unique_lock<std::mutex>& lock,
-                              int64_t batch_id) {
+void MicroBatcher::FlushBatch(int64_t batch_id) {
   while (executed_batch_id_ < batch_id) {
     if (!flushing_ && next_batch_id_ == batch_id && count_ > 0) {
       // Claim the flush: swap slabs so arrivals keep queueing while we
@@ -83,17 +82,17 @@ void MicroBatcher::FlushBatch(std::unique_lock<std::mutex>& lock,
       active_ ^= 1;
       count_ = 0;
       ++next_batch_id_;
-      lock.unlock();
-      cv_.notify_all();  // the freed slab unblocks space waiters
+      mu_.Unlock();
+      cv_.NotifyAll();  // the freed slab unblocks space waiters
       ExecuteBatch(slab, n, open);
-      lock.lock();
+      mu_.Lock();
       executed_batch_id_ = batch_id;
       flushing_ = false;
-      cv_.notify_all();
+      cv_.NotifyAll();
     } else {
       // Another requester owns the pending flush (or an earlier batch is
       // still executing) — wait for it.
-      cv_.wait(lock);
+      cv_.Wait(mu_);
     }
   }
 }

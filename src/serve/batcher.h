@@ -3,11 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.h"
 #include "serve/engine.h"
 
 namespace mocograd {
@@ -66,8 +65,9 @@ class MicroBatcher {
   using Clock = std::chrono::steady_clock;
 
   /// Blocks until batch `batch_id` has executed, claiming and running the
-  /// flush inline when it is this thread's turn. Called with `lock` held.
-  void FlushBatch(std::unique_lock<std::mutex>& lock, int64_t batch_id);
+  /// flush inline when it is this thread's turn. Enters and exits with mu_
+  /// held; drops it hand-over-hand around the ExecuteBatch call.
+  void FlushBatch(int64_t batch_id) MG_REQUIRES(mu_);
 
   /// Runs the batched forward for `n` rows of staging slab `slab` and
   /// scatters per-task rows to the queued requesters. Called without the
@@ -80,18 +80,23 @@ class MicroBatcher {
   int64_t deadline_us_;
   int64_t input_dim_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   // Double-buffered pending batch: enqueuers fill staging_[active_] under
-  // the lock while a flush may be executing the other slab without it.
+  // the lock while a flush may be executing the other slab without it. The
+  // slabs deliberately carry no MG_GUARDED_BY: the inactive slab is read
+  // lock-free by the (flushing_-serialized) executor, a ping-pong protocol
+  // beyond what guarded_by expresses — its safety is covered by the TSan leg
+  // and serve_batcher_determinism_test.
   std::vector<float> staging_[2];
   std::vector<float* const*> slot_outputs_[2];
-  int active_ = 0;
-  int count_ = 0;                  // rows in the active slab
-  int64_t next_batch_id_ = 0;      // id of the batch currently filling
-  int64_t executed_batch_id_ = -1;
-  bool flushing_ = false;
-  Clock::time_point batch_open_{};  // arrival of the active batch's first row
+  int active_ MG_GUARDED_BY(mu_) = 0;
+  int count_ MG_GUARDED_BY(mu_) = 0;        // rows in the active slab
+  int64_t next_batch_id_ MG_GUARDED_BY(mu_) = 0;  // batch currently filling
+  int64_t executed_batch_id_ MG_GUARDED_BY(mu_) = -1;
+  bool flushing_ MG_GUARDED_BY(mu_) = false;
+  // Arrival of the active batch's first row.
+  Clock::time_point batch_open_ MG_GUARDED_BY(mu_){};
 
   // Per-task batched outputs the forward writes before the scatter; one set
   // suffices because flushes are serialized.

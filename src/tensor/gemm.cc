@@ -100,7 +100,10 @@ GemmBlockSizes BlocksFromEnv() {
 }
 
 GemmBlockSizes& BlockConfig() {
+  // MG_COLD_PATH: magic-static init — the env parse (which allocates) runs
+  // exactly once, on the first GEMM; every later call just loads the ref.
   static GemmBlockSizes cfg = BlocksFromEnv();
+  // MG_COLD_PATH_END
   return cfg;
 }
 
@@ -195,6 +198,9 @@ void GemvCol(const GemmKernels& kern, bool trans_a, bool trans_b, int64_t m,
 
 GemmBlockSizes GemmBlocking() { return BlockConfig(); }
 
+// MG_COLD_PATH: test-only configuration hook, never on the request path —
+// re-parsing the env knob (which allocates) is fine here even though it
+// lexically sits inside the file's hot region.
 void SetGemmBlockingForTest(int64_t mc, int64_t kc, int64_t nc) {
   if (mc < 1 || kc < 1 || nc < 1) {
     BlockConfig() = BlocksFromEnv();
@@ -202,6 +208,7 @@ void SetGemmBlockingForTest(int64_t mc, int64_t kc, int64_t nc) {
     BlockConfig() = Sanitize({mc, kc, nc});
   }
 }
+// MG_COLD_PATH_END
 
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, int64_t lda, const float* b,

@@ -32,8 +32,15 @@
 #                      engine is bit-identical to the linear replay, so the
 #                      fallback must stay green too (docs/AUTOGRAD.md)
 #   simd-diff          training stdout byte-identical with SIMD on and off
-#   lint               tools/mg_lint invariant checker over the tree
-#                      (docs/CORRECTNESS.md)
+#   analyze            tools/mg_analyze call-graph-aware invariant analyzer
+#                      over the tree (docs/CORRECTNESS.md)
+#   thread-safety      Clang build with -Wthread-safety promoted to error —
+#                      proves the base/mutex.h lock annotations
+#                      (skipped when clang is not installed; CI's release
+#                      leg always runs it)
+#   clang-tidy         bugprone-*/performance-*/concurrency-* checks over
+#                      src/ via compile_commands.json (skipped when
+#                      clang-tidy is not installed)
 #   docs-links         markdown cross-reference checker
 #
 # Sanitizer passes (skipped with --fast; see docs/CORRECTNESS.md):
@@ -180,8 +187,27 @@ pass_simd_diff() {
   }
 }
 
-pass_lint() {
-  "$build_dir/tools/mg_lint" "$repo_root"
+pass_analyze() {
+  "$build_dir/tools/mg_analyze" "$repo_root"
+}
+
+# Clang-only passes. The annotations in base/mutex.h are no-ops under GCC;
+# a Clang build with thread-safety warnings promoted to errors is what
+# actually proves the lock discipline, so run it whenever clang is around.
+clang_thread_safety_dir="$repo_root/build-clang-tsafety"
+
+pass_thread_safety() {
+  cmake -B "$clang_thread_safety_dir" -S "$repo_root" \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ &&
+    cmake --build "$clang_thread_safety_dir" -j
+}
+
+pass_clang_tidy() {
+  # compile_commands.json is exported by the main build configure.
+  test -f "$build_dir/compile_commands.json" ||
+    { echo "no compile_commands.json in $build_dir"; return 1; }
+  find "$repo_root/src" -name '*.cc' | sort |
+    xargs clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*'
 }
 
 pass_docs_links() {
@@ -244,7 +270,17 @@ run_pass ctest-isa-sse pass_ctest_isa_sse
 run_pass ctest-gemm-block pass_ctest_gemm_block
 run_pass ctest-autograd-seq pass_ctest_autograd_seq
 run_pass simd-diff pass_simd_diff
-run_pass lint pass_lint
+run_pass analyze pass_analyze
+if command -v clang++ >/dev/null 2>&1; then
+  run_pass thread-safety pass_thread_safety
+else
+  skip_pass thread-safety "clang not installed"
+fi
+if command -v clang-tidy >/dev/null 2>&1; then
+  run_pass clang-tidy pass_clang_tidy
+else
+  skip_pass clang-tidy "clang-tidy not installed"
+fi
 run_pass docs-links pass_docs_links
 
 if [ "$fast" = 1 ]; then
